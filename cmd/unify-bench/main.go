@@ -1,0 +1,126 @@
+// Command unify-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	unify-bench -exp all                # every experiment at paper scale
+//	unify-bench -exp fig4 -size 500 -per 2 -datasets sports
+//	unify-bench -exp table3
+//	unify-bench -exp fig5a,fig5b -size 800
+//
+// Experiments: fig4 (accuracy+latency, Fig. 4a-h), table3 (SCE q-errors,
+// Table III), fig5a (logical optimization), fig5b (physical optimization).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"unify/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiments to run: fig4,table3,fig5a,fig5b,all")
+		size     = flag.Int("size", 0, "corpus size override (0 = paper sizes)")
+		per      = flag.Int("per", 5, "query instances per template (paper: 5)")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset")
+		methods  = flag.String("methods", "", "comma-separated method subset for fig4")
+		seed     = flag.Int64("seed", 42, "workload sampling seed")
+		jsonOut  = flag.String("json", "", "also write structured results to this JSON file")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Size: *size, PerTemplate: *per, Seed: *seed}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *methods != "" {
+		cfg.Methods = strings.Split(*methods, ",")
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	if want["all"] {
+		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true}
+	}
+
+	ctx := context.Background()
+	artifacts := map[string]interface{}{}
+	run := func(name string, f func() error) {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
+	}
+
+	if want["fig4"] {
+		run("Figure 4", func() error {
+			rows, err := bench.RunFig4(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig4(os.Stdout, rows)
+			artifacts["fig4"] = rows
+			return nil
+		})
+	}
+	if want["table3"] {
+		run("Table III", func() error {
+			rows, err := bench.RunTable3(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintTable3(os.Stdout, rows)
+			artifacts["table3"] = rows
+			return nil
+		})
+	}
+	if want["fig5a"] {
+		run("Figure 5(a)", func() error {
+			rows, err := bench.RunFig5a(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig5(os.Stdout, "Figure 5(a): logical optimization (avg exec latency)", rows)
+			artifacts["fig5a"] = rows
+			return nil
+		})
+	}
+	if want["fig5b"] {
+		run("Figure 5(b)", func() error {
+			rows, err := bench.RunFig5b(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig5(os.Stdout, "Figure 5(b): physical optimization (avg exec latency)", rows)
+			artifacts["fig5b"] = rows
+			return nil
+		})
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json output:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(artifacts); err != nil {
+			fmt.Fprintln(os.Stderr, "json encode:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("structured results written to %s\n", *jsonOut)
+	}
+}

@@ -1,0 +1,69 @@
+// Command unify-gen materializes a synthetic corpus to disk for
+// inspection: one text file per document plus a TSV of the hidden records
+// (the ground-truth side used only by the evaluation harness).
+//
+// Usage:
+//
+//	unify-gen -dataset sports -size 100 -out /tmp/sports
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"unify/internal/corpus"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "sports", "dataset: sports, ai, law, wiki")
+		size    = flag.Int("size", 0, "document count (0 = paper size)")
+		out     = flag.String("out", "", "output directory (empty = print a sample to stdout)")
+		sample  = flag.Int("sample", 3, "documents to print when -out is empty")
+	)
+	flag.Parse()
+
+	n := *size
+	if n == 0 {
+		n = corpus.DefaultSize(*dataset)
+	}
+	ds, err := corpus.GenerateN(*dataset, n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *out == "" {
+		for i := 0; i < *sample && i < len(ds.Docs); i++ {
+			d := ds.Docs[i]
+			fmt.Printf("--- doc %d (hidden: %+v) ---\n%s\n\n", d.ID, d.Hidden, d.Text)
+		}
+		fmt.Printf("dataset %s: %d documents (entity=%s, category class=%s, aspect class=%s)\n",
+			ds.Name, len(ds.Docs), ds.EntityWord, ds.CatClass, ds.AspectClass)
+		return
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tsv, err := os.Create(filepath.Join(*out, "hidden.tsv"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer tsv.Close()
+	fmt.Fprintln(tsv, "id\tcategory\taspect\tviews\tscore\tyear")
+	for _, d := range ds.Docs {
+		name := filepath.Join(*out, fmt.Sprintf("doc-%05d.txt", d.ID))
+		if err := os.WriteFile(name, []byte(d.Text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(tsv, "%d\t%s\t%s\t%d\t%d\t%d\n",
+			d.ID, d.Hidden.Category, d.Hidden.Aspect, d.Hidden.Views, d.Hidden.Score, d.Hidden.Year)
+	}
+	fmt.Printf("wrote %d documents to %s\n", len(ds.Docs), *out)
+}

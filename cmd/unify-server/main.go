@@ -1,0 +1,37 @@
+// Command unify-server serves a Unify system over HTTP.
+//
+//	unify-server -dataset sports -size 1000 -addr :8080
+//
+//	curl -s localhost:8080/v1/health
+//	curl -s -X POST localhost:8080/v1/query \
+//	     -d '{"query": "How many questions about football have more than 500 views?"}'
+//	curl -s -X POST localhost:8080/v1/plan -d '{"query": "..."}'   # EXPLAIN
+//	curl -s localhost:8080/v1/operators
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"unify"
+	"unify/internal/server"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "sports", "dataset: sports, ai, law, wiki")
+		size    = flag.Int("size", 0, "corpus size (0 = paper size)")
+		addr    = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	fmt.Printf("opening %s corpus...\n", *dataset)
+	sys, err := unify.Open(unify.Config{Dataset: *dataset, Size: *size, TrainSCE: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d documents on %s\n", sys.Store.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+}

@@ -1,0 +1,136 @@
+// Command unify answers ad-hoc natural-language analytics queries over a
+// built-in synthetic dataset, printing the answer, the physical plan, and
+// the simulated cost breakdown.
+//
+// Usage:
+//
+//	unify -dataset sports -size 1000 "How many questions about football have more than 500 views?"
+//	unify -list-ops
+//	unify -dataset law "What is the average score of questions related to liability?"
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"unify"
+	"unify/internal/ops"
+)
+
+func main() {
+	var (
+		dataset     = flag.String("dataset", "sports", "dataset: sports, ai, law, wiki")
+		size        = flag.Int("size", 0, "corpus size (0 = paper size)")
+		listOps     = flag.Bool("list-ops", false, "list the operator registry (Table II) and exit")
+		verbose     = flag.Bool("v", false, "print the physical plan")
+		planOnly    = flag.Bool("plan", false, "EXPLAIN: print the optimized plan without executing")
+		interactive = flag.Bool("i", false, "interactive mode: read queries from stdin")
+		dotOut      = flag.Bool("dot", false, "print the plan as Graphviz DOT and exit")
+	)
+	flag.Parse()
+
+	if *listOps {
+		printOps()
+		return
+	}
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" && !*interactive {
+		fmt.Fprintln(os.Stderr, "usage: unify [-dataset name] [-size n] [-v|-plan|-i] \"<natural language query>\"")
+		os.Exit(2)
+	}
+
+	sys, err := unify.Open(unify.Config{Dataset: *dataset, Size: *size, TrainSCE: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	if *interactive {
+		repl(sys, *verbose)
+		return
+	}
+	if *planOnly || *dotOut {
+		plan, dur, err := sys.Plan(context.Background(), query)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plan:", err)
+			os.Exit(1)
+		}
+		if *dotOut {
+			fmt.Print(plan.DOT())
+			return
+		}
+		fmt.Print(plan)
+		fmt.Printf("planning latency: %.1fs\n", dur.Seconds())
+		return
+	}
+	ans, err := sys.Query(context.Background(), query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "query:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("answer: %s\n", ans.Text)
+	fmt.Printf("latency: total=%.1fs (planning=%.1fs estimation=%.1fs execution=%.1fs), %d LLM calls\n",
+		ans.TotalDur.Seconds(), ans.PlanningDur.Seconds(), ans.EstimationDur.Seconds(),
+		ans.ExecDur.Seconds(), ans.LLMCalls)
+	if ans.Fallback {
+		fmt.Println("note: the planner fell back to the Generate (RAG) operator")
+	}
+	if *verbose {
+		fmt.Print(ans.Plan)
+		fmt.Println("per-operator execution:")
+		for _, ns := range ans.Nodes {
+			fmt.Printf("  [%d] %-10s %-18s in=%-5d out=%-5d calls=%-4d busy=%.1fs\n",
+				ns.NodeID, ns.Op, ns.Physical, ns.InCard, ns.OutCard, ns.LLMCalls, ns.Busy.Seconds())
+		}
+	}
+}
+
+// repl reads one query per line and answers each.
+func repl(sys *unify.System, verbose bool) {
+	fmt.Println("unify> type a natural-language analytics query per line (ctrl-D to exit)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024)
+	for {
+		fmt.Print("unify> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		if q == "exit" || q == "quit" {
+			return
+		}
+		ans, err := sys.Query(context.Background(), q)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Printf("%s   [%.1fs, %d LLM calls]\n", ans.Text, ans.TotalDur.Seconds(), ans.LLMCalls)
+		if verbose {
+			fmt.Print(ans.Plan)
+		}
+	}
+}
+
+func printOps() {
+	fmt.Println("Logical operators (Table II):")
+	for _, spec := range ops.All() {
+		var pre, sem []string
+		for _, p := range spec.Phys {
+			if p.LLMBased {
+				sem = append(sem, p.Name)
+			} else {
+				pre = append(pre, p.Name)
+			}
+		}
+		fmt.Printf("  %-14s pre-programmed: %-40s llm-based: %s\n",
+			spec.Name, strings.Join(pre, ","), strings.Join(sem, ","))
+		fmt.Printf("  %14s logical representations: %s\n", "", strings.Join(spec.LRs, " | "))
+	}
+}

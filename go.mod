@@ -1,0 +1,3 @@
+module unify
+
+go 1.22

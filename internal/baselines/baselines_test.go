@@ -1,0 +1,189 @@
+package baselines
+
+import (
+	"context"
+	"strconv"
+
+	"testing"
+
+	"unify/internal/corpus"
+	"unify/internal/docstore"
+	"unify/internal/llm"
+	"unify/internal/workload"
+)
+
+type fixture struct {
+	ds      *corpus.Dataset
+	store   *docstore.Store
+	worker  llm.Client
+	planner llm.Client
+	queries []workload.Query
+}
+
+func setup(t *testing.T, n int) *fixture {
+	t.Helper()
+	ds, err := corpus.GenerateN("sports", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docstore.New("sports", ds.Documents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := llm.DefaultSimConfig()
+	pcfg := wcfg
+	pcfg.Profile = llm.PlannerProfile()
+	return &fixture{
+		ds:      ds,
+		store:   store,
+		worker:  llm.NewSim(wcfg),
+		planner: llm.NewSim(pcfg),
+		queries: workload.Generate(ds, 1, 42),
+	}
+}
+
+func runAll(t *testing.T, b Baseline, queries []workload.Query) (correct int, avgCalls int) {
+	t.Helper()
+	calls := 0
+	for _, q := range queries {
+		res, err := b.Run(context.Background(), q.Text)
+		if err != nil {
+			t.Fatalf("%s on %q: %v", b.Name(), q.Text, err)
+		}
+		if res.Latency <= 0 {
+			t.Errorf("%s: non-positive latency for %q", b.Name(), q.Text)
+		}
+		if workload.Score(q, res.Text) {
+			correct++
+		}
+		calls += res.LLMCalls
+	}
+	return correct, calls / len(queries)
+}
+
+func TestRAGRunsAndIsWeak(t *testing.T) {
+	f := setup(t, 400)
+	correct, _ := runAll(t, NewRAG(f.store, f.worker), f.queries)
+	frac := float64(correct) / float64(len(f.queries))
+	if frac > 0.6 {
+		t.Errorf("RAG accuracy %.2f is implausibly high for aggregates", frac)
+	}
+}
+
+func TestRecurRAGRuns(t *testing.T) {
+	f := setup(t, 400)
+	correct, calls := runAll(t, NewRecurRAG(f.store, f.worker), f.queries)
+	if calls < 2 {
+		t.Errorf("RecurRAG should decompose then generate, got %d calls/query", calls)
+	}
+	_ = correct
+}
+
+func TestLLMPlanRuns(t *testing.T) {
+	f := setup(t, 400)
+	correct, _ := runAll(t, NewLLMPlan(f.store, f.worker), f.queries)
+	frac := float64(correct) / float64(len(f.queries))
+	if frac > 0.8 {
+		t.Errorf("LLMPlan accuracy %.2f too high: one-shot plans should be error-prone", frac)
+	}
+}
+
+func TestSampleScalesCounts(t *testing.T) {
+	f := setup(t, 500)
+	b := NewSample(f.store, f.worker)
+	// Counting query: the scaled estimate must be in the right ballpark
+	// (sampling error bounded by a generous factor).
+	truth := 0
+	for _, d := range f.ds.Docs {
+		if d.Hidden.Aspect == "injury" {
+			truth++
+		}
+	}
+	res, err := b.Run(context.Background(), "How many questions are related to injury?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := strconv.ParseFloat(res.Text, 64)
+	if err != nil {
+		t.Fatalf("non-numeric sample answer %q", res.Text)
+	}
+	if got < float64(truth)/3 || got > float64(truth)*3 {
+		t.Errorf("sample estimate %v vs truth %d", got, truth)
+	}
+	if res.LLMCalls < 5 {
+		t.Errorf("sample should issue chunked calls, got %d", res.LLMCalls)
+	}
+}
+
+func TestManualIsMostAccurate(t *testing.T) {
+	f := setup(t, 500)
+	manual := NewManual(f.store, f.worker)
+	rag := NewRAG(f.store, f.worker)
+	mc, _ := runAll(t, manual, f.queries)
+	rc, _ := runAll(t, rag, f.queries)
+	if mc <= rc {
+		t.Errorf("manual (%d) should beat RAG (%d)", mc, rc)
+	}
+	// Manual latency must include the design charge.
+	res, err := manual.Run(context.Background(), f.queries[0].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency < manual.DesignTime {
+		t.Errorf("manual latency %v below its design charge", res.Latency)
+	}
+}
+
+func TestOraclePlan(t *testing.T) {
+	plan, err := OraclePlan("How many questions about football have more than 500 views?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := plan.OpCounts()
+	if counts["Filter"]+counts["Scan"] != 2 || counts["Count"] != 1 {
+		t.Errorf("oracle ops = %v", counts)
+	}
+	if _, err := OraclePlan("write me a poem about databases"); err == nil {
+		t.Error("oracle should reject ungroundable queries")
+	}
+}
+
+func TestExhaustSlowerThanManualExec(t *testing.T) {
+	f := setup(t, 400)
+	ex := NewExhaust(f.store, f.planner, f.worker)
+	q := f.queries[0].Text
+	res, err := ex.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text == "" {
+		t.Error("exhaust produced no answer")
+	}
+	man := NewManual(f.store, f.worker)
+	mres, err := man.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust executes many plan variants; it must consume far more LLM
+	// calls than a single manual execution.
+	if res.LLMCalls <= mres.LLMCalls {
+		t.Errorf("exhaust calls %d not above manual %d", res.LLMCalls, mres.LLMCalls)
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	f := setup(t, 50)
+	names := map[string]Baseline{
+		"RAG":      NewRAG(f.store, f.worker),
+		"RecurRAG": NewRecurRAG(f.store, f.worker),
+		"LLMPlan":  NewLLMPlan(f.store, f.worker),
+		"Sample":   NewSample(f.store, f.worker),
+		"Exhaust":  NewExhaust(f.store, f.planner, f.worker),
+		"Manual":   NewManual(f.store, f.worker),
+	}
+	for want, b := range names {
+		if b.Name() != want {
+			t.Errorf("Name() = %q, want %q", b.Name(), want)
+		}
+	}
+}

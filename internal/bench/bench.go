@@ -1,0 +1,400 @@
+// Package bench regenerates the paper's evaluation artifacts: Figure 4
+// (accuracy and latency of seven methods over four datasets), Table III
+// (q-errors of semantic cardinality estimation), Figure 5(a) (logical
+// optimization) and Figure 5(b) (physical optimization). Each experiment
+// returns structured rows and can render the same series the paper plots.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"unify"
+	"unify/internal/baselines"
+	"unify/internal/corpus"
+	"unify/internal/optimizer"
+	"unify/internal/sce"
+	"unify/internal/workload"
+)
+
+// Config parameterizes the experiment suite.
+type Config struct {
+	// Datasets to run (default: all four).
+	Datasets []string
+	// Size overrides corpus sizes (0 = the paper's document counts).
+	Size int
+	// PerTemplate is the number of instances per query template
+	// (paper: 5 → 100 queries per dataset).
+	PerTemplate int
+	// Seed drives workload sampling.
+	Seed int64
+	// Methods restricts Figure 4 to a subset (default: all seven).
+	Methods []string
+	// SampleFrac is the SCE budget for Table III (paper: 1%).
+	SampleFrac float64
+}
+
+func (c *Config) defaults() {
+	if len(c.Datasets) == 0 {
+		c.Datasets = corpus.Names()
+	}
+	if c.PerTemplate == 0 {
+		c.PerTemplate = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = []string{"RAG", "RecurRAG", "LLMPlan", "Sample", "Exhaust", "Manual", "Unify"}
+	}
+	if c.SampleFrac == 0 {
+		c.SampleFrac = 0.01
+	}
+}
+
+// MethodScore is one bar of Figure 4: a method's accuracy and average
+// latency on one dataset.
+type MethodScore struct {
+	Dataset  string
+	Method   string
+	Accuracy float64
+	// AvgLatency is the mean end-to-end simulated latency per query.
+	AvgLatency time.Duration
+	// AvgPlanning is the planning component (Unify only; zero
+	// elsewhere except Manual's design charge).
+	AvgPlanning time.Duration
+	Queries     int
+}
+
+// unifyBaseline adapts a Unify system to the Baseline interface.
+type unifyBaseline struct {
+	sys *unify.System
+	// lastPlanning accumulates planning time for reporting.
+	planning time.Duration
+	queries  int
+}
+
+func (u *unifyBaseline) Name() string { return "Unify" }
+
+func (u *unifyBaseline) Run(ctx context.Context, query string) (baselines.Result, error) {
+	ans, err := u.sys.Query(ctx, query)
+	if err != nil {
+		return baselines.Result{}, err
+	}
+	u.planning += ans.PlanningDur + ans.EstimationDur
+	u.queries++
+	return baselines.Result{Text: ans.Text, Latency: ans.TotalDur, LLMCalls: ans.LLMCalls}, nil
+}
+
+// openSystem builds the standard Unify system for a dataset.
+func openSystem(ds *corpus.Dataset, mode optimizer.Mode) (*unify.System, error) {
+	return unify.OpenDataset(ds, unify.Config{Dataset: ds.Name, Mode: mode, TrainSCE: true})
+}
+
+// buildBaseline constructs a named method over a dataset.
+func buildBaseline(name string, ds *corpus.Dataset, sys *unify.System) (baselines.Baseline, error) {
+	store := sys.Store
+	worker := sys.WorkerClient
+	planner := sys.PlannerClient
+	switch name {
+	case "RAG":
+		return baselines.NewRAG(store, worker), nil
+	case "RecurRAG":
+		return baselines.NewRecurRAG(store, worker), nil
+	case "LLMPlan":
+		return baselines.NewLLMPlan(store, worker), nil
+	case "Sample":
+		return baselines.NewSample(store, worker), nil
+	case "Exhaust":
+		return baselines.NewExhaust(store, planner, worker), nil
+	case "Manual":
+		return baselines.NewManual(store, worker), nil
+	case "Unify":
+		return &unifyBaseline{sys: sys}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown method %q", name)
+	}
+}
+
+// RunFig4 evaluates every method on every dataset, producing the bars of
+// Figure 4(a)-(h).
+func RunFig4(ctx context.Context, cfg Config) ([]MethodScore, error) {
+	cfg.defaults()
+	var out []MethodScore
+	for _, name := range cfg.Datasets {
+		size := cfg.Size
+		if size == 0 {
+			size = corpus.DefaultSize(name)
+		}
+		ds, err := corpus.GenerateN(name, size)
+		if err != nil {
+			return nil, err
+		}
+		queries := workload.Generate(ds, cfg.PerTemplate, cfg.Seed)
+		sys, err := openSystem(ds, optimizer.CostBased)
+		if err != nil {
+			return nil, err
+		}
+		for _, method := range cfg.Methods {
+			b, err := buildBaseline(method, ds, sys)
+			if err != nil {
+				return nil, err
+			}
+			score := MethodScore{Dataset: name, Method: method, Queries: len(queries)}
+			correct := 0
+			var total time.Duration
+			for _, q := range queries {
+				res, err := b.Run(ctx, q.Text)
+				if err != nil {
+					// A failed query counts as incorrect with the
+					// latency it consumed before failing.
+					continue
+				}
+				if workload.Score(q, res.Text) {
+					correct++
+				}
+				total += res.Latency
+			}
+			score.Accuracy = float64(correct) / float64(len(queries))
+			score.AvgLatency = total / time.Duration(len(queries))
+			if ub, ok := b.(*unifyBaseline); ok && ub.queries > 0 {
+				score.AvgPlanning = ub.planning / time.Duration(ub.queries)
+			}
+			out = append(out, score)
+		}
+	}
+	return out, nil
+}
+
+// PrintFig4 renders the Figure 4 rows as two tables (accuracy, latency).
+func PrintFig4(w io.Writer, rows []MethodScore) {
+	byDS := map[string][]MethodScore{}
+	var dsOrder []string
+	for _, r := range rows {
+		if _, ok := byDS[r.Dataset]; !ok {
+			dsOrder = append(dsOrder, r.Dataset)
+		}
+		byDS[r.Dataset] = append(byDS[r.Dataset], r)
+	}
+	fmt.Fprintln(w, "Figure 4(a)-(d): accuracy (%)")
+	for _, ds := range dsOrder {
+		fmt.Fprintf(w, "  %-8s", ds)
+		for _, r := range byDS[ds] {
+			fmt.Fprintf(w, " %s=%.0f%%", r.Method, 100*r.Accuracy)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "Figure 4(e)-(h): average latency (minutes)")
+	for _, ds := range dsOrder {
+		fmt.Fprintf(w, "  %-8s", ds)
+		for _, r := range byDS[ds] {
+			fmt.Fprintf(w, " %s=%.2f", r.Method, r.AvgLatency.Minutes())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// QErrorRow is one row of Table III.
+type QErrorRow struct {
+	Dataset string
+	Method  sce.Method
+	P50     float64
+	P95     float64
+	P99     float64
+	Max     float64
+	Preds   int
+}
+
+// RunTable3 evaluates the four SCE methods on the Sports and AI datasets
+// (paper Table III) with a 1% sample budget.
+func RunTable3(ctx context.Context, cfg Config) ([]QErrorRow, error) {
+	cfg.defaults()
+	datasets := []string{"sports", "ai"}
+	if len(cfg.Datasets) > 0 && cfg.Datasets[0] != "" && len(cfg.Datasets) <= 2 {
+		datasets = cfg.Datasets
+	}
+	var out []QErrorRow
+	for _, name := range datasets {
+		size := cfg.Size
+		if size == 0 {
+			size = corpus.DefaultSize(name)
+		}
+		ds, err := corpus.GenerateN(name, size)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := openSystem(ds, optimizer.CostBased)
+		if err != nil {
+			return nil, err
+		}
+		queries := workload.Generate(ds, cfg.PerTemplate, cfg.Seed)
+		preds := workload.SemanticConditions(queries)
+		est := sys.Estimator
+		ns := int(cfg.SampleFrac * float64(size))
+		// Ground truth: full LLM evaluation of each predicate.
+		truths := make(map[string]float64, len(preds))
+		for _, p := range preds {
+			tc, err := est.TrueCardinality(ctx, p, 16)
+			if err != nil {
+				return nil, err
+			}
+			truths[p] = float64(tc)
+		}
+		const reps = 6 // independent sample draws per predicate
+		for _, method := range []sce.Method{sce.Uniform, sce.Stratified, sce.AIS, sce.Unify} {
+			var qerrs []float64
+			for _, p := range preds {
+				for r := 0; r < reps; r++ {
+					e, _, err := est.EstimateSeeded(ctx, method, p, ns, fmt.Sprintf("|rep%d", r))
+					if err != nil {
+						return nil, err
+					}
+					qerrs = append(qerrs, sce.QError(e, truths[p]))
+				}
+			}
+			sort.Float64s(qerrs)
+			out = append(out, QErrorRow{
+				Dataset: name,
+				Method:  method,
+				P50:     pct(qerrs, 50),
+				P95:     pct(qerrs, 95),
+				P99:     pct(qerrs, 99),
+				Max:     qerrs[len(qerrs)-1],
+				Preds:   len(preds),
+			})
+		}
+	}
+	return out, nil
+}
+
+func pct(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// PrintTable3 renders Table III.
+func PrintTable3(w io.Writer, rows []QErrorRow) {
+	fmt.Fprintln(w, "Table III: q-errors of semantic cardinality estimation")
+	fmt.Fprintf(w, "  %-10s %-10s %8s %8s %8s %8s\n", "dataset", "method", "50th", "95th", "99th", "max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %-10s %8.2f %8.2f %8.2f %8.2f\n",
+			r.Dataset, r.Method, r.P50, r.P95, r.P99, r.Max)
+	}
+}
+
+// OptRow is one bar of Figure 5.
+type OptRow struct {
+	Dataset string
+	Variant string
+	AvgExec time.Duration
+}
+
+// RunFig5a compares DAG-parallel execution (Unify) against sequential
+// execution (Unify-noLO) on Sports and Wiki (paper Figure 5a).
+func RunFig5a(ctx context.Context, cfg Config) ([]OptRow, error) {
+	cfg.defaults()
+	datasets := []string{"sports", "wiki"}
+	var out []OptRow
+	for _, name := range datasets {
+		size := cfg.Size
+		if size == 0 {
+			size = corpus.DefaultSize(name)
+		}
+		ds, err := corpus.GenerateN(name, size)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := openSystem(ds, optimizer.CostBased)
+		if err != nil {
+			return nil, err
+		}
+		queries := workload.Generate(ds, cfg.PerTemplate, cfg.Seed)
+		var par, ser time.Duration
+		n := 0
+		for _, q := range queries {
+			ans, err := sys.Query(ctx, q.Text)
+			if err != nil {
+				continue
+			}
+			par += ans.ExecDur
+			ser += ans.SerialExecDur
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		out = append(out,
+			OptRow{Dataset: name, Variant: "Unify", AvgExec: par / time.Duration(n)},
+			OptRow{Dataset: name, Variant: "Unify-noLO", AvgExec: ser / time.Duration(n)},
+		)
+	}
+	return out, nil
+}
+
+// RunFig5b compares the physical optimization variants: Unify (cost-based
+// with SCE), Unify-Rule (no cost-based optimization), and Unify-GD
+// (ground-truth cardinalities) — paper Figure 5b.
+func RunFig5b(ctx context.Context, cfg Config) ([]OptRow, error) {
+	cfg.defaults()
+	datasets := []string{"sports", "wiki"}
+	var out []OptRow
+	for _, name := range datasets {
+		size := cfg.Size
+		if size == 0 {
+			size = corpus.DefaultSize(name)
+		}
+		ds, err := corpus.GenerateN(name, size)
+		if err != nil {
+			return nil, err
+		}
+		queries := workload.Generate(ds, cfg.PerTemplate, cfg.Seed)
+		for _, variant := range []struct {
+			label string
+			mode  optimizer.Mode
+		}{
+			{"Unify-Rule", optimizer.Rule},
+			{"Unify", optimizer.CostBased},
+			{"Unify-GD", optimizer.GroundTruth},
+		} {
+			sys, err := openSystem(ds, variant.mode)
+			if err != nil {
+				return nil, err
+			}
+			var total time.Duration
+			n := 0
+			for _, q := range queries {
+				ans, err := sys.Query(ctx, q.Text)
+				if err != nil {
+					continue
+				}
+				total += ans.ExecDur
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			out = append(out, OptRow{Dataset: name, Variant: variant.label, AvgExec: total / time.Duration(n)})
+		}
+	}
+	return out, nil
+}
+
+// PrintFig5 renders Figure 5 rows.
+func PrintFig5(w io.Writer, title string, rows []OptRow) {
+	fmt.Fprintln(w, title)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8s %-12s avg exec = %.2f min\n", r.Dataset, r.Variant, r.AvgExec.Minutes())
+	}
+}

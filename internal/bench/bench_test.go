@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"unify/internal/sce"
+)
+
+// smallCfg keeps harness tests fast.
+func smallCfg() Config {
+	return Config{
+		Datasets:    []string{"sports"},
+		Size:        300,
+		PerTemplate: 1,
+		Seed:        42,
+		Methods:     []string{"RAG", "Unify"},
+		SampleFrac:  0.02,
+	}
+}
+
+func TestRunFig4Small(t *testing.T) {
+	rows, err := RunFig4(context.Background(), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var unify, rag MethodScore
+	for _, r := range rows {
+		switch r.Method {
+		case "Unify":
+			unify = r
+		case "RAG":
+			rag = r
+		}
+		if r.Queries == 0 || r.AvgLatency <= 0 {
+			t.Errorf("incomplete row %+v", r)
+		}
+	}
+	if unify.Accuracy <= rag.Accuracy {
+		t.Errorf("Unify (%.2f) should beat RAG (%.2f)", unify.Accuracy, rag.Accuracy)
+	}
+	var buf bytes.Buffer
+	PrintFig4(&buf, rows)
+	if !strings.Contains(buf.String(), "accuracy") || !strings.Contains(buf.String(), "Unify=") {
+		t.Errorf("rendering incomplete:\n%s", buf.String())
+	}
+}
+
+func TestRunTable3Small(t *testing.T) {
+	cfg := smallCfg()
+	rows, err := RunTable3(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 methods", len(rows))
+	}
+	methods := map[sce.Method]bool{}
+	for _, r := range rows {
+		methods[r.Method] = true
+		if r.P50 < 1 || r.Max < r.P50 {
+			t.Errorf("inconsistent percentiles %+v", r)
+		}
+	}
+	if len(methods) != 4 {
+		t.Errorf("methods = %v", methods)
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "unify") {
+		t.Error("Table III rendering incomplete")
+	}
+}
+
+func TestRunFig5Small(t *testing.T) {
+	cfg := smallCfg()
+	rows, err := RunFig5a(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]OptRow{}
+	for _, r := range rows {
+		if r.Dataset == "sports" {
+			byVariant[r.Variant] = r
+		}
+	}
+	u, noLO := byVariant["Unify"], byVariant["Unify-noLO"]
+	if u.AvgExec <= 0 || noLO.AvgExec <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if noLO.AvgExec < u.AvgExec {
+		t.Errorf("sequential (%v) faster than DAG (%v)", noLO.AvgExec, u.AvgExec)
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, "t", rows)
+	if !strings.Contains(buf.String(), "noLO") {
+		t.Error("Fig5 rendering incomplete")
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Methods = []string{"Bogus"}
+	if _, err := RunFig4(context.Background(), cfg); err == nil {
+		t.Error("unknown method accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package docstore holds a collection of plain-text documents and the
+// offline preprocessing Unify performs over it (paper §III-A): document
+// and sentence embeddings, and vector indexes for IndexScan and retrieval.
+package docstore
+
+import (
+	"fmt"
+	"strings"
+
+	"unify/internal/embedding"
+	"unify/internal/vector"
+)
+
+// Document is one unstructured item. Text is everything the analytics
+// system may look at.
+type Document struct {
+	ID    int
+	Title string
+	Text  string
+}
+
+// Store is an indexed document collection.
+type Store struct {
+	Name string
+	Docs []Document
+
+	embedder *embedding.Embedder
+	docVecs  [][]float32
+	byID     map[int]int
+
+	flat *vector.Flat
+	hnsw *vector.HNSW
+
+	// Sentence-level retrieval structures for RAG-style access.
+	sentences []Sentence
+	sentIndex *vector.Flat
+}
+
+// Sentence is one retrievable sentence with its source document.
+type Sentence struct {
+	DocID int
+	Text  string
+}
+
+// Option configures store construction.
+type Option func(*options)
+
+type options struct {
+	dim      int
+	hnswCfg  vector.HNSWConfig
+	withSent bool
+}
+
+// WithDim sets the embedding dimensionality.
+func WithDim(dim int) Option { return func(o *options) { o.dim = dim } }
+
+// WithHNSW overrides the HNSW construction parameters.
+func WithHNSW(cfg vector.HNSWConfig) Option { return func(o *options) { o.hnswCfg = cfg } }
+
+// WithoutSentences skips the sentence-level index (saves preprocessing
+// time when no RAG baseline runs).
+func WithoutSentences() Option { return func(o *options) { o.withSent = false } }
+
+// New builds a store over docs, embedding every document (and sentence)
+// and constructing both the exact and the HNSW index. This is Unify's
+// offline preprocessing step.
+func New(name string, docs []Document, opts ...Option) (*Store, error) {
+	o := options{dim: embedding.DefaultDim, hnswCfg: vector.DefaultHNSWConfig(), withSent: true}
+	for _, f := range opts {
+		f(&o)
+	}
+	s := &Store{
+		Name:     name,
+		Docs:     docs,
+		embedder: embedding.New(o.dim),
+		byID:     make(map[int]int, len(docs)),
+		flat:     vector.NewFlat(),
+		hnsw:     vector.NewHNSW(o.hnswCfg),
+	}
+	s.docVecs = make([][]float32, len(docs))
+	for i, d := range docs {
+		if _, dup := s.byID[d.ID]; dup {
+			return nil, fmt.Errorf("docstore: duplicate document id %d", d.ID)
+		}
+		s.byID[d.ID] = i
+		v := s.embedder.Embed(d.Text)
+		s.docVecs[i] = v
+		if err := s.flat.Add(d.ID, v); err != nil {
+			return nil, err
+		}
+		if err := s.hnsw.Add(d.ID, v); err != nil {
+			return nil, err
+		}
+	}
+	if o.withSent {
+		s.sentIndex = vector.NewFlat()
+		sid := 0
+		for _, d := range docs {
+			for _, sent := range SplitSentences(d.Text) {
+				s.sentences = append(s.sentences, Sentence{DocID: d.ID, Text: sent})
+				if err := s.sentIndex.Add(sid, s.embedder.Embed(sent)); err != nil {
+					return nil, err
+				}
+				sid++
+			}
+		}
+	}
+	return s, nil
+}
+
+// Embedder exposes the store's embedding model.
+func (s *Store) Embedder() *embedding.Embedder { return s.embedder }
+
+// Len returns the number of documents.
+func (s *Store) Len() int { return len(s.Docs) }
+
+// Doc returns the document with the given id.
+func (s *Store) Doc(id int) (Document, bool) {
+	i, ok := s.byID[id]
+	if !ok {
+		return Document{}, false
+	}
+	return s.Docs[i], true
+}
+
+// IDs returns all document ids in collection order.
+func (s *Store) IDs() []int {
+	out := make([]int, len(s.Docs))
+	for i, d := range s.Docs {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// Vector returns the embedding of the document with the given id.
+func (s *Store) Vector(id int) []float32 {
+	return s.flat.Vector(id)
+}
+
+// SearchDocs returns the k nearest documents to the query text, using the
+// HNSW index (the IndexScan access path).
+func (s *Store) SearchDocs(query string, k int) []vector.Result {
+	return s.hnsw.Search(s.embedder.Embed(query), k)
+}
+
+// SearchDocsExact is the exact (linear) variant of SearchDocs.
+func (s *Store) SearchDocsExact(query string, k int) []vector.Result {
+	return s.flat.Search(s.embedder.Embed(query), k)
+}
+
+// Distances returns cosine distances from the query text to every
+// document, keyed by document id (used by cardinality estimation).
+func (s *Store) Distances(query string) map[int]float64 {
+	return s.flat.Distances(s.embedder.Embed(query))
+}
+
+// SearchSentences returns the k nearest sentences to the query text
+// (RAG-style retrieval). It returns nil when the sentence index was
+// disabled.
+func (s *Store) SearchSentences(query string, k int) []Sentence {
+	if s.sentIndex == nil {
+		return nil
+	}
+	res := s.sentIndex.Search(s.embedder.Embed(query), k)
+	out := make([]Sentence, len(res))
+	for i, r := range res {
+		out[i] = s.sentences[r.ID]
+	}
+	return out
+}
+
+// SplitSentences performs simple sentence segmentation: splits on line
+// breaks and sentence-final punctuation, dropping empties.
+func SplitSentences(text string) []string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		start := 0
+		for i := 0; i < len(line); i++ {
+			if line[i] == '.' || line[i] == '?' || line[i] == '!' {
+				if s := strings.TrimSpace(line[start : i+1]); s != "" {
+					out = append(out, s)
+				}
+				start = i + 1
+			}
+		}
+		if s := strings.TrimSpace(line[start:]); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package docstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func mkDocs(n int) []Document {
+	topics := []string{
+		"football goalkeeper penalty match",
+		"tennis racket serve volley",
+		"chemistry laboratory experiment theory",
+	}
+	out := make([]Document, n)
+	for i := range out {
+		out[i] = Document{
+			ID:    i,
+			Title: fmt.Sprintf("doc %d", i),
+			Text:  fmt.Sprintf("Title: doc %d\nViews: %d\nBody: this discusses %s.", i, 100+i, topics[i%len(topics)]),
+		}
+	}
+	return out
+}
+
+func TestNewAndLookup(t *testing.T) {
+	s, err := New("test", mkDocs(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 30 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	d, ok := s.Doc(7)
+	if !ok || d.ID != 7 {
+		t.Errorf("Doc(7) = %+v, %v", d, ok)
+	}
+	if _, ok := s.Doc(999); ok {
+		t.Error("ghost doc found")
+	}
+	if ids := s.IDs(); len(ids) != 30 || ids[0] != 0 {
+		t.Errorf("IDs = %v", ids[:3])
+	}
+	if v := s.Vector(3); v == nil {
+		t.Error("missing vector")
+	}
+}
+
+func TestDuplicateID(t *testing.T) {
+	docs := mkDocs(2)
+	docs[1].ID = 0
+	if _, err := New("dup", docs); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestSearchDocsTopical(t *testing.T) {
+	s, _ := New("test", mkDocs(30))
+	res := s.SearchDocs("football penalty goalkeeper", 5)
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Top hits should be football docs (ids ≡ 0 mod 3).
+	if res[0].ID%3 != 0 {
+		t.Errorf("top hit %d is not a football doc", res[0].ID)
+	}
+	exact := s.SearchDocsExact("football penalty goalkeeper", 5)
+	if exact[0].ID%3 != 0 {
+		t.Errorf("exact top hit %d is not a football doc", exact[0].ID)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	s, _ := New("test", mkDocs(12))
+	d := s.Distances("tennis racket serve")
+	if len(d) != 12 {
+		t.Fatalf("distances for %d docs", len(d))
+	}
+	// A tennis doc must be closer than a chemistry doc.
+	if d[1] >= d[2] {
+		t.Errorf("tennis doc distance %v not below chemistry %v", d[1], d[2])
+	}
+}
+
+func TestSentences(t *testing.T) {
+	s, _ := New("test", mkDocs(9))
+	sents := s.SearchSentences("football goalkeeper", 5)
+	if len(sents) == 0 {
+		t.Fatal("no sentences retrieved")
+	}
+	for _, sent := range sents {
+		if sent.Text == "" {
+			t.Error("empty sentence")
+		}
+	}
+	// Disabled sentence index returns nil.
+	s2, _ := New("nosent", mkDocs(5), WithoutSentences())
+	if s2.SearchSentences("anything", 3) != nil {
+		t.Error("disabled sentence index returned results")
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	got := SplitSentences("One. Two! Three?\nFour line")
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	if got[3] != "Four line" {
+		t.Errorf("last = %q", got[3])
+	}
+	if out := SplitSentences(""); len(out) != 0 {
+		t.Errorf("empty text gave %v", out)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := New("persist", mkDocs(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.Name != orig.Name {
+		t.Fatalf("loaded %d docs as %q", loaded.Len(), loaded.Name)
+	}
+	// Document lookup survives.
+	d, ok := loaded.Doc(7)
+	if !ok || d.Title != "doc 7" {
+		t.Errorf("Doc(7) = %+v", d)
+	}
+	// Searches produce identical results before and after.
+	q := "football penalty goalkeeper"
+	a := orig.SearchDocs(q, 5)
+	b := loaded.SearchDocs(q, 5)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("HNSW search differs after reload:\n%v\n%v", a, b)
+	}
+	sa := orig.SearchSentences(q, 3)
+	sb := loaded.SearchSentences(q, 3)
+	if fmt.Sprint(sa) != fmt.Sprint(sb) {
+		t.Errorf("sentence search differs after reload")
+	}
+	// The loaded index accepts further additions deterministically.
+	if err := loaded.hnsw.Add(999, orig.Vector(0)); err != nil {
+		t.Errorf("post-load Add failed: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestSaveLoadWithoutSentences(t *testing.T) {
+	orig, _ := New("nosent", mkDocs(10), WithoutSentences())
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.SearchSentences("x", 3) != nil {
+		t.Error("sentence index should stay disabled")
+	}
+}

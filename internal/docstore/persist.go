@@ -1,0 +1,99 @@
+package docstore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"unify/internal/embedding"
+	"unify/internal/vector"
+)
+
+// snapshot is the gob-serialized form of a Store: documents, embeddings
+// and the HNSW graph, so reopening a collection skips the offline
+// preprocessing phase entirely.
+type snapshot struct {
+	Version   int
+	Name      string
+	Dim       int
+	Docs      []Document
+	DocVecs   [][]float32
+	Sentences []Sentence
+	SentVecs  [][]float32
+	HNSW      *vector.HNSWDump
+}
+
+const snapshotVersion = 1
+
+// Save serializes the store's full preprocessed state.
+func (s *Store) Save(w io.Writer) error {
+	snap := snapshot{
+		Version:   snapshotVersion,
+		Name:      s.Name,
+		Dim:       s.embedder.Dim(),
+		Docs:      s.Docs,
+		DocVecs:   s.docVecs,
+		Sentences: s.sentences,
+		HNSW:      s.hnsw.Export(),
+	}
+	if s.sentIndex != nil {
+		snap.SentVecs = make([][]float32, len(s.sentences))
+		for i := range s.sentences {
+			snap.SentVecs[i] = s.sentIndex.Vector(i)
+		}
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reconstructs a store from a snapshot produced by Save.
+func Load(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("docstore: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("docstore: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if len(snap.DocVecs) != len(snap.Docs) {
+		return nil, fmt.Errorf("docstore: snapshot has %d vectors for %d documents", len(snap.DocVecs), len(snap.Docs))
+	}
+	s := &Store{
+		Name:     snap.Name,
+		Docs:     snap.Docs,
+		embedder: embedding.New(snap.Dim),
+		docVecs:  snap.DocVecs,
+		byID:     make(map[int]int, len(snap.Docs)),
+		flat:     vector.NewFlat(),
+	}
+	for i, d := range snap.Docs {
+		if _, dup := s.byID[d.ID]; dup {
+			return nil, fmt.Errorf("docstore: duplicate document id %d in snapshot", d.ID)
+		}
+		s.byID[d.ID] = i
+		if err := s.flat.Add(d.ID, snap.DocVecs[i]); err != nil {
+			return nil, err
+		}
+	}
+	hnsw, err := vector.ImportHNSW(snap.HNSW)
+	if err != nil {
+		return nil, err
+	}
+	if hnsw.Len() != len(snap.Docs) {
+		return nil, fmt.Errorf("docstore: HNSW has %d nodes for %d documents", hnsw.Len(), len(snap.Docs))
+	}
+	s.hnsw = hnsw
+	if snap.SentVecs != nil {
+		if len(snap.SentVecs) != len(snap.Sentences) {
+			return nil, fmt.Errorf("docstore: snapshot has %d sentence vectors for %d sentences",
+				len(snap.SentVecs), len(snap.Sentences))
+		}
+		s.sentences = snap.Sentences
+		s.sentIndex = vector.NewFlat()
+		for i, v := range snap.SentVecs {
+			if err := s.sentIndex.Add(i, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,137 @@
+// Package embedding implements the deterministic text-embedding substrate
+// that substitutes for the Sentence-Transformer model used in the paper.
+//
+// The embedder hashes stemmed unigrams and bigrams into a fixed-dimension
+// vector (feature hashing with a signed second hash), applies sublinear
+// term-frequency weighting and L2-normalizes the result. Cosine distance in
+// this space correlates with lexical/topical overlap, which is the only
+// property Unify depends on: operator matching by logical-representation
+// similarity, importance sampling by query-document distance, and the
+// vector IndexScan.
+package embedding
+
+import (
+	"hash/fnv"
+	"math"
+
+	"unify/internal/lexicon"
+	"unify/internal/tokenizer"
+)
+
+// DefaultDim is the default embedding dimensionality.
+const DefaultDim = 256
+
+// Embedder converts text into unit-length float32 vectors. The zero value
+// is not usable; construct with New.
+type Embedder struct {
+	dim int
+}
+
+// New returns an Embedder producing vectors of the given dimension.
+// Dimensions below 8 are raised to 8.
+func New(dim int) *Embedder {
+	if dim < 8 {
+		dim = 8
+	}
+	return &Embedder{dim: dim}
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embedder) Dim() int { return e.dim }
+
+// Embed returns the unit-length embedding of text. Empty or stop-word-only
+// text yields the zero vector.
+//
+// Terms that name a lexicon concept are expanded with the concept's
+// indicator vocabulary at reduced weight: this emulates the semantic
+// proximity a trained sentence embedder provides ("golf" lands near
+// "fairway"), which the vector IndexScan and importance sampling rely on.
+func (e *Embedder) Embed(text string) []float32 {
+	v := make([]float32, e.dim)
+	terms := tokenizer.Terms(text)
+	e.accumulate(v, terms, 1.0)
+	e.accumulate(v, tokenizer.Bigrams(terms), 0.5)
+	e.accumulate(v, expandConcepts(terms), 0.6)
+	normalize(v)
+	return v
+}
+
+// expandConcepts returns the stemmed indicator words of every concept
+// named in terms.
+func expandConcepts(terms []string) []string {
+	var out []string
+	for _, t := range terms {
+		c, ok := lexicon.Lookup(t)
+		if !ok {
+			continue
+		}
+		for _, w := range c.Words {
+			s := tokenizer.Stem(w)
+			if s != t {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func (e *Embedder) accumulate(v []float32, feats []string, weight float64) {
+	tf := make(map[string]int, len(feats))
+	for _, f := range feats {
+		tf[f]++
+	}
+	for f, n := range tf {
+		idx, sign := hashFeature(f, e.dim)
+		v[idx] += float32(sign) * float32(weight*(1+math.Log(float64(n))))
+	}
+}
+
+// hashFeature maps a feature to (bucket, ±1) using two FNV variants.
+func hashFeature(f string, dim int) (int, int) {
+	h := fnv.New64a()
+	h.Write([]byte(f))
+	sum := h.Sum64()
+	idx := int(sum % uint64(dim))
+	sign := 1
+	if (sum>>32)&1 == 1 {
+		sign = -1
+	}
+	return idx, sign
+}
+
+func normalize(v []float32) {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	if s == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(s))
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Cosine returns the cosine similarity of two vectors of equal length.
+// For unit vectors this is the dot product.
+func Cosine(a, b []float32) float64 {
+	var dot float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+	}
+	return dot
+}
+
+// Distance returns the cosine distance 1 - Cosine(a, b), clamped to
+// [0, 2]. Smaller means more similar.
+func Distance(a, b []float32) float64 {
+	d := 1 - Cosine(a, b)
+	if d < 0 {
+		return 0
+	}
+	if d > 2 {
+		return 2
+	}
+	return d
+}

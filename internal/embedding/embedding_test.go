@@ -1,0 +1,85 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedUnitNorm(t *testing.T) {
+	e := New(128)
+	v := e.Embed("questions about football with many views")
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Errorf("norm^2 = %v, want 1", norm)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := New(128)
+	a := e.Embed("injury recovery advice")
+	b := e.Embed("injury recovery advice")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+}
+
+func TestEmbedEmptyIsZero(t *testing.T) {
+	e := New(64)
+	v := e.Embed("the of and")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("stopword-only text should embed to zero")
+		}
+	}
+}
+
+// TestTopicalSimilarity is the load-bearing property: texts sharing topic
+// vocabulary must be closer than unrelated texts.
+func TestTopicalSimilarity(t *testing.T) {
+	e := New(DefaultDim)
+	football1 := e.Embed("the goalkeeper saved a penalty in the football match")
+	football2 := e.Embed("football fans discussed the penalty and the goalkeeper")
+	chemistry := e.Embed("the laboratory experiment used a chemistry hypothesis")
+	dSame := Distance(football1, football2)
+	dDiff := Distance(football1, chemistry)
+	if dSame >= dDiff {
+		t.Errorf("same-topic distance %v not below cross-topic %v", dSame, dDiff)
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	e := New(64)
+	f := func(a, b string) bool {
+		va, vb := e.Embed(a), e.Embed(b)
+		c := Cosine(va, vb)
+		if c < -1.0001 || c > 1.0001 {
+			return false
+		}
+		d := Distance(va, vb)
+		return d >= 0 && d <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceSelf(t *testing.T) {
+	e := New(64)
+	v := e.Embed("identical text identical text")
+	if d := Distance(v, v); d > 1e-6 {
+		t.Errorf("self-distance = %v", d)
+	}
+}
+
+func TestMinDim(t *testing.T) {
+	e := New(1)
+	if e.Dim() < 8 {
+		t.Errorf("dim clamped to %d, want >= 8", e.Dim())
+	}
+}

@@ -1,0 +1,302 @@
+// Package exec executes physical plans: parallel bottom-up topological
+// execution over the plan DAG with batched LLM invocations (paper §III-C),
+// dynamic plan adjustment when an operator implementation fails, and
+// virtual-clock accounting that reproduces the paper's latency measurements
+// on the 4-slot LLM machine model.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"unify/internal/core"
+	"unify/internal/cost"
+	"unify/internal/docstore"
+	"unify/internal/llm"
+	"unify/internal/ops"
+	"unify/internal/values"
+	"unify/internal/vtime"
+)
+
+// sequentialPhys marks implementations whose LLM calls form a dependent
+// chain and cannot be parallelized across slots.
+var sequentialPhys = map[string]bool{
+	"SemanticArgMax": true,
+	"SemanticArgMin": true,
+}
+
+// Executor runs physical plans against a store.
+type Executor struct {
+	Store *docstore.Store
+	// Worker is the operator-execution model.
+	Worker llm.Client
+	// Calib receives execution history (the cost model's calibration
+	// loop) and models pre-programmed durations.
+	Calib *cost.Calibrator
+	// Slots is the number of LLM server slots (paper: 4 local Llamas).
+	Slots int
+	// BatchSize is the per-invocation document batch size.
+	BatchSize int
+	// MaxParallel bounds concurrently executing operators.
+	MaxParallel int
+}
+
+// NodeResult captures one operator execution.
+type NodeResult struct {
+	NodeID     int
+	Op         string
+	Phys       string
+	Value      values.Value
+	Calls      []llm.Call
+	PreDur     time.Duration
+	InCard     int
+	Sequential bool
+	Adjusted   bool // a fallback physical implementation was used
+}
+
+// Result is a completed plan execution.
+type Result struct {
+	Answer values.Value
+	Nodes  []NodeResult
+	// Makespan is the simulated latency of parallel topological
+	// execution on the machine model.
+	Makespan time.Duration
+	// Serial is the simulated latency of fully sequential execution
+	// (the Unify-noLO ablation of Figure 5a).
+	Serial time.Duration
+	// LLMCalls counts model invocations during execution.
+	LLMCalls int
+	// OutTokens counts generated tokens during execution.
+	OutTokens int
+	// Adjusted reports that at least one operator needed a fallback
+	// physical implementation (the paper's plan adjustment).
+	Adjusted bool
+}
+
+// New returns an executor with the paper's defaults.
+func New(store *docstore.Store, worker llm.Client, calib *cost.Calibrator) *Executor {
+	return &Executor{Store: store, Worker: worker, Calib: calib, Slots: 4, BatchSize: 16, MaxParallel: 8}
+}
+
+// Run executes the plan and returns the answer plus timing accounting.
+func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
+	order, err := plan.Topo()
+	if err != nil {
+		return nil, err
+	}
+	root := plan.Root()
+	if root == nil {
+		return nil, fmt.Errorf("exec: empty plan")
+	}
+
+	var (
+		mu      sync.Mutex
+		vars    = map[string]values.Value{"dataset": values.NewDocs(e.Store.IDs())}
+		results = map[int]*NodeResult{}
+		firstE  error
+	)
+	done := make(map[int]chan struct{}, len(order))
+	for _, n := range order {
+		done[n.ID] = make(chan struct{})
+	}
+	sem := make(chan struct{}, e.maxParallel())
+
+	var wg sync.WaitGroup
+	for _, n := range order {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done[n.ID])
+			// Wait for prerequisites (bottom-up topological execution).
+			for _, d := range n.Deps {
+				<-done[d]
+			}
+			mu.Lock()
+			failed := firstE != nil
+			inputs := make([]values.Value, len(n.Inputs))
+			for i, ref := range n.Inputs {
+				v, ok := vars[ref]
+				if !ok {
+					failed = true
+				}
+				inputs[i] = v
+			}
+			mu.Unlock()
+			if failed {
+				return
+			}
+			sem <- struct{}{}
+			nr, err := e.runNode(ctx, plan, n, inputs)
+			<-sem
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstE == nil {
+					firstE = err
+				}
+				return
+			}
+			vars["{"+n.OutVar+"}"] = nr.Value
+			results[n.ID] = nr
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return nil, firstE
+	}
+
+	res := &Result{}
+	for _, n := range order {
+		nr := results[n.ID]
+		if nr == nil {
+			return nil, fmt.Errorf("exec: node %d produced no result", n.ID)
+		}
+		res.Nodes = append(res.Nodes, *nr)
+		if nr.Adjusted {
+			res.Adjusted = true
+		}
+		res.LLMCalls += len(nr.Calls)
+		for _, c := range nr.Calls {
+			res.OutTokens += c.OutTokens
+		}
+	}
+	ans, ok := vars["{"+root.OutVar+"}"]
+	if !ok {
+		return nil, fmt.Errorf("exec: plan root variable %s missing", root.OutVar)
+	}
+	res.Answer = ans
+
+	tasks := e.tasks(plan, res.Nodes)
+	sched, err := vtime.NewSchedule(e.slots()).Run(tasks)
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = sched.Makespan
+	ser, err := vtime.NewSchedule(e.slots()).SerialOperators(tasks)
+	if err != nil {
+		return nil, err
+	}
+	res.Serial = ser
+	return res, nil
+}
+
+func (e *Executor) slots() int {
+	if e.Slots < 1 {
+		return 4
+	}
+	return e.Slots
+}
+
+func (e *Executor) maxParallel() int {
+	if e.MaxParallel < 1 {
+		return 8
+	}
+	return e.MaxParallel
+}
+
+// runNode executes one operator, trying the selected physical first and
+// falling back to other adequate implementations on failure (the paper's
+// plan adjustment during execution).
+func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, inputs []values.Value) (*NodeResult, error) {
+	spec, ok := ops.Get(n.Op)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown operator %q", n.Op)
+	}
+	cands := spec.Adequate(n.Args, inputs)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("exec: no adequate implementation for %s(%v)", n.Op, n.Args)
+	}
+	// Order candidates: the optimizer's choice first, then the rest.
+	sort.SliceStable(cands, func(i, j int) bool {
+		return (cands[i].Name == n.Phys) && (cands[j].Name != n.Phys)
+	})
+
+	inCard := 0
+	if len(inputs) > 0 {
+		inCard = inputs[0].TotalDocs()
+		if inCard == 0 {
+			inCard = inputs[0].Len()
+		}
+	}
+
+	var lastErr error
+	for i, phys := range cands {
+		rec := llm.NewRecorder(e.Worker)
+		env := &ops.Env{Store: e.Store, Client: rec, BatchSize: e.batch()}
+		v, err := phys.Run(ctx, env, n.Args, inputs)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		nr := &NodeResult{
+			NodeID:     n.ID,
+			Op:         n.Op,
+			Phys:       phys.Name,
+			Value:      v,
+			Calls:      rec.Calls(),
+			InCard:     inCard,
+			Sequential: sequentialPhys[phys.Name],
+			Adjusted:   i > 0,
+		}
+		work := inCard
+		if k, okk := n.Args.Int("_scanK"); okk && strings.HasPrefix(phys.Name, "IndexFilter") {
+			work = k
+		}
+		if phys.LLMBased {
+			e.Calib.RecordLLM(phys.Name, work, nr.Calls)
+		} else {
+			nr.PreDur = e.Calib.PreDuration(phys.Name, work)
+			e.Calib.RecordPre(phys.Name, work, nr.PreDur)
+		}
+		return nr, nil
+	}
+	return nil, fmt.Errorf("exec: all implementations of %s failed: %w", n.Op, lastErr)
+}
+
+func (e *Executor) batch() int {
+	if e.BatchSize < 1 {
+		return 16
+	}
+	return e.BatchSize
+}
+
+// tasks converts observed node executions into the vtime task graph.
+func (e *Executor) tasks(plan *core.Plan, nodes []NodeResult) []vtime.Task {
+	byID := map[int]NodeResult{}
+	for _, nr := range nodes {
+		byID[nr.NodeID] = nr
+	}
+	var tasks []vtime.Task
+	for _, n := range plan.Nodes {
+		nr := byID[n.ID]
+		var units []vtime.Unit
+		for _, c := range nr.Calls {
+			units = append(units, vtime.Unit{Dur: c.Dur, Resource: vtime.ResourceLLM})
+		}
+		if nr.PreDur > 0 || len(units) == 0 {
+			units = append(units, vtime.Unit{Dur: nr.PreDur})
+		}
+		deps := make([]string, len(n.Deps))
+		for i, d := range n.Deps {
+			deps[i] = fmt.Sprintf("n%d", d)
+		}
+		// An operator executes on a single model instance: its calls
+		// form a sequential stream (the paper parallelizes ACROSS its 4
+		// Llama instances, one operator per instance).
+		tasks = append(tasks, vtime.Task{
+			ID:         fmt.Sprintf("n%d", n.ID),
+			Deps:       deps,
+			Units:      units,
+			Sequential: true,
+		})
+	}
+	return tasks
+}

@@ -1,0 +1,184 @@
+// Package expr implements a small arithmetic expression evaluator over
+// float64 values with named variables. It backs the Compute operator's
+// pre-programmed implementation and the planner's code-generation
+// fallback (the paper's "instruct the LLM to generate Python code"
+// error-handling strategy, substituted by expression synthesis).
+//
+// Grammar:
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := unary (('*'|'/') unary)*
+//	unary  := '-' unary | atom
+//	atom   := number | ident | '(' expr ')'
+//
+// Identifiers may contain letters, digits, '_', '{', '}' — so variable
+// tokens like {v3} are valid identifiers.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Eval parses and evaluates an expression with the given variable values.
+func Eval(src string, vars map[string]float64) (float64, error) {
+	p := &parser{src: src, vars: vars}
+	v, err := p.parseExpr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("expr: trailing input at %d in %q", p.pos, src)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("expr: non-finite result for %q", src)
+	}
+	return v, nil
+}
+
+type parser struct {
+	src  string
+	pos  int
+	vars map[string]float64
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() (float64, error) {
+	v, err := p.parseTerm()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (float64, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			p.pos++
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("expr: division by zero in %q", p.src)
+			}
+			v /= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (float64, error) {
+	p.skipSpace()
+	if p.peek() == '-' {
+		p.pos++
+		v, err := p.parseUnary()
+		return -v, err
+	}
+	return p.parseAtom()
+}
+
+func isIdentRune(r byte) bool {
+	return r == '_' || r == '{' || r == '}' ||
+		unicode.IsLetter(rune(r)) || unicode.IsDigit(rune(r))
+}
+
+func (p *parser) parseAtom() (float64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("expr: unexpected end of %q", p.src)
+	}
+	c := p.src[p.pos]
+	if c == '(' {
+		p.pos++
+		v, err := p.parseExpr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("expr: missing ')' in %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	}
+	if c >= '0' && c <= '9' || c == '.' {
+		start := p.pos
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.' || p.src[p.pos] == 'e' || p.src[p.pos] == 'E') {
+			p.pos++
+			// Allow exponent signs.
+			if p.pos < len(p.src) && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E') &&
+				(p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+				p.pos++
+			}
+		}
+		v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil {
+			return 0, fmt.Errorf("expr: bad number %q in %q", p.src[start:p.pos], p.src)
+		}
+		return v, nil
+	}
+	if isIdentRune(c) {
+		start := p.pos
+		for p.pos < len(p.src) && isIdentRune(p.src[p.pos]) {
+			p.pos++
+		}
+		name := strings.TrimSpace(p.src[start:p.pos])
+		v, ok := p.vars[name]
+		if !ok {
+			return 0, fmt.Errorf("expr: unknown variable %q in %q", name, p.src)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("expr: unexpected %q at %d in %q", string(c), p.pos, p.src)
+}

@@ -1,0 +1,88 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		vars map[string]float64
+		want float64
+	}{
+		{"1 + 2 * 3", nil, 7},
+		{"(1 + 2) * 3", nil, 9},
+		{"10 / 4", nil, 2.5},
+		{"-5 + 3", nil, -2},
+		{"--4", nil, 4},
+		{"2 * -3", nil, -6},
+		{"x / y", map[string]float64{"x": 3, "y": 4}, 0.75},
+		{"{v5} / {v6}", map[string]float64{"{v5}": 10, "{v6}": 5}, 2},
+		{"a*a + b*b", map[string]float64{"a": 3, "b": 4}, 25},
+		{"1.5e2 + 1", nil, 151},
+		{"1e-2", nil, 0.01},
+	}
+	for _, c := range cases {
+		got, err := Eval(c.src, c.vars)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", c.src, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "1 +", "* 2", "(1", "1 / 0", "unknown_var", "1 2", "1 $ 2",
+	} {
+		if _, err := Eval(src, nil); err == nil {
+			t.Errorf("Eval(%q) should fail", src)
+		}
+	}
+}
+
+// TestEvalAlgebraicProperties checks commutativity/associativity of
+// addition over random values via the parser.
+func TestEvalAlgebraicProperties(t *testing.T) {
+	f := func(a, b int16) bool {
+		va, vb := float64(a), float64(b)
+		vars := map[string]float64{"a": va, "b": vb}
+		s1, err1 := Eval("a + b", vars)
+		s2, err2 := Eval("b + a", vars)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s1 == s2 && s1 == va+vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioProperty(t *testing.T) {
+	f := func(num, den uint16) bool {
+		if den == 0 {
+			return true
+		}
+		vars := map[string]float64{"{v1}": float64(num), "{v2}": float64(den)}
+		v, err := Eval("{v1} / {v2}", vars)
+		if err != nil {
+			return false
+		}
+		return math.Abs(v-float64(num)/float64(den)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonFiniteRejected(t *testing.T) {
+	if _, err := Eval("x / y", map[string]float64{"x": 1, "y": 0}); err == nil {
+		t.Error("division by zero accepted")
+	}
+}

@@ -1,0 +1,257 @@
+// Package lexicon holds the shared concept vocabulary of the reproduction.
+//
+// The synthetic corpus generators use these word lists to render documents,
+// and the simulated LLM uses the same lists as its "world knowledge" when
+// judging semantic predicates such as "questions related to injuries" or
+// "sports involving a ball". Sharing the vocabulary is the substitute for a
+// real LLM's language understanding: a document about football really does
+// contain football words, and the judge really does recognize them, so
+// semantic filtering is a genuine text-comprehension task rather than a
+// lookup of hidden labels.
+package lexicon
+
+import (
+	"sort"
+	"strings"
+
+	"unify/internal/tokenizer"
+)
+
+// Concept is a named semantic concept with indicator words.
+type Concept struct {
+	Name  string   // canonical name, e.g. "football", "injury"
+	Words []string // indicator words, including the name itself
+	// Class groups concepts: "sport", "topic", "aifield", "lawarea",
+	// "wikicat". Used to enumerate candidate group labels.
+	Class string
+}
+
+// BallSports lists the sports that involve a ball; the running example
+// query of the paper ("which sport involving a ball ...") depends on it.
+var BallSports = map[string]bool{
+	"football": true, "basketball": true, "tennis": true, "baseball": true,
+	"golf": true, "volleyball": true, "cricket": true, "rugby": true,
+}
+
+// TeamSports lists sports that require teamwork (used by semantic-filter
+// style conditions such as "sports that require teamwork").
+var TeamSports = map[string]bool{
+	"football": true, "basketball": true, "baseball": true,
+	"volleyball": true, "cricket": true, "rugby": true, "hockey": true,
+}
+
+var concepts = []Concept{
+	// Sports (class "sport").
+	{"football", []string{"football", "soccer", "goal", "goalkeeper", "midfielder", "penalty", "offside", "striker"}, "sport"},
+	{"basketball", []string{"basketball", "hoop", "dribble", "dunk", "rebound", "layup", "backboard"}, "sport"},
+	{"tennis", []string{"tennis", "racket", "serve", "backhand", "forehand", "baseline", "volley", "deuce"}, "sport"},
+	{"baseball", []string{"baseball", "pitcher", "inning", "batter", "homerun", "catcher", "bullpen", "strikeout"}, "sport"},
+	{"golf", []string{"golf", "fairway", "putt", "birdie", "bogey", "tee", "caddie", "bunker"}, "sport"},
+	{"volleyball", []string{"volleyball", "spike", "setter", "libero", "block", "dig", "rotation"}, "sport"},
+	{"cricket", []string{"cricket", "wicket", "bowler", "batsman", "over", "crease", "lbw"}, "sport"},
+	{"rugby", []string{"rugby", "scrum", "tackle", "lineout", "fly-half", "ruck", "maul"}, "sport"},
+	{"swimming", []string{"swimming", "freestyle", "backstroke", "butterfly", "lap", "pool", "breaststroke"}, "sport"},
+	{"running", []string{"running", "marathon", "sprint", "jog", "pace", "stride", "treadmill"}, "sport"},
+	{"cycling", []string{"cycling", "bicycle", "peloton", "cadence", "saddle", "derailleur", "sprocket"}, "sport"},
+	{"hockey", []string{"hockey", "puck", "stick", "rink", "slapshot", "faceoff", "goalie"}, "sport"},
+
+	// Rare sports (long-tail categories; queries over them stress
+	// cardinality estimation).
+	{"curling", []string{"curling", "stone", "sweeping", "skip", "hammer", "bonspiel", "sheet"}, "sport"},
+	{"fencing", []string{"fencing", "foil", "epee", "sabre", "parry", "riposte", "piste"}, "sport"},
+	{"archery", []string{"archery", "bow", "arrow", "quiver", "bullseye", "fletching", "nock"}, "sport"},
+
+	// Question topics (class "topic").
+	{"injury", []string{"injury", "injured", "pain", "sprain", "fracture", "strain", "swelling", "recovery", "ache", "torn"}, "topic"},
+	{"training", []string{"training", "drill", "practice", "workout", "conditioning", "exercise", "regimen", "warmup"}, "topic"},
+	{"rules", []string{"rule", "regulation", "referee", "foul", "legal", "permitted", "violation", "umpire"}, "topic"},
+	{"equipment", []string{"equipment", "gear", "shoes", "helmet", "glove", "apparel", "cleats", "padding"}, "topic"},
+	{"nutrition", []string{"nutrition", "diet", "protein", "hydration", "calorie", "supplement", "carbohydrate"}, "topic"},
+	{"history", []string{"history", "historical", "origin", "founded", "tradition", "record", "era", "ancient"}, "topic"},
+
+	// AI sub-fields (class "aifield").
+	{"neural-networks", []string{"neural", "network", "backpropagation", "gradient", "layer", "activation", "weights"}, "aifield"},
+	{"reinforcement-learning", []string{"reinforcement", "reward", "policy", "agent", "q-learning", "environment", "exploration"}, "aifield"},
+	{"nlp", []string{"language", "nlp", "token", "parsing", "translation", "corpus", "embedding", "transformer"}, "aifield"},
+	{"computer-vision", []string{"vision", "image", "convolution", "detection", "segmentation", "pixel", "camera"}, "aifield"},
+	{"ethics", []string{"ethics", "bias", "fairness", "alignment", "safety", "accountability", "transparency"}, "aifield"},
+	{"search", []string{"search", "heuristic", "minimax", "astar", "pathfinding", "pruning", "frontier"}, "aifield"},
+
+	// Law areas (class "lawarea").
+	{"contract", []string{"contract", "breach", "clause", "agreement", "consideration", "party", "obligation"}, "lawarea"},
+	{"criminal", []string{"criminal", "felony", "prosecution", "defendant", "sentence", "arrest", "guilty"}, "lawarea"},
+	{"copyright", []string{"copyright", "infringement", "license", "royalty", "trademark", "patent", "fair-use"}, "lawarea"},
+	{"employment", []string{"employment", "employer", "wrongful", "wage", "termination", "discrimination", "overtime"}, "lawarea"},
+	{"property", []string{"property", "landlord", "tenant", "lease", "easement", "deed", "eviction"}, "lawarea"},
+	{"privacy", []string{"privacy", "surveillance", "consent", "data-protection", "gdpr", "disclosure", "confidential"}, "lawarea"},
+
+	// Rare AI sub-fields.
+	{"robotics", []string{"robotics", "actuator", "servo", "kinematics", "gripper", "locomotion", "sensor"}, "aifield"},
+	{"planning", []string{"planning", "scheduler", "goal", "precondition", "operator", "strips", "plan"}, "aifield"},
+	{"knowledge-representation", []string{"ontology", "taxonomy", "predicate", "inference", "logic", "axiom", "reasoner"}, "aifield"},
+
+	// AI question aspects (class "aiaspect").
+	{"theory", []string{"theory", "theorem", "proof", "convergence", "bound", "complexity", "formal"}, "aiaspect"},
+	{"implementation", []string{"implementation", "code", "library", "debug", "framework", "install", "runtime"}, "aiaspect"},
+	{"benchmark", []string{"benchmark", "dataset", "evaluation", "metric", "accuracy", "baseline", "leaderboard"}, "aiaspect"},
+	{"hardware", []string{"hardware", "gpu", "memory", "cuda", "chip", "throughput", "parallelism"}, "aiaspect"},
+	{"career", []string{"career", "job", "interview", "degree", "salary", "hiring", "resume"}, "aiaspect"},
+	{"research", []string{"research", "paper", "citation", "publication", "conference", "peer-review", "novelty"}, "aiaspect"},
+
+	// Rare law areas.
+	{"maritime", []string{"maritime", "admiralty", "vessel", "salvage", "cargo", "charter", "seaworthy"}, "lawarea"},
+	{"immigration", []string{"immigration", "visa", "asylum", "deportation", "citizenship", "naturalization", "passport"}, "lawarea"},
+	{"tax", []string{"tax", "deduction", "audit", "taxable", "exemption", "withholding", "levy"}, "lawarea"},
+
+	// Law question aspects (class "lawaspect").
+	{"liability", []string{"liability", "liable", "negligence", "damages", "fault", "compensation", "tort"}, "lawaspect"},
+	{"procedure", []string{"procedure", "filing", "motion", "hearing", "deadline", "jurisdiction", "docket"}, "lawaspect"},
+	{"penalty", []string{"penalty", "fine", "punishment", "imprisonment", "sanction", "probation", "restitution"}, "lawaspect"},
+	{"evidence", []string{"evidence", "testimony", "witness", "exhibit", "admissible", "hearsay", "discovery"}, "lawaspect"},
+	{"appeal", []string{"appeal", "appellate", "overturn", "remand", "reversal", "petition", "review"}, "lawaspect"},
+	{"definition", []string{"definition", "meaning", "interpretation", "statute", "terminology", "defined", "construe"}, "lawaspect"},
+
+	// Wikipedia page aspects (class "wikiaspect").
+	{"biography", []string{"biography", "born", "died", "childhood", "legacy", "career", "life"}, "wikiaspect"},
+	{"event", []string{"event", "occurred", "ceremony", "celebration", "anniversary", "battle", "festival"}, "wikiaspect"},
+	{"place", []string{"place", "located", "capital", "district", "landmark", "coordinates", "border"}, "wikiaspect"},
+	{"organization", []string{"organization", "founded", "headquarters", "member", "nonprofit", "institution", "charter"}, "wikiaspect"},
+	{"work", []string{"work", "published", "novel", "album", "film", "premiere", "author"}, "wikiaspect"},
+	{"concept", []string{"concept", "defined", "principle", "framework", "notion", "abstraction", "paradigm"}, "wikiaspect"},
+
+	// Wikipedia categories (class "wikicat").
+	{"astronomy", []string{"astronomy", "telescope", "galaxy", "nebula", "orbit", "asteroid", "constellation"}, "wikicat"},
+	{"mythology", []string{"mythology", "myth", "deity", "legend", "pantheon", "folklore", "oracle"}, "wikicat"},
+	{"linguistics", []string{"linguistics", "phoneme", "syntax", "dialect", "morphology", "etymology", "grammar"}, "wikicat"},
+	{"science", []string{"science", "experiment", "physics", "chemistry", "hypothesis", "laboratory", "theory"}, "wikicat"},
+	{"geography", []string{"geography", "river", "mountain", "continent", "climate", "population", "region"}, "wikicat"},
+	{"arts", []string{"arts", "painting", "sculpture", "museum", "composer", "gallery", "exhibition"}, "wikicat"},
+	{"technology", []string{"technology", "software", "hardware", "internet", "computer", "protocol", "algorithm"}, "wikicat"},
+	{"biology", []string{"biology", "species", "cell", "organism", "evolution", "habitat", "genome"}, "wikicat"},
+	{"economics", []string{"economics", "market", "inflation", "trade", "currency", "investment", "supply"}, "wikicat"},
+}
+
+var byName = func() map[string]Concept {
+	m := make(map[string]Concept, len(concepts))
+	for _, c := range concepts {
+		m[c.Name] = c
+	}
+	return m
+}()
+
+// Lookup returns the concept with the given canonical name.
+func Lookup(name string) (Concept, bool) {
+	c, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+	return c, ok
+}
+
+// Names returns the canonical names of all concepts in a class, sorted.
+func Names(class string) []string {
+	var out []string
+	for _, c := range concepts {
+		if c.Class == class {
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every concept (copy of the registry order).
+func All() []Concept {
+	out := make([]Concept, len(concepts))
+	copy(out, concepts)
+	return out
+}
+
+// Match reports whether text evokes the named concept, i.e. whether the
+// text contains at least minHits of the concept's indicator words. The
+// simulated LLM uses Match(text, name, 1) as its semantic judgment; the
+// corpus generator guarantees documents about a concept contain several of
+// its words and documents about other concepts contain none.
+func Match(text, name string, minHits int) bool {
+	c, ok := Lookup(name)
+	if !ok {
+		// Unknown concept: fall back to matching the bare word itself.
+		return tokenizer.ContainsTerm(text, name)
+	}
+	if minHits <= 0 {
+		minHits = 1
+	}
+	hits := 0
+	for _, w := range c.Words {
+		if tokenizer.ContainsTerm(text, w) {
+			hits++
+			if hits >= minHits {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BestConcept returns the concept of the given class with the most
+// indicator-word hits in text, or "" if none hit. Ties break
+// alphabetically for determinism. This powers semantic GroupBy/Classify.
+func BestConcept(text, class string) string {
+	best, bestHits := "", 0
+	for _, name := range Names(class) {
+		c := byName[name]
+		hits := 0
+		for _, w := range c.Words {
+			if tokenizer.ContainsTerm(text, w) {
+				hits++
+			}
+		}
+		if hits > bestHits {
+			best, bestHits = name, hits
+		}
+	}
+	return best
+}
+
+// IsBallSport reports whether the named sport involves a ball.
+func IsBallSport(name string) bool { return BallSports[strings.ToLower(name)] }
+
+// IsTeamSport reports whether the named sport requires teamwork.
+func IsTeamSport(name string) bool { return TeamSports[strings.ToLower(name)] }
+
+// Subset is a semantic subset of a concept class — "sports involving a
+// ball", "fields related to machine learning" — used by queries that
+// restrict group labels with a semantic predicate.
+type Subset struct {
+	Name    string // canonical name, e.g. "ball"
+	Class   string
+	Members map[string]bool
+	Phrase  string // canonical surface phrase, e.g. "involving a ball"
+}
+
+var subsets = map[string]Subset{
+	"ball":             {"ball", "sport", BallSports, "involving a ball"},
+	"teamwork":         {"teamwork", "sport", TeamSports, "requiring teamwork"},
+	"machine-learning": {"machine-learning", "aifield", map[string]bool{"neural-networks": true, "reinforcement-learning": true, "nlp": true, "computer-vision": true}, "related to machine learning"},
+	"money":            {"money", "lawarea", map[string]bool{"contract": true, "employment": true, "property": true, "copyright": true}, "involving money"},
+	"natural-world":    {"natural-world", "wikicat", map[string]bool{"science": true, "biology": true, "geography": true}, "about the natural world"},
+}
+
+// LookupSubset returns the named semantic subset.
+func LookupSubset(name string) (Subset, bool) {
+	s, ok := subsets[strings.ToLower(strings.TrimSpace(name))]
+	return s, ok
+}
+
+// SubsetNames lists all subset names, sorted.
+func SubsetNames() []string {
+	out := make([]string, 0, len(subsets))
+	for n := range subsets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InSubset reports whether a concept name belongs to the named subset.
+func InSubset(subset, concept string) bool {
+	s, ok := LookupSubset(subset)
+	return ok && s.Members[strings.ToLower(concept)]
+}

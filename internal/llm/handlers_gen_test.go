@@ -1,0 +1,245 @@
+package llm
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// mkDoc renders a minimal document with controllable fields.
+func mkDoc(title string, views, score, year int, body string) string {
+	return "Title: " + title + "\nViews: " + strconv.Itoa(views) +
+		"\nScore: " + strconv.Itoa(score) + "\nPosted: " + strconv.Itoa(year) +
+		"\nTags: t\nBody: " + body
+}
+
+var genDocs = []string{
+	mkDoc("F1", 100, 5, 2015, "football goalkeeper penalty drills warmup"),
+	mkDoc("F2", 900, 9, 2018, "football striker offside injury pain"),
+	mkDoc("T1", 300, 4, 2016, "tennis racket serve practice workout"),
+	mkDoc("T2", 50, 3, 2012, "tennis backhand volley injury sprain"),
+	mkDoc("B1", 700, 8, 2020, "basketball dunk rebound training drill"),
+}
+
+func genAsk(t *testing.T, s *Sim, question string) string {
+	t.Helper()
+	return ask(t, s, "generate", map[string]string{
+		"question": question,
+		"context":  JoinDocs(genDocs),
+	})
+}
+
+func TestGenerateAggregates(t *testing.T) {
+	s := testSim()
+	cases := map[string]string{
+		"How many questions are about football?":                           "2",
+		"How many questions about tennis have more than 100 views?":        "1",
+		"What is the maximum score among questions about football?":        "9",
+		"What is the total number of views across questions about tennis?": "350",
+	}
+	for q, want := range cases {
+		if got := genAsk(t, s, q); got != want {
+			t.Errorf("generate(%q) = %q, want %q", q, got, want)
+		}
+	}
+}
+
+func TestGenerateGroupArgmax(t *testing.T) {
+	s := testSim()
+	got := genAsk(t, s, "Which sport has the most questions with at least 4 upvotes?")
+	if got != "football" && got != "tennis" {
+		t.Errorf("group argmax = %q", got)
+	}
+	// football has 2 docs with score >= 4; tennis has 1 -> football.
+	if got != "football" {
+		t.Errorf("argmax = %q, want football", got)
+	}
+}
+
+func TestGenerateCompare(t *testing.T) {
+	s := testSim()
+	got := genAsk(t, s, "Are there more questions related to injury or questions related to training?")
+	// injury: F2, T2 (2 hits each); training: F1, T1, B1 (3 docs).
+	if got != "second" {
+		t.Errorf("compare = %q, want second", got)
+	}
+}
+
+func TestGenerateUnknownOnOutOfGrammar(t *testing.T) {
+	s := testSim()
+	if got := genAsk(t, s, "write a novel about these documents"); got != "unknown" {
+		t.Errorf("out-of-grammar generate = %q, want unknown", got)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	s := testSim()
+	out := ask(t, s, "decompose", map[string]string{
+		"question": "How many questions about football have more than 500 views?",
+	})
+	var subs []string
+	if err := json.Unmarshal([]byte(out), &subs); err != nil {
+		t.Fatalf("decompose output %q: %v", out, err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("subs = %v, want 2 retrieval sub-queries", subs)
+	}
+	joined := strings.Join(subs, "|")
+	if !strings.Contains(joined, "football") {
+		t.Errorf("subs lost the concept: %v", subs)
+	}
+}
+
+func TestPlanOneshotCleanWithoutNoise(t *testing.T) {
+	s := testSim() // zero noise: the plan must be faithful
+	out := ask(t, s, "plan_oneshot", map[string]string{
+		"question": "How many questions about football have more than 500 views?",
+	})
+	var steps []OneshotStep
+	if err := json.Unmarshal([]byte(out), &steps); err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %+v, want Filter,Filter,Count", steps)
+	}
+	if steps[len(steps)-1].Op != "Count" {
+		t.Errorf("last op = %s", steps[len(steps)-1].Op)
+	}
+}
+
+func TestPlanOneshotCorruptsUnderNoise(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.PlanNoise = 10 // force corruption
+	s := NewSim(cfg)
+	out := ask(t, s, "plan_oneshot", map[string]string{
+		"question": "How many questions about football have more than 500 views?",
+	})
+	var steps []OneshotStep
+	if err := json.Unmarshal([]byte(out), &steps); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted plan either lost a filter or swapped its concept.
+	if len(steps) == 3 {
+		swapped := false
+		for _, st := range steps {
+			if c := st.Args["Condition"]; strings.Contains(c, "related to") && !strings.Contains(c, "football") {
+				swapped = true
+			}
+		}
+		if !swapped {
+			t.Errorf("forced corruption left the plan intact: %+v", steps)
+		}
+	}
+}
+
+func TestJudgeAnswersMajority(t *testing.T) {
+	s := testSim()
+	cands, _ := json.Marshal([]string{"42", "41.9", "42", "7", "42"})
+	out := ask(t, s, "judge_answers", map[string]string{
+		"question":   "q",
+		"candidates": string(cands),
+	})
+	idx, err := strconv.Atoi(out)
+	if err != nil || idx < 0 || idx > 4 {
+		t.Fatalf("judge index %q", out)
+	}
+	var list []string
+	json.Unmarshal(cands, &list)
+	if list[idx] != "42" {
+		t.Errorf("judge picked %q, want the majority 42", list[idx])
+	}
+}
+
+func TestSampleChunkAndCombine(t *testing.T) {
+	s := testSim()
+	p1 := ask(t, s, "sample_chunk", map[string]string{
+		"question": "How many questions are about football?",
+		"docs":     JoinDocs(genDocs[:3]),
+		"state":    "",
+	})
+	p2 := ask(t, s, "sample_chunk", map[string]string{
+		"question": "How many questions are about football?",
+		"docs":     JoinDocs(genDocs[3:]),
+		"state":    p1,
+	})
+	// The cumulated state carries both partials.
+	if len(strings.Split(p2, ";")) != 2 {
+		t.Fatalf("state not cumulated: %q", p2)
+	}
+	final := ask(t, s, "sample_combine", map[string]string{
+		"question": "How many questions are about football?",
+		"partials": strings.ReplaceAll(p2, "; ", "\n"),
+		"scale":    "2",
+	})
+	got, err := strconv.ParseFloat(final, 64)
+	if err != nil {
+		t.Fatalf("combine output %q", final)
+	}
+	// 2 football docs observed, scale 2 -> 4.
+	if got != 4 {
+		t.Errorf("combine = %v, want 4", got)
+	}
+}
+
+func TestGenerateLabelsAndIntersection(t *testing.T) {
+	s := testSim()
+	got := genAsk(t, s, "Which sports appear both among questions with over 200 views and among questions related to injury?")
+	// over 200 views: F2(900), T1(300), B1(700); injury: F2, T2.
+	// sports(>200): football, tennis, basketball; sports(injury): football, tennis.
+	if got != "football, tennis" {
+		t.Errorf("intersection = %q", got)
+	}
+}
+
+func TestGenerateTitleArgmax(t *testing.T) {
+	s := testSim()
+	got := genAsk(t, s, "Which question about tennis has the highest score?")
+	if got != "T1" {
+		t.Errorf("title = %q", got)
+	}
+}
+
+func TestGenerateFraction(t *testing.T) {
+	s := testSim()
+	got := genAsk(t, s, "What fraction of questions about football are related to injury?")
+	if got != "0.5" {
+		t.Errorf("fraction = %q", got)
+	}
+}
+
+func TestGenerateMedianAndPercentile(t *testing.T) {
+	s := testSim()
+	if got := genAsk(t, s, "What is the median number of views for questions about football?"); got != "500" {
+		t.Errorf("median = %q", got)
+	}
+	if got := genAsk(t, s, "What is the 75th percentile of views for questions about football?"); got != "900" {
+		t.Errorf("percentile = %q", got)
+	}
+}
+
+func TestGenerateTopKTitles(t *testing.T) {
+	s := testSim()
+	got := genAsk(t, s, "List the top 2 most viewed questions about football.")
+	if got != "F2, F1" {
+		t.Errorf("topk = %q", got)
+	}
+}
+
+func TestGenerateSubsetGrouping(t *testing.T) {
+	s := testSim()
+	got := genAsk(t, s, "Among sports involving a ball, which one has the most questions related to training?")
+	// training hits: F1 (drills warmup), T1 (practice workout), B1 (training drill):
+	// football 1, tennis 1, basketball 1 — tie broken alphabetically.
+	if got != "basketball" {
+		t.Errorf("subset grouping = %q", got)
+	}
+}
+
+func TestGenerateSortedDocs(t *testing.T) {
+	s := testSim()
+	got := genAsk(t, s, "Sort the questions about football by views in descending order.")
+	if got != "F2, F1" {
+		t.Errorf("sorted = %q", got)
+	}
+}

@@ -1,0 +1,190 @@
+package llm
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+
+	"unify/internal/nlcond"
+	"unify/internal/nlq"
+)
+
+// This file hosts the baseline-oriented planning tasks: decompose
+// (RecurRAG's iterative query decomposition), plan_oneshot (the LLMPlan
+// baseline, which asks the model to emit a full plan in a single shot —
+// realistically error-prone, with mistakes compounding in plan length),
+// and judge_answers (the Exhaust baseline's LLM feedback step).
+
+func (s *Sim) handleDecompose(f map[string]string) (string, error) {
+	q, err := nlq.Parse(f["question"])
+	if err != nil {
+		return marshal([]string{f["question"]})
+	}
+	var subs []string
+	seen := map[string]bool{}
+	q.Clone().Walk(func(slot **nlq.Node) {
+		n := *slot
+		if n.Kind != "set" {
+			return
+		}
+		for _, flt := range n.Filters {
+			sub := "questions " + condText(flt)
+			if !seen[sub] {
+				seen[sub] = true
+				subs = append(subs, sub)
+			}
+		}
+	})
+	if len(subs) == 0 {
+		subs = []string{f["question"]}
+	}
+	return marshal(subs)
+}
+
+// OneshotStep is one step in an LLMPlan-style linear plan.
+type OneshotStep struct {
+	Op   string            `json:"op"`
+	Args map[string]string `json:"args"`
+	Var  string            `json:"var"`
+}
+
+// oneshotOrder is the fixed priority in which a one-shot planner emits
+// operators (innermost work first).
+var oneshotOrder = []string{
+	"Filter", "GroupBy", "Count", "Sum", "Average", "Median", "Percentile",
+	"Max", "Min", "TopK", "Extract", "Classify", "Compute", "Union",
+	"Intersection", "Complementary", "Compare", "OrderBy",
+}
+
+func (s *Sim) handlePlanOneshot(f map[string]string) (string, error) {
+	q, err := nlq.Parse(f["question"])
+	if err != nil {
+		return marshal([]OneshotStep{})
+	}
+	var steps []OneshotStep
+	next := 1
+	for !q.Solved() && len(steps) < 24 {
+		progressed := false
+		for _, op := range oneshotOrder {
+			red, ok := nlq.Reduce(q, op, next)
+			if !ok {
+				continue
+			}
+			steps = append(steps, OneshotStep{Op: red.Op, Args: red.Args, Var: red.VarName})
+			q = red.Query
+			next++
+			progressed = true
+			break
+		}
+		if !progressed {
+			break
+		}
+	}
+	// One-shot planning degrades with plan complexity: each extra step
+	// adds a chance the whole plan is subtly wrong (a dropped filter or a
+	// swapped concept) — the paper's explanation for LLMPlan's accuracy.
+	pWrong := s.cfg.PlanNoise * float64(len(steps))
+	if pWrong > 0.95 {
+		pWrong = 0.95
+	}
+	if len(steps) > 0 && s.chance(pWrong, "oneshot", f["question"]) {
+		steps = corruptPlan(s, f["question"], steps)
+	}
+	return marshal(steps)
+}
+
+// corruptPlan applies one plausible mistake: drop a filter step, or swap a
+// concept condition for a sibling concept.
+func corruptPlan(s *Sim, key string, steps []OneshotStep) []OneshotStep {
+	// Prefer corrupting a Filter step; otherwise drop the last step.
+	var filterIdxs []int
+	for i, st := range steps {
+		if st.Op == "Filter" || st.Op == "Scan" {
+			filterIdxs = append(filterIdxs, i)
+		}
+	}
+	if len(filterIdxs) == 0 {
+		return steps[:len(steps)-1]
+	}
+	i := filterIdxs[s.pick(len(filterIdxs), "corrupt", key)]
+	swappable := false
+	if c, ok := nlcond.Parse(steps[i].Args["Condition"]); ok && c.Kind == nlcond.Concept {
+		swappable = true
+	}
+	if !swappable || s.pick(2, "corruptmode", key) == 0 {
+		// Drop the filter entirely; rebind its variable to its input.
+		out := make([]OneshotStep, 0, len(steps)-1)
+		dropped := steps[i]
+		alias := dropped.Args["Entity"]
+		for j, st := range steps {
+			if j == i {
+				continue
+			}
+			st.Args = copyArgs(st.Args)
+			for k, v := range st.Args {
+				st.Args[k] = strings.ReplaceAll(v, "{"+dropped.Var+"}", alias)
+			}
+			out = append(out, st)
+		}
+		return out
+	}
+	// Swap the condition's concept.
+	st := steps[i]
+	if c, ok := nlcond.Parse(st.Args["Condition"]); ok && c.Kind == nlcond.Concept {
+		if sib := siblingConcept(c.Concept); sib != "" {
+			st.Args = copyArgs(st.Args)
+			st.Args["Condition"] = "related to " + sib
+			steps[i] = st
+		}
+	}
+	return steps
+}
+
+func (s *Sim) handleJudgeAnswers(f map[string]string) (string, error) {
+	var candidates []string
+	if err := json.Unmarshal([]byte(f["candidates"]), &candidates); err != nil {
+		return "", err
+	}
+	if len(candidates) == 0 {
+		return "0", nil
+	}
+	// Majority vote over normalized answers; the model occasionally
+	// prefers a plausible-looking minority answer.
+	counts := map[string]int{}
+	for _, c := range candidates {
+		counts[normalizeAnswer(c)]++
+	}
+	type freq struct {
+		ans string
+		n   int
+	}
+	var fr []freq
+	for a, n := range counts {
+		fr = append(fr, freq{a, n})
+	}
+	sort.Slice(fr, func(i, j int) bool {
+		if fr[i].n != fr[j].n {
+			return fr[i].n > fr[j].n
+		}
+		return fr[i].ans < fr[j].ans
+	})
+	want := fr[0].ans
+	if s.chance(s.cfg.JudgeNoise, "judge", f["question"], f["candidates"]) && len(fr) > 1 {
+		want = fr[1].ans
+	}
+	for i, c := range candidates {
+		if normalizeAnswer(c) == want {
+			return strconv.Itoa(i), nil
+		}
+	}
+	return "0", nil
+}
+
+func normalizeAnswer(a string) string {
+	a = strings.ToLower(strings.TrimSpace(a))
+	if v, err := strconv.ParseFloat(a, 64); err == nil {
+		return strconv.FormatFloat(v, 'g', 6, 64)
+	}
+	return a
+}

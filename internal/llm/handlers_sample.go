@@ -1,0 +1,127 @@
+package llm
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"unify/internal/nlq"
+)
+
+// These tasks back the Sample baseline (paper §VII-A baseline 4): the
+// model processes one chunk of sampled documents at a time, emitting an
+// intermediate partial answer, then combines the partials — scaling
+// count-like quantities up to the full population.
+
+func (s *Sim) handleSampleChunk(f map[string]string) (string, error) {
+	part, err := s.handleGenerate(map[string]string{
+		"question": f["question"],
+		"context":  f["docs"],
+	})
+	if err != nil {
+		return "", err
+	}
+	// Re-emit the cumulated intermediate results plus this chunk's
+	// partial, as an iterative scan does.
+	if state := strings.TrimSpace(f["state"]); state != "" {
+		return state + "; " + part, nil
+	}
+	return part, nil
+}
+
+// answerShape classifies how partial answers of a query combine.
+func answerShape(question string) string {
+	q, err := nlq.Parse(question)
+	if err != nil {
+		return "modal"
+	}
+	switch root := q.Root; root.Kind {
+	case "agg":
+		switch root.Agg {
+		case nlq.AggCount, nlq.AggSum:
+			return "scale-sum"
+		case nlq.AggAvg:
+			return "mean"
+		case nlq.AggMax:
+			return "max"
+		case nlq.AggMin:
+			return "min"
+		case nlq.AggMedian, nlq.AggPercentile:
+			return "median"
+		}
+	case "ratio":
+		return "mean"
+	}
+	return "modal"
+}
+
+func (s *Sim) handleSampleCombine(f map[string]string) (string, error) {
+	scale := 1.0
+	if v, err := strconv.ParseFloat(strings.TrimSpace(f["scale"]), 64); err == nil && v > 0 {
+		scale = v
+	}
+	var nums []float64
+	var strsFreq = map[string]int{}
+	for _, ln := range strings.Split(f["partials"], "\n") {
+		ln = strings.TrimSpace(ln)
+		if ln == "" || ln == "unknown" {
+			continue
+		}
+		if v, err := strconv.ParseFloat(ln, 64); err == nil {
+			nums = append(nums, v)
+			continue
+		}
+		strsFreq[ln]++
+	}
+	shape := answerShape(f["question"])
+	if shape == "modal" || len(nums) == 0 {
+		best, bestN := "unknown", 0
+		keys := make([]string, 0, len(strsFreq))
+		for k := range strsFreq {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if strsFreq[k] > bestN {
+				best, bestN = k, strsFreq[k]
+			}
+		}
+		return best, nil
+	}
+	var out float64
+	switch shape {
+	case "scale-sum":
+		for _, v := range nums {
+			out += v
+		}
+		out *= scale
+	case "mean":
+		for _, v := range nums {
+			out += v
+		}
+		out /= float64(len(nums))
+	case "max":
+		out = nums[0]
+		for _, v := range nums {
+			if v > out {
+				out = v
+			}
+		}
+	case "min":
+		out = nums[0]
+		for _, v := range nums {
+			if v < out {
+				out = v
+			}
+		}
+	case "median":
+		sort.Float64s(nums)
+		mid := len(nums) / 2
+		if len(nums)%2 == 1 {
+			out = nums[mid]
+		} else {
+			out = (nums[mid-1] + nums[mid]) / 2
+		}
+	}
+	return strconv.FormatFloat(out, 'f', -1, 64), nil
+}

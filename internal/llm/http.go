@@ -1,0 +1,127 @@
+package llm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTPClient is a Client backed by a remote completion endpoint, the
+// integration point for serving real models (the paper serves Llama-3.1
+// locally). The wire format is a minimal JSON completion API:
+//
+//	POST {BaseURL}/v1/completions
+//	{"model": "...", "prompt": "...", "max_tokens": 512}
+//	-> {"text": "...", "usage": {"prompt_tokens": n, "completion_tokens": m}}
+//
+// Latency is measured from the round trip; token counts come from the
+// server's usage block (falling back to local approximation).
+type HTTPClient struct {
+	// BaseURL is the endpoint root, e.g. "http://localhost:8000".
+	BaseURL string
+	// Model is sent in every request.
+	Model string
+	// MaxTokens bounds generation length (default 512).
+	MaxTokens int
+	// HTTP is the underlying client (default: 60s timeout).
+	HTTP *http.Client
+	// Prof describes the served model for the cost model; Name defaults
+	// to Model.
+	Prof Profile
+}
+
+// NewHTTPClient returns a client for the given endpoint and model.
+func NewHTTPClient(baseURL, model string) *HTTPClient {
+	return &HTTPClient{
+		BaseURL:   baseURL,
+		Model:     model,
+		MaxTokens: 512,
+		HTTP:      &http.Client{Timeout: 60 * time.Second},
+		Prof:      Profile{Name: model, Base: 50 * time.Millisecond, PerOutToken: 20 * time.Millisecond},
+	}
+}
+
+// Profile implements Client.
+func (c *HTTPClient) Profile() Profile {
+	p := c.Prof
+	if p.Name == "" {
+		p.Name = c.Model
+	}
+	return p
+}
+
+type completionRequest struct {
+	Model     string `json:"model"`
+	Prompt    string `json:"prompt"`
+	MaxTokens int    `json:"max_tokens"`
+}
+
+type completionResponse struct {
+	Text  string `json:"text"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	Error string `json:"error,omitempty"`
+}
+
+// Complete implements Client.
+func (c *HTTPClient) Complete(ctx context.Context, prompt string) (Response, error) {
+	maxTokens := c.MaxTokens
+	if maxTokens <= 0 {
+		maxTokens = 512
+	}
+	body, err := json.Marshal(completionRequest{Model: c.Model, Prompt: prompt, MaxTokens: maxTokens})
+	if err != nil {
+		return Response{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/completions", bytes.NewReader(body))
+	if err != nil {
+		return Response{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 60 * time.Second}
+	}
+	start := time.Now()
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: completion request: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: reading completion: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Response{}, fmt.Errorf("llm: completion endpoint returned %s: %.200s", resp.Status, raw)
+	}
+	var out completionResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return Response{}, fmt.Errorf("llm: malformed completion response: %w", err)
+	}
+	if out.Error != "" {
+		return Response{}, fmt.Errorf("llm: server error: %s", out.Error)
+	}
+	in, gen := out.Usage.PromptTokens, out.Usage.CompletionTokens
+	if in == 0 {
+		in = CountTokens(prompt)
+	}
+	if gen == 0 {
+		gen = CountTokens(out.Text)
+	}
+	return Response{
+		Text:      out.Text,
+		InTokens:  in,
+		OutTokens: gen,
+		Dur:       time.Since(start),
+	}, nil
+}
+
+var _ Client = (*HTTPClient)(nil)

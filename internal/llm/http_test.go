@@ -1,0 +1,83 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// fakeEndpoint serves the minimal completion API, echoing a canned answer
+// and usage counts.
+func fakeEndpoint(t *testing.T, answer string, fail bool) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/completions" {
+			http.NotFound(w, r)
+			return
+		}
+		var req completionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Prompt == "" {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		if fail {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		var out completionResponse
+		out.Text = answer
+		out.Usage.PromptTokens = CountTokens(req.Prompt)
+		out.Usage.CompletionTokens = CountTokens(answer)
+		json.NewEncoder(w).Encode(out)
+	}))
+}
+
+func TestHTTPClientRoundTrip(t *testing.T) {
+	srv := fakeEndpoint(t, "yes", false)
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "test-model")
+	resp, err := c.Complete(context.Background(), BuildPrompt("filter_doc", map[string]string{
+		"condition": "related to injury", "doc": "some text",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "yes" {
+		t.Errorf("text = %q", resp.Text)
+	}
+	if resp.InTokens == 0 || resp.OutTokens == 0 || resp.Dur <= 0 {
+		t.Errorf("usage not populated: %+v", resp)
+	}
+	if c.Profile().Name != "test-model" {
+		t.Errorf("profile name = %q", c.Profile().Name)
+	}
+}
+
+func TestHTTPClientServerError(t *testing.T) {
+	srv := fakeEndpoint(t, "", true)
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "m")
+	if _, err := c.Complete(context.Background(), "p"); err == nil {
+		t.Error("server error not surfaced")
+	}
+}
+
+func TestHTTPClientContextCancel(t *testing.T) {
+	srv := fakeEndpoint(t, "x", false)
+	defer srv.Close()
+	c := NewHTTPClient(srv.URL, "m")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Complete(ctx, "p"); err == nil {
+		t.Error("cancelled context not honored")
+	}
+}
+
+func TestHTTPClientBadEndpoint(t *testing.T) {
+	c := NewHTTPClient("http://127.0.0.1:1", "m")
+	if _, err := c.Complete(context.Background(), "p"); err == nil {
+		t.Error("unreachable endpoint not surfaced")
+	}
+}

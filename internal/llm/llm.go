@@ -1,0 +1,148 @@
+// Package llm defines the language-model client abstraction used by every
+// Unify component (planner, operators, cardinality estimator, baselines)
+// and provides Sim, a deterministic simulated backend that substitutes for
+// the paper's locally served Llama models.
+//
+// All components speak to the model through Client.Complete with textual
+// prompts in a fixed directive format (see prompt.go) and receive textual
+// responses plus token counts and a simulated duration. The simulated
+// duration follows the paper's §VI-A cost model: time is proportional to
+// output tokens, with input tokens contributing negligibly.
+package llm
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Response is the result of one model invocation.
+type Response struct {
+	Text      string
+	InTokens  int
+	OutTokens int
+	// Dur is the simulated wall-clock duration of the call on one model
+	// slot. Executors feed these into the vtime scheduler.
+	Dur time.Duration
+}
+
+// Profile describes a served model's identity and speed.
+type Profile struct {
+	Name        string        // e.g. "sim-llama-70b"
+	Base        time.Duration // fixed overhead per invocation
+	PerOutToken time.Duration // marginal time per generated token
+}
+
+// CallDur returns the simulated duration for a call generating outTokens.
+func (p Profile) CallDur(outTokens int) time.Duration {
+	if outTokens < 1 {
+		outTokens = 1
+	}
+	return p.Base + time.Duration(outTokens)*p.PerOutToken
+}
+
+// DurFor returns the simulated duration of a call with the given input
+// and output token counts. Input tokens contribute ~4% of the per-token
+// cost, matching the paper's observation that prefill is 1-5% of latency.
+func (p Profile) DurFor(inTokens, outTokens int) time.Duration {
+	d := p.CallDur(outTokens)
+	if inTokens > 0 {
+		d += time.Duration(float64(inTokens) * 0.015 * float64(p.PerOutToken))
+	}
+	return d
+}
+
+// PlannerProfile mirrors the paper's Llama-3.1-70B planner deployment
+// (large, slow model used for plan generation).
+func PlannerProfile() Profile {
+	return Profile{Name: "sim-llama-70b", Base: 250 * time.Millisecond, PerOutToken: 35 * time.Millisecond}
+}
+
+// WorkerProfile mirrors the paper's Llama-3.1-8B operator executor (small,
+// fast model used for per-document operator work).
+func WorkerProfile() Profile {
+	return Profile{Name: "sim-llama-8b", Base: 80 * time.Millisecond, PerOutToken: 20 * time.Millisecond}
+}
+
+// Client is a language model endpoint.
+type Client interface {
+	// Complete runs one prompt and returns the model's response.
+	Complete(ctx context.Context, prompt string) (Response, error)
+	// Profile reports the served model's identity and speed parameters.
+	Profile() Profile
+}
+
+// CountTokens approximates a tokenizer: whitespace-separated fields plus a
+// third to account for sub-word splitting, matching the coarse granularity
+// the cost model needs.
+func CountTokens(s string) int {
+	n := len(strings.Fields(s))
+	return n + n/3
+}
+
+// Call records one model invocation for cost accounting.
+type Call struct {
+	Task      string
+	InTokens  int
+	OutTokens int
+	Dur       time.Duration
+}
+
+// Recorder wraps a Client and records every call. Operators wrap their
+// client in a fresh Recorder so executions can be charged to the virtual
+// clock and fed to the cost-model calibrator.
+type Recorder struct {
+	inner Client
+
+	mu    sync.Mutex
+	calls []Call
+}
+
+// NewRecorder returns a Recorder around inner.
+func NewRecorder(inner Client) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Complete implements Client, recording the call.
+func (r *Recorder) Complete(ctx context.Context, prompt string) (Response, error) {
+	resp, err := r.inner.Complete(ctx, prompt)
+	if err != nil {
+		return resp, err
+	}
+	task, _, _ := ParsePrompt(prompt)
+	r.mu.Lock()
+	r.calls = append(r.calls, Call{Task: task, InTokens: resp.InTokens, OutTokens: resp.OutTokens, Dur: resp.Dur})
+	r.mu.Unlock()
+	return resp, nil
+}
+
+// Profile implements Client.
+func (r *Recorder) Profile() Profile { return r.inner.Profile() }
+
+// Calls returns a copy of the recorded calls.
+func (r *Recorder) Calls() []Call {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Call, len(r.calls))
+	copy(out, r.calls)
+	return out
+}
+
+// Reset clears the recorded calls.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.calls = nil
+	r.mu.Unlock()
+}
+
+// TotalDur sums the durations of all recorded calls.
+func (r *Recorder) TotalDur() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var d time.Duration
+	for _, c := range r.calls {
+		d += c.Dur
+	}
+	return d
+}

@@ -1,0 +1,84 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prompts exchanged with the model follow a fixed directive format that
+// plays the role of the paper's few-shot prompt templates with enforced
+// output formats:
+//
+//	#TASK filter_doc
+//	#FIELD condition
+//	related to injuries
+//	#FIELD doc
+//	Title: ...
+//	#END
+//
+// BuildPrompt and ParsePrompt are the only writers/readers of this format.
+
+// BuildPrompt renders a task directive with its fields (sorted by key for
+// determinism, so identical logical requests produce identical prompts).
+func BuildPrompt(task string, fields map[string]string) string {
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "#TASK %s\n", task)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "#FIELD %s\n%s\n", k, fields[k])
+	}
+	b.WriteString("#END")
+	return b.String()
+}
+
+// ParsePrompt extracts the task name and fields from a prompt built with
+// BuildPrompt. ok is false for malformed prompts.
+func ParsePrompt(prompt string) (task string, fields map[string]string, ok bool) {
+	lines := strings.Split(prompt, "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "#TASK ") {
+		return "", nil, false
+	}
+	task = strings.TrimSpace(strings.TrimPrefix(lines[0], "#TASK "))
+	fields = make(map[string]string)
+	var key string
+	var val []string
+	flush := func() {
+		if key != "" {
+			fields[key] = strings.Join(val, "\n")
+		}
+		key, val = "", nil
+	}
+	for _, ln := range lines[1:] {
+		switch {
+		case strings.HasPrefix(ln, "#FIELD "):
+			flush()
+			key = strings.TrimSpace(strings.TrimPrefix(ln, "#FIELD "))
+		case ln == "#END":
+			flush()
+			return task, fields, true
+		default:
+			val = append(val, ln)
+		}
+	}
+	flush()
+	return task, fields, true
+}
+
+// DocSep separates documents inside batched prompts.
+const DocSep = "\n=====DOC=====\n"
+
+// JoinDocs packs document texts for a batched prompt.
+func JoinDocs(docs []string) string { return strings.Join(docs, DocSep) }
+
+// SplitDocs unpacks document texts from a batched prompt field.
+func SplitDocs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, DocSep)
+}

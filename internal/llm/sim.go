@@ -1,0 +1,171 @@
+package llm
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// SimConfig controls the simulated model's speed and imperfection. Noise
+// rates are probabilities of human-plausible mistakes, applied
+// deterministically per decision (keyed hashing), so runs are reproducible
+// while accuracy stays realistically below 100%.
+type SimConfig struct {
+	Profile Profile
+	Seed    uint64
+
+	// FilterNoise flips an individual semantic yes/no judgment.
+	FilterNoise float64
+	// LabelNoise replaces a classification/grouping label with a
+	// neighboring label.
+	LabelNoise float64
+	// RerankNoise degrades an operator-applicability judgment.
+	RerankNoise float64
+	// BindNoise corrupts a slot binding during query reduction (the
+	// dominant source of wrong-but-plausible plans).
+	BindNoise float64
+	// PlanNoise scales the per-step corruption probability of one-shot
+	// plan generation (the LLMPlan baseline's failure mode).
+	PlanNoise float64
+	// JudgeNoise makes the plan/answer judge pick a non-majority answer.
+	JudgeNoise float64
+}
+
+// DefaultSimConfig returns the configuration used across the experiments:
+// worker-model speed with mild, realistic error rates.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Profile:     WorkerProfile(),
+		Seed:        1,
+		FilterNoise: 0.015,
+		LabelNoise:  0.008,
+		RerankNoise: 0.05,
+		BindNoise:   0.025,
+		PlanNoise:   0.45,
+		JudgeNoise:  0.32,
+	}
+}
+
+// Sim is the deterministic simulated language model. It dispatches on the
+// prompt's #TASK directive and answers using only the text carried in the
+// prompt plus fixed lexicon knowledge — the same information a real model
+// would see. Identical prompts return identical responses (responses are
+// memoized, which also mirrors inference caches).
+type Sim struct {
+	cfg      SimConfig
+	handlers map[string]func(*Sim, map[string]string) (string, error)
+
+	mu   sync.RWMutex
+	memo map[string]Response
+
+	statsMu sync.Mutex
+	nCalls  int
+	nUnique int
+}
+
+// NewSim returns a simulated model with the given configuration.
+func NewSim(cfg SimConfig) *Sim {
+	if cfg.Profile.PerOutToken == 0 {
+		cfg.Profile = WorkerProfile()
+	}
+	s := &Sim{cfg: cfg, memo: make(map[string]Response)}
+	s.handlers = handlerTable()
+	return s
+}
+
+// Profile implements Client.
+func (s *Sim) Profile() Profile { return s.cfg.Profile }
+
+// Stats reports total and unique (non-memoized) call counts.
+func (s *Sim) Stats() (calls, unique int) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.nCalls, s.nUnique
+}
+
+// Complete implements Client.
+func (s *Sim) Complete(ctx context.Context, prompt string) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
+	s.statsMu.Lock()
+	s.nCalls++
+	s.statsMu.Unlock()
+
+	s.mu.RLock()
+	if resp, ok := s.memo[prompt]; ok {
+		s.mu.RUnlock()
+		return resp, nil
+	}
+	s.mu.RUnlock()
+
+	task, fields, ok := ParsePrompt(prompt)
+	if !ok {
+		return Response{}, fmt.Errorf("llm: malformed prompt")
+	}
+	h, ok := s.handlers[task]
+	if !ok {
+		return Response{}, fmt.Errorf("llm: unknown task %q", task)
+	}
+	text, err := h(s, fields)
+	if err != nil {
+		return Response{}, fmt.Errorf("llm: task %s: %w", task, err)
+	}
+	out := CountTokens(text)
+	in := CountTokens(prompt)
+	resp := Response{
+		Text:      text,
+		InTokens:  in,
+		OutTokens: out,
+		Dur:       s.cfg.Profile.DurFor(in, out),
+	}
+	s.mu.Lock()
+	s.memo[prompt] = resp
+	s.mu.Unlock()
+	s.statsMu.Lock()
+	s.nUnique++
+	s.statsMu.Unlock()
+	return resp, nil
+}
+
+// chance returns a deterministic pseudo-random draw in [0,1) keyed by the
+// decision identity, and reports whether it falls below p.
+func (s *Sim) chance(p float64, keys ...string) bool {
+	if p <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(s.cfg.Seed >> (8 * i))
+	}
+	h.Write(seed[:])
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	v := float64(h.Sum64()>>11) / (1 << 53)
+	return v < p
+}
+
+// pick returns a deterministic pseudo-random index in [0,n) keyed by the
+// decision identity.
+func (s *Sim) pick(n int, keys ...string) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(s.cfg.Seed >> (8 * i))
+	}
+	h.Write(seed[:])
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{1})
+	}
+	return int(h.Sum64() % uint64(n))
+}
+
+var _ Client = (*Sim)(nil)

@@ -1,0 +1,86 @@
+// Package logrep implements logical representations (paper Definition 1):
+// structured natural-language templates with semantic placeholders such as
+// [Entity] and [Condition]. Operators declare logical representations;
+// queries are matched against them by embedding similarity; and after the
+// LLM rewrites a matched query segment into template form, the concrete
+// placeholder values are extracted with compiled regular expressions
+// (paper §III-C, "Determining Operator Input").
+package logrep
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Placeholders recognised inside templates.
+var placeholderRe = regexp.MustCompile(`\[(Entity|Condition|Attribute|Number|Field)\]`)
+
+// Template is a compiled logical representation.
+type Template struct {
+	Text  string
+	slots []string // slot key per capture group: Entity, Entity2, Condition, ...
+	re    *regexp.Regexp
+}
+
+// Compile parses a logical representation into a matcher. Repeated
+// [Entity] placeholders bind to Entity, Entity2, Entity3...
+func Compile(text string) (*Template, error) {
+	t := &Template{Text: text}
+	var pattern strings.Builder
+	pattern.WriteString(`^`)
+	last := 0
+	count := map[string]int{}
+	locs := placeholderRe.FindAllStringSubmatchIndex(text, -1)
+	for i, loc := range locs {
+		pattern.WriteString(regexp.QuoteMeta(text[last:loc[0]]))
+		key := text[loc[2]:loc[3]]
+		count[key]++
+		if count[key] > 1 {
+			key = fmt.Sprintf("%s%d", key, count[key])
+		}
+		t.slots = append(t.slots, key)
+		if i == len(locs)-1 {
+			pattern.WriteString(`(.+)`)
+		} else {
+			pattern.WriteString(`(.+?)`)
+		}
+		last = loc[1]
+	}
+	pattern.WriteString(regexp.QuoteMeta(text[last:]))
+	pattern.WriteString(`$`)
+	re, err := regexp.Compile(pattern.String())
+	if err != nil {
+		return nil, fmt.Errorf("logrep: compile %q: %w", text, err)
+	}
+	t.re = re
+	return t, nil
+}
+
+// MustCompile is Compile that panics on error (for static registries).
+func MustCompile(text string) *Template {
+	t, err := Compile(text)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Extract matches a rewritten segment against the template and returns
+// the placeholder bindings.
+func (t *Template) Extract(s string) (map[string]string, bool) {
+	m := t.re.FindStringSubmatch(strings.TrimSpace(s))
+	if m == nil {
+		return nil, false
+	}
+	out := make(map[string]string, len(t.slots))
+	for i, key := range t.slots {
+		out[key] = strings.TrimSpace(m[i+1])
+	}
+	return out, true
+}
+
+// Slots returns the slot keys in template order.
+func (t *Template) Slots() []string {
+	return append([]string(nil), t.slots...)
+}

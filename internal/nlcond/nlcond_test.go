@@ -1,0 +1,176 @@
+package nlcond
+
+import (
+	"testing"
+)
+
+func TestParseNumeric(t *testing.T) {
+	cases := []struct {
+		in    string
+		field string
+		op    string
+		val   float64
+	}{
+		{"with more than 500 views", "views", ">", 500},
+		{"over 500 views", "views", ">", 500},
+		{"at least 3 upvotes", "score", ">=", 3},
+		{"fewer than 10 points", "score", "<", 10},
+		{"that have at most 99 views", "views", "<=", 99},
+		{"exactly 7 upvotes", "score", "==", 7},
+		{"having below 20 views", "views", "<", 20},
+	}
+	for _, c := range cases {
+		cond, ok := Parse(c.in)
+		if !ok {
+			t.Errorf("Parse(%q) failed", c.in)
+			continue
+		}
+		if cond.Kind != Numeric || cond.Field != c.field || cond.Op != c.op || cond.Value != c.val {
+			t.Errorf("Parse(%q) = %+v", c.in, cond)
+		}
+		if !cond.Structured() {
+			t.Errorf("%q should be structured", c.in)
+		}
+	}
+}
+
+func TestParseYear(t *testing.T) {
+	cond, ok := Parse("posted after 2015")
+	if !ok || cond.Kind != Year || cond.Op != ">" || cond.Value != 2015 {
+		t.Errorf("Parse year = %+v ok=%v", cond, ok)
+	}
+	cond, ok = Parse("posted before 2013")
+	if !ok || cond.Op != "<" {
+		t.Errorf("before = %+v", cond)
+	}
+	cond, ok = Parse("posted since 2019")
+	if !ok || cond.Op != ">=" {
+		t.Errorf("since = %+v", cond)
+	}
+}
+
+func TestParseConcept(t *testing.T) {
+	for _, in := range []string{
+		"about football", "related to football", "discussing football",
+		"that mention football", "regarding football",
+	} {
+		cond, ok := Parse(in)
+		if !ok || cond.Kind != Concept || cond.Concept != "football" {
+			t.Errorf("Parse(%q) = %+v ok=%v", in, cond, ok)
+		}
+		if cond.Structured() {
+			t.Errorf("%q must not be structured", in)
+		}
+	}
+	// Plural and multiword normalization.
+	cond, ok := Parse("related to injuries")
+	if !ok || cond.Concept != "injury" {
+		t.Errorf("injuries = %+v", cond)
+	}
+	cond, ok = Parse("about neural networks")
+	if !ok || cond.Concept != "neural-networks" {
+		t.Errorf("neural networks = %+v", cond)
+	}
+}
+
+func TestParseSubset(t *testing.T) {
+	cases := map[string]string{
+		"involving a ball":            "ball",
+		"that involve a ball":         "ball",
+		"requiring teamwork":          "teamwork",
+		"related to machine learning": "machine-learning",
+		"involving money":             "money",
+		"about the natural world":     "natural-world",
+	}
+	for in, want := range cases {
+		cond, ok := Parse(in)
+		if !ok || cond.Kind != Subset || cond.Concept != want {
+			t.Errorf("Parse(%q) = %+v ok=%v, want subset %s", in, cond, ok, want)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, in := range []string{"", "zzz qqq www", "more than views"} {
+		if c, ok := Parse(in); ok {
+			t.Errorf("Parse(%q) = %+v, want failure", in, c)
+		}
+	}
+}
+
+const doc = `Title: Knee pain after practice
+Views: 1523
+Score: 12
+Posted: 2016
+Tags: advice
+Body: I hurt my knee during football practice near the goal. The injury caused swelling.`
+
+func TestExtractField(t *testing.T) {
+	if v, ok := ExtractField(doc, "views"); !ok || v != 1523 {
+		t.Errorf("views = %v, %v", v, ok)
+	}
+	if v, ok := ExtractField(doc, "score"); !ok || v != 12 {
+		t.Errorf("score = %v, %v", v, ok)
+	}
+	if v, ok := ExtractField(doc, "year"); !ok || v != 2016 {
+		t.Errorf("year = %v, %v", v, ok)
+	}
+	if _, ok := ExtractField(doc, "nonsense"); ok {
+		t.Error("unknown field extracted")
+	}
+	if _, ok := ExtractField("no headers here", "views"); ok {
+		t.Error("absent field extracted")
+	}
+}
+
+func TestEvalStructured(t *testing.T) {
+	c, _ := Parse("with more than 500 views")
+	if !c.EvalStructured(doc) {
+		t.Error("1523 > 500 should hold")
+	}
+	c, _ = Parse("with more than 2000 views")
+	if c.EvalStructured(doc) {
+		t.Error("1523 > 2000 should not hold")
+	}
+	c, _ = Parse("posted before 2017")
+	if !c.EvalStructured(doc) {
+		t.Error("2016 < 2017 should hold")
+	}
+}
+
+func TestEvalSemantic(t *testing.T) {
+	c, _ := Parse("related to injury")
+	if !c.EvalSemantic(doc) {
+		t.Error("injury doc not matched")
+	}
+	c, _ = Parse("related to nutrition")
+	if c.EvalSemantic(doc) {
+		t.Error("nutrition matched wrongly")
+	}
+	c, _ = Parse("involving a ball")
+	if !c.EvalSemantic(doc) {
+		t.Error("football doc should satisfy 'involving a ball'")
+	}
+}
+
+func TestEvalLabel(t *testing.T) {
+	c, _ := Parse("involving a ball")
+	if !c.EvalLabel("football") || c.EvalLabel("swimming") {
+		t.Error("ball-sport label test wrong")
+	}
+	c, _ = Parse("related to contract")
+	if !c.EvalLabel("contract") || c.EvalLabel("criminal") {
+		t.Error("concept label equality wrong")
+	}
+}
+
+func TestCondString(t *testing.T) {
+	c, _ := Parse("with more than 500 views")
+	if c.String() == "" || c.String() == "invalid" {
+		t.Errorf("String = %q", c.String())
+	}
+	c, _ = Parse("involving a ball")
+	if c.String() != "involving a ball" {
+		t.Errorf("subset String = %q", c.String())
+	}
+}

@@ -1,0 +1,43 @@
+package nlq
+
+import (
+	"regexp"
+	"strings"
+)
+
+// LogicalRep renders the query's logical representation: its canonical
+// text with concrete values abstracted into semantic placeholders
+// ([Entity], [Condition], [Attribute], [Number]), per Definition 1 of the
+// paper. Operator matching compares the embedding of this string against
+// the embeddings of operator logical representations.
+func (q *Query) LogicalRep() string {
+	if q == nil || q.Root == nil {
+		return ""
+	}
+	c := q.Clone()
+	c.Walk(func(slot **Node) {
+		n := *slot
+		switch n.Kind {
+		case "var":
+			n.Ref = "entityvar"
+		case "set":
+			if n.Base != "" {
+				n.Base = "[Entity]"
+			}
+			for i := range n.Filters {
+				n.Filters[i] = Filter{Text: "that [Condition]"}
+			}
+		case "group", "labels", "classify":
+			n.Class = "[Attribute]"
+		}
+	})
+	s := c.Render()
+	// Scrub residual literals (numbers, variable markers) the structural
+	// pass cannot reach.
+	s = strings.ReplaceAll(s, "{entityvar}", "[Entity]")
+	s = reNumberLit.ReplaceAllString(s, "[Number]")
+	s = strings.ReplaceAll(s, "[Number]th percentile", "[Number]-th percentile")
+	return s
+}
+
+var reNumberLit = regexp.MustCompile(`\b\d+\b`)

@@ -1,0 +1,163 @@
+// Package nlq implements the natural-language analytics query model used
+// by the simulated LLM backend: parsing query text into a small expression
+// tree, rendering trees back to canonical text, and reducing a tree by one
+// operation (the primitive behind Unify's iterative query reduction).
+//
+// The planner itself never imports this package: it only exchanges text
+// with an llm.Client, exactly as the paper's planner exchanges prompts
+// with Llama. nlq is the "comprehension" inside the simulated model. The
+// grammar covers the query families of the paper's workload (selection,
+// projection, grouping, aggregation, ratios, set operations, top-k,
+// comparisons) plus intermediate-variable references written {v1}, {v2}, …
+// that appear in partially reduced queries.
+package nlq
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"unify/internal/nlcond"
+)
+
+// AggKind enumerates aggregate operations.
+type AggKind string
+
+// Aggregate kinds. These names are also used as operator names by the
+// planning layers.
+const (
+	AggCount      AggKind = "count"
+	AggSum        AggKind = "sum"
+	AggAvg        AggKind = "average"
+	AggMax        AggKind = "max"
+	AggMin        AggKind = "min"
+	AggMedian     AggKind = "median"
+	AggPercentile AggKind = "percentile"
+)
+
+// Node is an expression-tree node. Exactly one pointer field group is
+// populated, discriminated by Kind.
+type Node struct {
+	Kind string // "set", "group", "agg", "ratio", "compare", "setop", "pick", "title", "var", "classify"
+
+	// set: a collection of documents (or of groups when applied to a
+	// grouped variable): Base entity plus pending filter conditions.
+	Base    string   // "questions", "articles", or a variable ref "{v3}"
+	Filters []Filter // pending conditions, in surface order
+
+	// group: partition Over by a concept class.
+	Over  *Node
+	Class string // surface class word: "sport", "field", "area", "category", "topic"
+
+	// agg: aggregate Over (set/group/var).
+	Agg   AggKind
+	Field string // "views" or "score"; empty for count
+	P     int    // percentile rank
+
+	// ratio / compare / setop: binary nodes.
+	A, B  *Node
+	SetOp string // "union", "intersection", "complement" for setop
+
+	// pick: order/limit over a set or a per-group aggregate vector.
+	K    int    // top-k; 1 for argmax
+	Dir  string // "desc" or "asc"
+	By   string // field for document picks ("views", "score")
+	Want string // "labels" (group labels) or "docs"
+
+	// title: extract the title of the (single) document in Over.
+	// classify: classify the document in Over by Class.
+
+	// var: reference to an intermediate variable.
+	Ref string // "v3"
+}
+
+// Filter is one pending condition on a set.
+type Filter struct {
+	Cond nlcond.Cond
+	Text string // surface text, e.g. "with more than 500 views"
+}
+
+// Query is a parsed analytics query.
+type Query struct {
+	Root *Node
+}
+
+// Clone deep-copies a query tree.
+func (q *Query) Clone() *Query {
+	if q == nil || q.Root == nil {
+		return &Query{}
+	}
+	return &Query{Root: cloneNode(q.Root)}
+}
+
+func cloneNode(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	c.Filters = append([]Filter(nil), n.Filters...)
+	c.Over = cloneNode(n.Over)
+	c.A = cloneNode(n.A)
+	c.B = cloneNode(n.B)
+	return &c
+}
+
+// IsVar reports whether the node is a bare variable reference.
+func (n *Node) IsVar() bool { return n != nil && n.Kind == "var" }
+
+// IsBareSet reports whether the node is a set with no pending filters.
+func (n *Node) IsBareSet() bool {
+	return n != nil && (n.Kind == "var" || (n.Kind == "set" && len(n.Filters) == 0))
+}
+
+// VarRef formats a variable reference token.
+func VarRef(i int) string { return fmt.Sprintf("{v%d}", i) }
+
+var reVarTok = regexp.MustCompile(`^\{v(\d+)\}$`)
+
+// ParseVarRef extracts the index from a variable token, if any.
+func ParseVarRef(s string) (int, bool) {
+	m := reVarTok.FindStringSubmatch(strings.TrimSpace(s))
+	if m == nil {
+		return 0, false
+	}
+	i, err := strconv.Atoi(m[1])
+	if err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// Solved reports whether the query is fully reduced: a bare variable
+// reference (the paper's "minimal semantic unit").
+func (q *Query) Solved() bool {
+	return q != nil && q.Root != nil && q.Root.IsVar()
+}
+
+// walk visits every node in the tree, depth-first, children before the
+// node itself (bottom-up), calling fn with a pointer to the *Node slot so
+// callers can replace subtrees.
+func walk(slot **Node, fn func(slot **Node)) {
+	n := *slot
+	if n == nil {
+		return
+	}
+	if n.Over != nil {
+		walk(&n.Over, fn)
+	}
+	if n.A != nil {
+		walk(&n.A, fn)
+	}
+	if n.B != nil {
+		walk(&n.B, fn)
+	}
+	fn(slot)
+}
+
+// Walk applies fn to every node slot bottom-up, allowing replacement.
+func (q *Query) Walk(fn func(slot **Node)) {
+	if q.Root != nil {
+		walk(&q.Root, fn)
+	}
+}

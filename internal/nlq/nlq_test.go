@@ -1,0 +1,406 @@
+package nlq
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"unify/internal/lexicon"
+	"unify/internal/nlcond"
+)
+
+// mustParse parses or fails the test.
+func mustParse(t *testing.T, s string) *Query {
+	t.Helper()
+	q, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return q
+}
+
+func TestParseCount(t *testing.T) {
+	q := mustParse(t, "How many questions about football have more than 500 views?")
+	r := q.Root
+	if r.Kind != "agg" || r.Agg != AggCount {
+		t.Fatalf("root = %+v, want count agg", r)
+	}
+	set := r.Over
+	if set.Kind != "set" || set.Base != "questions" {
+		t.Fatalf("set = %+v", set)
+	}
+	if len(set.Filters) != 2 {
+		t.Fatalf("filters = %+v, want 2", set.Filters)
+	}
+	if set.Filters[0].Cond.Kind != nlcond.Concept || set.Filters[0].Cond.Concept != "football" {
+		t.Errorf("filter0 = %+v", set.Filters[0])
+	}
+	if set.Filters[1].Cond.Kind != nlcond.Numeric || set.Filters[1].Cond.Value != 500 {
+		t.Errorf("filter1 = %+v", set.Filters[1])
+	}
+}
+
+func TestParseCountVariants(t *testing.T) {
+	variants := []string{
+		"How many questions about football have more than 500 views?",
+		"Count the questions about football with over 500 views.",
+		"What is the number of questions regarding football that have more than 500 views?",
+	}
+	var want string
+	for i, v := range variants {
+		q := mustParse(t, v)
+		got := q.Render()
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("variant %d renders %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestParseRunningExample(t *testing.T) {
+	q := mustParse(t, "Among questions with over 500 views, which sport has the highest ratio of number of questions related to injury to number of questions related to training?")
+	r := q.Root
+	if r.Kind != "pick" || r.Want != "labels" || r.K != 1 {
+		t.Fatalf("root = %+v", r)
+	}
+	if r.Over.Kind != "ratio" {
+		t.Fatalf("measure = %+v, want ratio", r.Over)
+	}
+	a := r.Over.A
+	if a.Kind != "agg" || a.Agg != AggCount {
+		t.Fatalf("ratio A = %+v", a)
+	}
+	leaf := a.Over
+	if leaf.Kind != "set" || leaf.Over == nil || leaf.Over.Kind != "group" {
+		t.Fatalf("leaf set = %+v", leaf)
+	}
+	if leaf.Over.Class != "sport" {
+		t.Errorf("group class = %q", leaf.Over.Class)
+	}
+	gOver := leaf.Over.Over
+	if gOver.Kind != "set" || len(gOver.Filters) != 1 || gOver.Filters[0].Cond.Kind != nlcond.Numeric {
+		t.Fatalf("group over = %+v", gOver)
+	}
+}
+
+func TestParseSubsetGrouping(t *testing.T) {
+	q := mustParse(t, "Among sports involving a ball, which one has the most questions related to injury?")
+	r := q.Root
+	if r.Kind != "pick" || r.K != 1 {
+		t.Fatalf("root = %+v", r)
+	}
+	leaf := r.Over.Over
+	if leaf.Kind != "set" || leaf.Over == nil || leaf.Over.Kind != "group" {
+		t.Fatalf("leaf = %+v", leaf)
+	}
+	if len(leaf.Filters) != 2 || leaf.Filters[0].Cond.Kind != nlcond.Subset {
+		t.Fatalf("filters = %+v", leaf.Filters)
+	}
+}
+
+// roundTrip checks parse→render→parse→render fixpoint.
+func roundTrip(t *testing.T, text string) *Query {
+	t.Helper()
+	q := mustParse(t, text)
+	r1 := q.Render()
+	q2, err := Parse(r1)
+	if err != nil {
+		t.Fatalf("re-Parse(%q) from %q: %v", r1, text, err)
+	}
+	r2 := q2.Render()
+	if r1 != r2 {
+		t.Fatalf("render not stable: %q -> %q (from %q)", r1, r2, text)
+	}
+	return q
+}
+
+func TestRoundTripTemplates(t *testing.T) {
+	queries := []string{
+		"How many questions about football have more than 500 views?",
+		"What is the average score of questions related to injury?",
+		"Among questions with over 500 views, which sport has the highest ratio of number of questions related to injury to number of questions related to training?",
+		"List the top 5 most viewed questions about tennis.",
+		"Are there more questions related to injury or questions related to training?",
+		"What is the maximum score among questions about golf?",
+		"How many questions posted after 2015 discuss training?",
+		"What is the median number of views for questions about cricket?",
+		"Which sport has the most questions with at least 10 upvotes?",
+		"What fraction of questions about football are related to injury?",
+		"How many questions about football are related to nutrition?",
+		"How many questions are about contract or about criminal?",
+		"Which sports appear both among questions with over 500 views and among questions related to injury?",
+		"What is the total number of views across questions about rugby?",
+		"What is the 90th percentile of views for questions related to training?",
+		"Rank the topics by their number of injury-related questions and report the top 3.",
+		"Which question about basketball has the highest score?",
+		"How many questions about swimming were posted before 2015?",
+		"What is the average number of views of questions about hockey that are related to equipment?",
+		"Among sports involving a ball, which one has the most questions related to injury?",
+	}
+	for _, s := range queries {
+		roundTrip(t, s)
+	}
+}
+
+// TestFullReduction drives the running example through complete reduction,
+// checking that each step produces a parseable canonical query and that the
+// process terminates in a solved state.
+func TestFullReduction(t *testing.T) {
+	text := "Among questions with over 500 views, which sport has the highest ratio of number of questions related to injury to number of questions related to training?"
+	q := roundTrip(t, text)
+	next := 1
+	var opsApplied []string
+	for i := 0; i < 20 && !q.Solved(); i++ {
+		apps := Applicable(q, next)
+		if len(apps) == 0 {
+			t.Fatalf("step %d: nothing applicable for %q", i, q.Render())
+		}
+		// Apply the first applicable operator in a fixed order.
+		var chosen string
+		for _, op := range OperatorNames {
+			if _, ok := apps[op]; ok {
+				chosen = op
+				break
+			}
+		}
+		red, ok := Reduce(q, chosen, next)
+		if !ok {
+			t.Fatalf("step %d: Reduce(%s) failed for %q", i, chosen, q.Render())
+		}
+		opsApplied = append(opsApplied, red.Op)
+		// Reduced text must re-parse to the same tree.
+		txt := red.Query.Render()
+		q2, err := Parse(txt)
+		if err != nil {
+			t.Fatalf("step %d: reduced query %q unparseable: %v", i, txt, err)
+		}
+		if q2.Render() != txt {
+			t.Fatalf("step %d: unstable render %q -> %q", i, txt, q2.Render())
+		}
+		q = red.Query
+		next++
+	}
+	if !q.Solved() {
+		t.Fatalf("did not reach solved state; stuck at %q after %v", q.Render(), opsApplied)
+	}
+	joined := strings.Join(opsApplied, ",")
+	for _, want := range []string{"Filter", "GroupBy", "Count", "Compute"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("applied ops %v missing %s", opsApplied, want)
+		}
+	}
+}
+
+// TestReduceAllTemplates verifies every workload-template family reduces
+// to completion using the oracle order.
+func TestReduceAllTemplates(t *testing.T) {
+	queries := []string{
+		"How many questions about football have more than 500 views?",
+		"What is the average score of questions related to injury?",
+		"Among questions with over 500 views, which sport has the highest ratio of number of questions related to injury to number of questions related to training?",
+		"List the top 5 most viewed questions about tennis.",
+		"Are there more questions related to injury or questions related to training?",
+		"What is the maximum score among questions about golf?",
+		"How many questions posted after 2015 discuss training?",
+		"What is the median number of views for questions about cricket?",
+		"Which sport has the most questions with at least 10 upvotes?",
+		"What fraction of questions about football are related to injury?",
+		"How many questions about football are related to nutrition?",
+		"How many questions are about contract or about criminal?",
+		"Which sports appear both among questions with over 500 views and among questions related to injury?",
+		"What is the total number of views across questions about rugby?",
+		"What is the 90th percentile of views for questions related to training?",
+		"Rank the topics by their number of injury-related questions and report the top 3.",
+		"Which question about basketball has the highest score?",
+		"How many questions about swimming were posted before 2015?",
+		"What is the average number of views of questions about hockey that are related to equipment?",
+		"Among sports involving a ball, which one has the most questions related to injury?",
+	}
+	for _, text := range queries {
+		q := mustParse(t, text)
+		next := 1
+		for i := 0; i < 25 && !q.Solved(); i++ {
+			apps := Applicable(q, next)
+			var chosen string
+			for _, op := range OperatorNames {
+				if _, ok := apps[op]; ok {
+					chosen = op
+					break
+				}
+			}
+			if chosen == "" {
+				t.Fatalf("%q: stuck at %q", text, q.Render())
+			}
+			red, _ := Reduce(q, chosen, next)
+			q = red.Query
+			next++
+		}
+		if !q.Solved() {
+			t.Errorf("%q: not fully reduced, at %q", text, q.Render())
+		}
+	}
+}
+
+func TestLogicalRep(t *testing.T) {
+	q := mustParse(t, "How many questions about football have more than 500 views?")
+	lr := q.LogicalRep()
+	if strings.Contains(lr, "football") || strings.Contains(lr, "500") {
+		t.Errorf("LogicalRep leaked literals: %q", lr)
+	}
+	if !strings.Contains(lr, "[Entity]") || !strings.Contains(lr, "[Condition]") {
+		t.Errorf("LogicalRep missing placeholders: %q", lr)
+	}
+}
+
+func TestSolvedAndVarRef(t *testing.T) {
+	q := mustParse(t, "{v7}")
+	if !q.Solved() {
+		t.Fatal("bare variable should be solved")
+	}
+	if i, ok := ParseVarRef("{v12}"); !ok || i != 12 {
+		t.Errorf("ParseVarRef = %d, %v", i, ok)
+	}
+	if _, ok := ParseVarRef("v12"); ok {
+		t.Error("ParseVarRef should require braces")
+	}
+}
+
+// TestPropertyRandomLiterals property-tests the grammar: for arbitrary
+// literals drawn from the lexicon and arbitrary numeric thresholds, the
+// canonical query families must parse, round-trip, and fully reduce.
+func TestPropertyRandomLiterals(t *testing.T) {
+	cats := lexicon.Names("sport")
+	asps := lexicon.Names("topic")
+	f := func(ci, ai, bi uint8, n uint16, k uint8) bool {
+		cat := cats[int(ci)%len(cats)]
+		a1 := asps[int(ai)%len(asps)]
+		a2 := asps[int(bi)%len(asps)]
+		views := int(n)%5000 + 1
+		topk := int(k)%10 + 1
+		queries := []string{
+			fmt.Sprintf("How many questions about %s have more than %d views?", cat, views),
+			fmt.Sprintf("What is the average score of questions related to %s?", a1),
+			fmt.Sprintf("List the top %d most viewed questions about %s.", topk, cat),
+			fmt.Sprintf("Among questions with over %d views, which sport has the highest ratio of number of questions related to %s to number of questions related to %s?", views, a1, a2),
+		}
+		for _, text := range queries {
+			q, err := Parse(text)
+			if err != nil {
+				t.Logf("parse %q: %v", text, err)
+				return false
+			}
+			r1 := q.Render()
+			q2, err := Parse(r1)
+			if err != nil || q2.Render() != r1 {
+				t.Logf("round trip failed for %q -> %q", text, r1)
+				return false
+			}
+			// Full reduction must terminate.
+			next := 1
+			for i := 0; i < 25 && !q.Solved(); i++ {
+				progressed := false
+				for _, op := range OperatorNames {
+					if red, ok := Reduce(q, op, next); ok {
+						q = red.Query
+						next++
+						progressed = true
+						break
+					}
+				}
+				if !progressed {
+					t.Logf("stuck reducing %q at %q", text, q.Render())
+					return false
+				}
+			}
+			if !q.Solved() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReduceVariants: alternative variants reduce different filters and
+// produce distinct reduced queries.
+func TestReduceVariants(t *testing.T) {
+	q := mustParse(t, "How many questions about football have more than 500 views?")
+	r0, ok0 := ReduceVariant(q, "Filter", 1, 0)
+	r1, ok1 := ReduceVariant(q, "Filter", 1, 1)
+	if !ok0 || !ok1 {
+		t.Fatal("variants not applicable")
+	}
+	if r0.Args["Condition"] == r1.Args["Condition"] {
+		t.Errorf("variants reduced the same condition %q", r0.Args["Condition"])
+	}
+	if _, ok := ReduceVariant(q, "Filter", 1, 2); ok {
+		t.Error("variant beyond the filter count accepted")
+	}
+	if _, ok := ReduceVariant(q, "Filter", 1, -1); ok {
+		t.Error("negative variant accepted")
+	}
+}
+
+func TestRangeCondition(t *testing.T) {
+	q := roundTrip(t, "How many questions about football were posted between 2013 and 2017?")
+	set := q.Root.Over
+	found := false
+	for _, f := range set.Filters {
+		if f.Cond.Kind == nlcond.Range && f.Cond.Value == 2013 && f.Cond.Value2 == 2017 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("range filter missing: %+v", set.Filters)
+	}
+	// Full reduction still terminates.
+	next := 1
+	for i := 0; i < 10 && !q.Solved(); i++ {
+		progressed := false
+		for _, op := range OperatorNames {
+			if red, ok := Reduce(q, op, next); ok {
+				q = red.Query
+				next++
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			t.Fatalf("stuck at %q", q.Render())
+		}
+	}
+	if !q.Solved() {
+		t.Errorf("range query not fully reduced: %q", q.Render())
+	}
+}
+
+func TestFullSortQuery(t *testing.T) {
+	q := roundTrip(t, "Sort the questions about golf by views in descending order.")
+	r := q.Root
+	if r.Kind != "pick" || r.Want != "docs" || r.K != 0 || r.By != "views" || r.Dir != "desc" {
+		t.Fatalf("root = %+v", r)
+	}
+	// The filter reduces first, then the sort maps to OrderBy.
+	red, ok := Reduce(q, "Filter", 1)
+	if !ok {
+		t.Fatal("filter not reducible")
+	}
+	red2, ok := Reduce(red.Query, "OrderBy", 2)
+	if !ok {
+		t.Fatalf("OrderBy not reducible at %q", red.Query.Render())
+	}
+	if !red2.Query.Solved() {
+		t.Errorf("not solved after sort: %q", red2.Query.Render())
+	}
+	// Ascending variant.
+	q2 := roundTrip(t, "Sort the questions about golf by score ascending.")
+	if q2.Root.Dir != "asc" || q2.Root.By != "score" {
+		t.Errorf("ascending sort = %+v", q2.Root)
+	}
+}

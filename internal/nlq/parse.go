@@ -1,0 +1,789 @@
+package nlq
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"unify/internal/nlcond"
+)
+
+// Parse interprets an analytics query (an original workload question or a
+// canonical partially-reduced form) into an expression tree. It returns an
+// error when the text is outside the supported grammar; the planner treats
+// that as "the LLM could not ground this query" and falls back to the
+// Generate operator.
+func Parse(text string) (*Query, error) {
+	s := normalize(text)
+	if s == "" {
+		return nil, fmt.Errorf("nlq: empty query")
+	}
+	n, err := parseExpr(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Root: n}, nil
+}
+
+func normalize(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.TrimRight(s, "?!. ")
+	return strings.Join(strings.Fields(s), " ")
+}
+
+var leadFillers = []string{
+	"what is ", "what are ", "compute ", "calculate ", "list ", "show ",
+	"tell me ", "report ", "find ", "determine ", "considering only ",
+}
+
+func stripLead(s string) string {
+	for changed := true; changed; {
+		changed = false
+		for _, p := range leadFillers {
+			if strings.HasPrefix(s, p) {
+				s = s[len(p):]
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+var (
+	reTopEntriesOf  = regexp.MustCompile(`^the top (\d+) entries of (\{v\d+\})$`)
+	reTopEntriesBy  = regexp.MustCompile(`^the top (\d+) entries by (.+)$`)
+	reEntryOf       = regexp.MustCompile(`^which entry of (\{v\d+\}) is the (highest|lowest|largest|smallest)$`)
+	reEntryHas      = regexp.MustCompile(`^which entry has the (highest|lowest|largest|smallest) (.+)$`)
+	reAmongSubset   = regexp.MustCompile(`^among ([a-z]+) (.+?), which one has the (highest|lowest|most|largest) (.+)$`)
+	reAmongClass    = regexp.MustCompile(`^(?:among )?(.+?), which (?:(\d+) )?(sport|field|area|category|topic|categorie)s? (?:has|have|shows?) the (highest|lowest|most|largest) (.+)$`)
+	reWhichClass    = regexp.MustCompile(`^which (sport|field|area|category|topic) (?:has|shows) the (most|highest|largest) (.+)$`)
+	reWhichClassNum = regexp.MustCompile(`^which (sport|field|area|category|topic) has the largest number of (.+)$`)
+	reRank          = regexp.MustCompile(`^rank the ([a-z]+?)s? by their (.+?)(?: in descending order)? and report the top (\d+)$`)
+	reCount         = regexp.MustCompile(`^(?:how many|count the|count|the number of|number of) (.+)$`)
+	reRatio         = regexp.MustCompile(`^the ratio of (.+)$`)
+	reFraction      = regexp.MustCompile(`^what fraction of (.+?) (?:are|is) (.+)$`)
+	reAvg           = regexp.MustCompile(`^the (?:average|mean) (score|number of views|views) (?:of|for|across) (.+)$`)
+	reTotal         = regexp.MustCompile(`^the total (score|number of views|views) (?:of|for|across) (.+)$`)
+	reMaxMin        = regexp.MustCompile(`^the (maximum|highest|largest|minimum|lowest|smallest) (score|number of views|views) (?:of|among|for) (.+)$`)
+	reMedian        = regexp.MustCompile(`^the median (score|number of views|views) (?:of|for|across) (.+)$`)
+	rePercentile    = regexp.MustCompile(`^the (\d+)(?:st|nd|rd|th) percentile of (views|score) (?:of|for|across) (.+)$`)
+	reTopViewed     = regexp.MustCompile(`^the top (\d+) most viewed (.+)$`)
+	reSortBy        = regexp.MustCompile(`^(?:sort |order )?(.+?) (?:sorted )?by (views|score|upvotes) (?:in )?(descending|ascending)(?: order)?$`)
+	reTopWithMost   = regexp.MustCompile(`^the (\d+) (.+?) with the most (views|upvotes)$`)
+	reTopCanonical  = regexp.MustCompile(`^the top (\d+) of (.+) by (views|score)$`)
+	reWhichDoc      = regexp.MustCompile(`^which (question|article|document|page) (.+?) has the (highest|most) (score|views|number of views)$`)
+	reTitleOf       = regexp.MustCompile(`^the title of (.+)$`)
+	reAppearBoth    = regexp.MustCompile(`^which ([a-z]+?)s? appear both among (.+) and among (.+)$`)
+	reDistinct      = regexp.MustCompile(`^the distinct ([a-z]+?)s of (.+)$`)
+	reUnionOf       = regexp.MustCompile(`^the union of (.+)$`)
+	reIntersectOf   = regexp.MustCompile(`^the intersection of (.+)$`)
+	reComplementOf  = regexp.MustCompile(`^the elements of (.+?) not in (.+)$`)
+	reGroupsOf      = regexp.MustCompile(`^the groups of (.+) by ([a-z]+)$`)
+	reClassOf       = regexp.MustCompile(`^the (sport|topic|field|area|category) of (.+)$`)
+	reCompareLarger = regexp.MustCompile(`^which is larger:? (.+)$`)
+	reCompareMore   = regexp.MustCompile(`^are there more (.+)$`)
+)
+
+func dirOf(word string) string {
+	switch word {
+	case "lowest", "smallest", "minimum":
+		return "asc"
+	default:
+		return "desc"
+	}
+}
+
+func canonClassWord(w string) string {
+	w = strings.TrimSuffix(strings.TrimSpace(w), "s")
+	if w == "categorie" {
+		return "category"
+	}
+	return w
+}
+
+func parseExpr(s string) (*Node, error) {
+	s = stripLead(strings.TrimSpace(s))
+
+	if _, ok := ParseVarRef(s); ok {
+		return &Node{Kind: "var", Ref: strings.Trim(s, "{}")}, nil
+	}
+
+	// --- compare ---
+	if m := reCompareLarger.FindStringSubmatch(s); m != nil {
+		return parseCompare(m[1], " or ")
+	}
+	if m := reCompareMore.FindStringSubmatch(s); m != nil {
+		if n, err := parseCompare(m[1], " or "); err == nil {
+			return n, nil
+		}
+		return parseCompare(m[1], " than ")
+	}
+
+	// --- grouped argmax / top-k over labels ---
+	if m := reEntryOf.FindStringSubmatch(s); m != nil {
+		v, _ := parseExpr(m[1])
+		return &Node{Kind: "pick", Want: "labels", K: 1, Dir: dirOf(m[2]), Over: v}, nil
+	}
+	if m := reEntryHas.FindStringSubmatch(s); m != nil {
+		meas, err := parseMeasure(m[2])
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: "pick", Want: "labels", K: 1, Dir: dirOf(m[1]), Over: meas}, nil
+	}
+	if m := reTopEntriesOf.FindStringSubmatch(s); m != nil {
+		k, _ := strconv.Atoi(m[1])
+		v, _ := parseExpr(m[2])
+		return &Node{Kind: "pick", Want: "labels", K: k, Dir: "desc", Over: v}, nil
+	}
+	if m := reTopEntriesBy.FindStringSubmatch(s); m != nil {
+		k, _ := strconv.Atoi(m[1])
+		meas, err := parseMeasure(m[2])
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: "pick", Want: "labels", K: k, Dir: "desc", Over: meas}, nil
+	}
+	if m := reAmongSubset.FindStringSubmatch(s); m != nil {
+		class := canonClassWord(m[1])
+		subsetCond, ok := nlcond.Parse(m[2])
+		if ok && subsetCond.Kind == nlcond.Subset && knownClass(class) {
+			meas, err := parseMeasure(m[4])
+			if err != nil {
+				return nil, err
+			}
+			g := &Node{Kind: "group", Class: class, Over: &Node{Kind: "set", Base: "questions"}}
+			if !bindGroup(meas, g, &Filter{Cond: subsetCond, Text: m[2]}) {
+				return nil, fmt.Errorf("nlq: subset grouping without measurable set in %q", s)
+			}
+			return &Node{Kind: "pick", Want: "labels", K: 1, Dir: dirOf(m[3]), Over: meas}, nil
+		}
+	}
+	if m := reAmongClass.FindStringSubmatch(s); m != nil {
+		over, errOver := parseSetExpr(m[1])
+		meas, errMeas := parseMeasure(m[5])
+		if errOver == nil && errMeas == nil {
+			k := 1
+			if m[2] != "" {
+				k, _ = strconv.Atoi(m[2])
+			}
+			g := &Node{Kind: "group", Class: canonClassWord(m[3]), Over: over}
+			if !bindGroup(meas, g, nil) {
+				return nil, fmt.Errorf("nlq: grouping without measurable set in %q", s)
+			}
+			return &Node{Kind: "pick", Want: "labels", K: k, Dir: dirOf(m[4]), Over: meas}, nil
+		}
+	}
+	if m := reWhichClassNum.FindStringSubmatch(s); m != nil {
+		if n, err := groupCountPick(m[1], m[2], 1, "desc"); err == nil {
+			return n, nil
+		}
+	}
+	if m := reWhichClass.FindStringSubmatch(s); m != nil {
+		// "which sport has the most questions with at least 50 upvotes":
+		// the measure is an implicit count of a set.
+		if n, err := groupCountPick(m[1], m[3], 1, dirOf(m[2])); err == nil {
+			return n, nil
+		}
+		meas, err := parseMeasure(m[3])
+		if err != nil {
+			return nil, err
+		}
+		g := &Node{Kind: "group", Class: canonClassWord(m[1]), Over: &Node{Kind: "set", Base: "questions"}}
+		if !bindGroup(meas, g, nil) {
+			return nil, fmt.Errorf("nlq: grouping without measurable set in %q", s)
+		}
+		return &Node{Kind: "pick", Want: "labels", K: 1, Dir: dirOf(m[2]), Over: meas}, nil
+	}
+	if m := reRank.FindStringSubmatch(s); m != nil {
+		k, _ := strconv.Atoi(m[3])
+		meas, err := parseMeasure(strings.TrimPrefix(m[2], "their "))
+		if err != nil {
+			return nil, err
+		}
+		g := &Node{Kind: "group", Class: canonClassWord(m[1]), Over: &Node{Kind: "set", Base: "questions"}}
+		if !bindGroup(meas, g, nil) {
+			return nil, fmt.Errorf("nlq: grouping without measurable set in %q", s)
+		}
+		return &Node{Kind: "pick", Want: "labels", K: k, Dir: "desc", Over: meas}, nil
+	}
+
+	// --- ratio / fraction ---
+	if m := reRatio.FindStringSubmatch(s); m != nil {
+		if n, err := splitBinary(m[1], " to ", func(a, b *Node) *Node {
+			return &Node{Kind: "ratio", A: a, B: b}
+		}, parseMeasure); err == nil {
+			return n, nil
+		}
+	}
+	if m := reFraction.FindStringSubmatch(s); m != nil {
+		base, err := parseSetExpr(m[1])
+		if err != nil {
+			return nil, err
+		}
+		cond, ok := nlcond.Parse(m[2])
+		if !ok || base.Kind != "set" {
+			return nil, fmt.Errorf("nlq: cannot parse fraction condition %q", m[2])
+		}
+		withCond := cloneNode(base)
+		withCond.Filters = append(withCond.Filters, Filter{Cond: cond, Text: m[2]})
+		return &Node{Kind: "ratio",
+			A: &Node{Kind: "agg", Agg: AggCount, Over: withCond},
+			B: &Node{Kind: "agg", Agg: AggCount, Over: base}}, nil
+	}
+
+	// --- set operations (canonical forms) ---
+	if m := reUnionOf.FindStringSubmatch(s); m != nil {
+		if n, err := splitBinary(m[1], " and ", func(a, b *Node) *Node {
+			return &Node{Kind: "setop", SetOp: "union", A: a, B: b}
+		}, parseExpr); err == nil {
+			return n, nil
+		}
+	}
+	if m := reIntersectOf.FindStringSubmatch(s); m != nil {
+		if n, err := splitBinary(m[1], " and ", func(a, b *Node) *Node {
+			return &Node{Kind: "setop", SetOp: "intersection", A: a, B: b}
+		}, parseExpr); err == nil {
+			return n, nil
+		}
+	}
+	if m := reComplementOf.FindStringSubmatch(s); m != nil {
+		a, errA := parseExpr(m[1])
+		b, errB := parseExpr(m[2])
+		if errA == nil && errB == nil {
+			return &Node{Kind: "setop", SetOp: "complement", A: a, B: b}, nil
+		}
+	}
+	if m := reAppearBoth.FindStringSubmatch(s); m != nil {
+		class := canonClassWord(m[1])
+		a, errA := parseSetExpr(m[2])
+		b, errB := parseSetExpr(m[3])
+		if errA == nil && errB == nil && knownClass(class) {
+			return &Node{Kind: "setop", SetOp: "intersection",
+				A: &Node{Kind: "labels", Class: class, Over: a},
+				B: &Node{Kind: "labels", Class: class, Over: b}}, nil
+		}
+	}
+	if m := reDistinct.FindStringSubmatch(s); m != nil {
+		class := canonClassWord(m[1])
+		over, err := parseSetExpr(m[2])
+		if err == nil && knownClass(class) {
+			return &Node{Kind: "labels", Class: class, Over: over}, nil
+		}
+	}
+
+	// --- aggregates ---
+	if m := reCount.FindStringSubmatch(s); m != nil {
+		over, err := parseCountTail(m[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: "agg", Agg: AggCount, Over: over}, nil
+	}
+	if m := reAvg.FindStringSubmatch(s); m != nil {
+		return aggNode(AggAvg, m[1], m[2], 0)
+	}
+	if m := reTotal.FindStringSubmatch(s); m != nil {
+		return aggNode(AggSum, m[1], m[2], 0)
+	}
+	if m := reMaxMin.FindStringSubmatch(s); m != nil {
+		kind := AggMax
+		if dirOf(m[1]) == "asc" {
+			kind = AggMin
+		}
+		return aggNode(kind, m[2], m[3], 0)
+	}
+	if m := reMedian.FindStringSubmatch(s); m != nil {
+		return aggNode(AggMedian, m[1], m[2], 0)
+	}
+	if m := rePercentile.FindStringSubmatch(s); m != nil {
+		p, _ := strconv.Atoi(m[1])
+		return aggNode(AggPercentile, m[2], m[3], p)
+	}
+
+	// --- document sorting, top-k and title extraction ---
+	if m := reSortBy.FindStringSubmatch(s); m != nil {
+		set, err := parseSetExpr(m[1])
+		if err == nil && (set.Kind == "set" || set.Kind == "var") {
+			by := m[2]
+			if by == "upvotes" {
+				by = "score"
+			}
+			dir := "desc"
+			if m[3] == "ascending" {
+				dir = "asc"
+			}
+			return &Node{Kind: "pick", Want: "docs", K: 0, Dir: dir, By: by, Over: set}, nil
+		}
+	}
+	if m := reTopViewed.FindStringSubmatch(s); m != nil {
+		k, _ := strconv.Atoi(m[1])
+		set, err := parseSetExpr(m[2])
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: "pick", Want: "docs", K: k, Dir: "desc", By: "views", Over: set}, nil
+	}
+	if m := reTopWithMost.FindStringSubmatch(s); m != nil {
+		k, _ := strconv.Atoi(m[1])
+		set, err := parseSetExpr(m[2])
+		if err != nil {
+			return nil, err
+		}
+		by := "views"
+		if m[3] == "upvotes" {
+			by = "score"
+		}
+		return &Node{Kind: "pick", Want: "docs", K: k, Dir: "desc", By: by, Over: set}, nil
+	}
+	if m := reTopCanonical.FindStringSubmatch(s); m != nil {
+		k, _ := strconv.Atoi(m[1])
+		set, err := parseSetExpr(m[2])
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: "pick", Want: "docs", K: k, Dir: "desc", By: m[3], Over: set}, nil
+	}
+	if m := reWhichDoc.FindStringSubmatch(s); m != nil {
+		set, err := parseSetExpr(m[1] + " " + m[2])
+		if err != nil {
+			return nil, err
+		}
+		by := "score"
+		if strings.Contains(m[4], "views") {
+			by = "views"
+		}
+		pick := &Node{Kind: "pick", Want: "docs", K: 1, Dir: "desc", By: by, Over: set}
+		return &Node{Kind: "title", Over: pick}, nil
+	}
+	if m := reTitleOf.FindStringSubmatch(s); m != nil {
+		over, err := parseExpr(m[1])
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: "title", Over: over}, nil
+	}
+
+	// --- grouping and classification (canonical forms) ---
+	if m := reGroupsOf.FindStringSubmatch(s); m != nil {
+		over, err := parseSetExpr(m[1])
+		if err == nil && knownClass(canonClassWord(m[2])) {
+			return &Node{Kind: "group", Class: canonClassWord(m[2]), Over: over}, nil
+		}
+	}
+	if m := reClassOf.FindStringSubmatch(s); m != nil {
+		over, err := parseExpr(m[2])
+		if err == nil {
+			return &Node{Kind: "classify", Class: m[1], Over: over}, nil
+		}
+	}
+
+	// --- bare set fallback ---
+	if set, err := parseSetExpr(s); err == nil {
+		return set, nil
+	}
+	return nil, fmt.Errorf("nlq: cannot parse %q", s)
+}
+
+func knownClass(c string) bool {
+	switch c {
+	case "sport", "field", "area", "category", "topic":
+		return true
+	}
+	return false
+}
+
+// groupCountPick builds Pick{K,dir over count(Set{over: group, filters})}
+// for "which <class> has the most <set>" phrasings.
+func groupCountPick(classWord, setText string, k int, dir string) (*Node, error) {
+	set, err := parseSet(setText)
+	if err != nil {
+		return nil, err
+	}
+	g := &Node{Kind: "group", Class: canonClassWord(classWord), Over: &Node{Kind: "set", Base: set.Base}}
+	meas := &Node{Kind: "agg", Agg: AggCount, Over: &Node{Kind: "set", Over: g, Filters: set.Filters}}
+	return &Node{Kind: "pick", Want: "labels", K: k, Dir: dir, Over: meas}, nil
+}
+
+// bindGroup attaches plain-entity leaf sets of a measure tree to the group
+// node g (and optionally prepends a subset filter). It reports whether at
+// least one set was bound.
+func bindGroup(meas *Node, g *Node, subset *Filter) bool {
+	bound := false
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Kind == "set" && n.Over == nil && !strings.HasPrefix(n.Base, "{") {
+			n.Over = g
+			n.Base = ""
+			if subset != nil {
+				n.Filters = append([]Filter{*subset}, n.Filters...)
+			}
+			bound = true
+			return // do not descend into the shared group node
+		}
+		visit(n.Over)
+		visit(n.A)
+		visit(n.B)
+	}
+	visit(meas)
+	return bound
+}
+
+// parseMeasure parses a per-group measure expression: counts, ratios,
+// variable references, or implicit count-of-set phrasings.
+func parseMeasure(s string) (*Node, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "the ") && !strings.HasPrefix(s, "{") {
+		s = "the " + s
+	}
+	if n, err := parseExpr(s); err == nil {
+		// A bare set as a measure means its size ("has the most
+		// questions related to injury").
+		if n.Kind == "set" || n.Kind == "setop" {
+			return &Node{Kind: "agg", Agg: AggCount, Over: n}, nil
+		}
+		return n, nil
+	}
+	return nil, fmt.Errorf("nlq: cannot parse measure %q", s)
+}
+
+// parseCompare splits "A or B"/"A than B" into a comparison of counts.
+func parseCompare(s, sep string) (*Node, error) {
+	return splitBinary(s, sep, func(a, b *Node) *Node {
+		return &Node{Kind: "compare", A: a, B: b}
+	}, countify)
+}
+
+// countify parses a comparison side: a count expression, a variable, or a
+// bare set (implicitly counted).
+func countify(s string) (*Node, error) {
+	s = strings.TrimSpace(s)
+	if _, ok := ParseVarRef(s); ok {
+		return &Node{Kind: "var", Ref: strings.Trim(s, "{}")}, nil
+	}
+	if n, err := parseExpr(s); err == nil {
+		if n.Kind == "set" || n.Kind == "setop" {
+			return &Node{Kind: "agg", Agg: AggCount, Over: n}, nil
+		}
+		return n, nil
+	}
+	return nil, fmt.Errorf("nlq: cannot parse comparison side %q", s)
+}
+
+// splitBinary tries every occurrence of sep as the split point, returning
+// the first split where both sides parse with the given side parser.
+func splitBinary(s, sep string, build func(a, b *Node) *Node, side func(string) (*Node, error)) (*Node, error) {
+	idx := 0
+	for {
+		rel := strings.Index(s[idx:], sep)
+		if rel < 0 {
+			return nil, fmt.Errorf("nlq: no valid %q split in %q", sep, s)
+		}
+		at := idx + rel
+		a, errA := side(s[:at])
+		if errA == nil {
+			if b, errB := side(s[at+len(sep):]); errB == nil {
+				return build(a, b), nil
+			}
+		}
+		idx = at + len(sep)
+	}
+}
+
+// parseCountTail parses the operand of a count: set expressions, unions,
+// and variables.
+func parseCountTail(s string) (*Node, error) {
+	s = strings.TrimSpace(s)
+	if _, ok := ParseVarRef(s); ok {
+		return &Node{Kind: "var", Ref: strings.Trim(s, "{}")}, nil
+	}
+	if m := reUnionOf.FindStringSubmatch(s); m != nil {
+		if n, err := splitBinary(m[1], " and ", func(a, b *Node) *Node {
+			return &Node{Kind: "setop", SetOp: "union", A: a, B: b}
+		}, parseExpr); err == nil {
+			return n, nil
+		}
+	}
+	if m := reIntersectOf.FindStringSubmatch(s); m != nil {
+		if n, err := splitBinary(m[1], " and ", func(a, b *Node) *Node {
+			return &Node{Kind: "setop", SetOp: "intersection", A: a, B: b}
+		}, parseExpr); err == nil {
+			return n, nil
+		}
+	}
+	return parseSetExpr(s)
+}
+
+func aggNode(kind AggKind, fieldWord, setText string, p int) (*Node, error) {
+	over, err := parseSetExpr(setText)
+	if err != nil {
+		return nil, err
+	}
+	field := "views"
+	if strings.Contains(fieldWord, "score") {
+		field = "score"
+	}
+	return &Node{Kind: "agg", Agg: kind, Field: field, P: p, Over: over}, nil
+}
+
+// parseSetExpr parses a document-set description, including the implicit
+// union shorthand "questions about X or about Y" (whose right side may
+// omit the base noun).
+func parseSetExpr(s string) (*Node, error) {
+	s = strings.TrimSpace(s)
+	if _, ok := ParseVarRef(s); ok {
+		return &Node{Kind: "var", Ref: strings.Trim(s, "{}")}, nil
+	}
+	for idx := 0; strings.Contains(s[idx:], " or "); {
+		at := idx + strings.Index(s[idx:], " or ")
+		idx = at + len(" or ")
+		a, errA := parseSet(s[:at])
+		if errA != nil {
+			continue
+		}
+		right := strings.TrimSpace(s[at+len(" or "):])
+		if b, errB := parseSet(right); errB == nil {
+			return &Node{Kind: "setop", SetOp: "union", A: a, B: b}, nil
+		}
+		if a.Kind == "set" && a.Base != "" {
+			if b, errB := parseSet(a.Base + " " + right); errB == nil {
+				return &Node{Kind: "setop", SetOp: "union", A: a, B: b}, nil
+			}
+		}
+	}
+	return parseSet(s)
+}
+
+var (
+	reBaseWord = regexp.MustCompile(`^(questions?|articles?|documents?|pages?|webpages?)\b`)
+	reAdjRel   = regexp.MustCompile(`^([a-z][a-z-]*)-related (questions?|articles?|documents?|pages?)\b`)
+	reVarBase  = regexp.MustCompile(`^(\{v\d+\})`)
+	// Condition span patterns, scanned within the post-base remainder.
+	reNumSpan   = regexp.MustCompile(`(?:with |that have |that received |having |have |are |showing )?(more than|over|above|at least|no fewer than|fewer than|less than|under|below|at most|exactly) (\d+) (views?|upvotes?|points?|score)`)
+	reYearSpan  = regexp.MustCompile(`(?:that were |which were |were |that was )?posted (after|before|since|in) (\d{4})`)
+	reRangeSpan = regexp.MustCompile(`(?:that were |which were |were |that was )?posted between (\d{4}) and (\d{4})`)
+	reConSpan   = regexp.MustCompile(`(?:that are |which are |that |which |are |)(about|regarding|concerning|related to|relating to|discuss(?:es|ing)?|mention(?:s|ing)?|dealing with|cover(?:s|ing)?) ([a-z][a-z-]*(?: [a-z][a-z-]*)?)`)
+	reSubSpans  = []*regexp.Regexp{
+		regexp.MustCompile(`(?:that |which |)(?:involve|involves|involving|require|requires|requiring|need|needs|needing|played with|using)( a ball| teamwork)`),
+		regexp.MustCompile(`(related to|relating to|about|concerning) (machine learning|money|the natural world)`),
+	}
+	fillerWords = map[string]bool{
+		"that": true, "which": true, "are": true, "is": true, "were": true,
+		"was": true, "one": true, "ones": true, "the": true, "any": true,
+		"all": true, "only": true, "a": true, "an": true,
+	}
+)
+
+type span struct {
+	start, end int
+	filter     Filter
+	prio       int
+}
+
+// parseSet parses "base [conditions...]" into a set node. It fails when
+// unrecognized non-filler words remain, which keeps higher-level split
+// heuristics honest.
+func parseSet(s string) (*Node, error) {
+	s = strings.TrimSpace(s)
+	for _, p := range []string{"the ", "any ", "all ", "only "} {
+		s = strings.TrimPrefix(s, p)
+	}
+	n := &Node{Kind: "set"}
+	rest := s
+	switch {
+	case reVarBase.MatchString(rest):
+		m := reVarBase.FindStringSubmatch(rest)
+		n.Base = m[1]
+		rest = strings.TrimSpace(rest[len(m[1]):])
+	case reAdjRel.MatchString(rest):
+		m := reAdjRel.FindStringSubmatch(rest)
+		concept := nlcond.NormalizeConcept(m[1])
+		n.Base = canonBase(m[2])
+		n.Filters = append(n.Filters, Filter{
+			Cond: nlcond.Cond{Kind: nlcond.Concept, Concept: concept},
+			Text: "related to " + concept,
+		})
+		rest = strings.TrimSpace(rest[len(m[0]):])
+	case reBaseWord.MatchString(rest):
+		m := reBaseWord.FindStringSubmatch(rest)
+		n.Base = canonBase(m[1])
+		rest = strings.TrimSpace(rest[len(m[1]):])
+	default:
+		return nil, fmt.Errorf("nlq: no base entity in %q", s)
+	}
+	if rest == "" {
+		return maybeVarNode(n), nil
+	}
+	spans, err := scanConditions(rest)
+	if err != nil {
+		return nil, err
+	}
+	// Residue check: all uncovered words must be fillers.
+	covered := make([]bool, len(rest))
+	for _, sp := range spans {
+		for i := sp.start; i < sp.end; i++ {
+			covered[i] = true
+		}
+	}
+	var residue strings.Builder
+	for i, ch := range rest {
+		if !covered[i] {
+			residue.WriteRune(ch)
+		}
+	}
+	for _, w := range strings.Fields(residue.String()) {
+		if !fillerWords[w] {
+			return nil, fmt.Errorf("nlq: unrecognized phrase %q in set %q", w, s)
+		}
+	}
+	for _, sp := range spans {
+		n.Filters = append(n.Filters, sp.filter)
+	}
+	return maybeVarNode(n), nil
+}
+
+// maybeVarNode collapses a filterless set over a variable base back to a
+// var node, keeping trees canonical.
+func maybeVarNode(n *Node) *Node {
+	if len(n.Filters) == 0 {
+		if _, ok := ParseVarRef(n.Base); ok {
+			return &Node{Kind: "var", Ref: strings.Trim(n.Base, "{}")}
+		}
+	}
+	return n
+}
+
+func canonBase(b string) string {
+	b = strings.ToLower(b)
+	if !strings.HasSuffix(b, "s") {
+		b += "s"
+	}
+	if b == "webpages" {
+		b = "pages"
+	}
+	return b
+}
+
+// scanConditions finds all condition spans in the remainder of a set
+// description, resolving overlaps by priority (subset > year > numeric >
+// concept) and position.
+func scanConditions(rest string) ([]span, error) {
+	var spans []span
+	add := func(start, end int, f Filter, prio int) {
+		spans = append(spans, span{start, end, f, prio})
+	}
+	for _, sub := range nlcond.FindSubsetSpans(rest) {
+		add(sub.Start, sub.End, Filter{
+			Cond: nlcond.Cond{Kind: nlcond.Subset, Concept: sub.Name},
+			Text: strings.TrimSpace(rest[sub.Start:sub.End]),
+		}, 0)
+	}
+	for _, loc := range reRangeSpan.FindAllStringSubmatchIndex(rest, -1) {
+		phrase := rest[loc[0]:loc[1]]
+		if c, ok := nlcond.Parse(phrase); ok {
+			add(loc[0], loc[1], Filter{Cond: c, Text: strings.TrimSpace(phrase)}, 1)
+		}
+	}
+	for _, loc := range reYearSpan.FindAllStringSubmatchIndex(rest, -1) {
+		phrase := rest[loc[0]:loc[1]]
+		if c, ok := nlcond.Parse(phrase); ok {
+			add(loc[0], loc[1], Filter{Cond: c, Text: strings.TrimSpace(phrase)}, 1)
+		}
+	}
+	for _, loc := range reNumSpan.FindAllStringSubmatchIndex(rest, -1) {
+		phrase := rest[loc[0]:loc[1]]
+		if c, ok := nlcond.Parse(phrase); ok {
+			add(loc[0], loc[1], Filter{Cond: c, Text: strings.TrimSpace(phrase)}, 2)
+		}
+	}
+	// Concept spans are scanned with manual offset control: the greedy
+	// two-word capture is trimmed back at clause keywords, and scanning
+	// resumes right after the trimmed capture so consecutive conditions
+	// ("related to football related to injury") are all found.
+	for off := 0; off < len(rest); {
+		loc := reConSpan.FindStringSubmatchIndex(rest[off:])
+		if loc == nil {
+			break
+		}
+		absStart := off + loc[0]
+		captStart := off + loc[4]
+		capt := rest[captStart : off+loc[5]]
+		trimmed, cut := trimConceptCapture(capt)
+		end := captStart + cut
+		if trimmed == "" || end <= absStart {
+			off = captStart + 1
+			continue
+		}
+		concept := nlcond.NormalizeConcept(trimmed)
+		if concept != "" {
+			add(absStart, end, Filter{
+				Cond: nlcond.Cond{Kind: nlcond.Concept, Concept: concept},
+				Text: "related to " + concept,
+			}, 3)
+		}
+		off = end
+	}
+	// Resolve overlaps: sort by priority then position, keep
+	// non-overlapping greedily, then restore positional order.
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].prio != spans[j].prio {
+			return spans[i].prio < spans[j].prio
+		}
+		return spans[i].start < spans[j].start
+	})
+	var kept []span
+	overlaps := func(a, b span) bool { return a.start < b.end && b.start < a.end }
+	for _, sp := range spans {
+		ok := true
+		for _, k := range kept {
+			if overlaps(sp, k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, sp)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].start < kept[j].start })
+	return kept, nil
+}
+
+var conceptStopWords = map[string]bool{
+	"with": true, "that": true, "which": true, "have": true, "having": true,
+	"posted": true, "or": true, "and": true, "are": true, "were": true,
+	"was": true, "is": true, "related": true, "relating": true,
+	"about": true, "regarding": true, "concerning": true,
+	"mentioning": true, "discussing": true, "covering": true,
+	"involving": true, "requiring": true, "dealing": true,
+}
+
+var genericNouns = map[string]bool{
+	"questions": true, "question": true, "articles": true, "article": true,
+	"pages": true, "page": true, "documents": true, "document": true,
+}
+
+// trimConceptCapture cuts a greedy concept capture at the first word that
+// starts a different clause and drops trailing generic nouns ("injury
+// questions" -> "injury"), returning the trimmed capture and its byte
+// length within the original capture.
+func trimConceptCapture(capt string) (string, int) {
+	words := strings.Fields(capt)
+	kept := words[:0]
+	for _, w := range words {
+		if conceptStopWords[w] {
+			break
+		}
+		kept = append(kept, w)
+	}
+	for len(kept) > 1 && genericNouns[kept[len(kept)-1]] {
+		kept = kept[:len(kept)-1]
+	}
+	out := strings.Join(kept, " ")
+	return out, len(out)
+}

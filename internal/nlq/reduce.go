@@ -1,0 +1,375 @@
+package nlq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reduction describes one successful query-reduction step: applying an
+// operator to a matched query segment, replacing it with a new
+// intermediate variable (the paper's §V-B reduction process).
+type Reduction struct {
+	Op      string            // operator name ("Filter", "GroupBy", ...)
+	Query   *Query            // the reduced query
+	VarName string            // new variable, e.g. "v3"
+	VarDesc string            // natural-language description of the variable
+	Args    map[string]string // placeholder bindings (Entity, Condition, ...)
+	Inputs  []string          // consumed variables ("{v1}") or "dataset"
+}
+
+// OperatorNames lists the operator vocabulary shared between nlq reduction
+// and the planning layers.
+var OperatorNames = []string{
+	"Scan", "Filter", "Compare", "GroupBy", "Count", "Sum", "Max", "Min",
+	"Average", "Median", "Percentile", "OrderBy", "Classify", "Extract",
+	"TopK", "Join", "Union", "Intersection", "Complementary", "Compute",
+	"Generate",
+}
+
+// inputOf converts a base/operand description into a dependency token.
+func inputOf(desc string) string {
+	if _, ok := ParseVarRef(desc); ok {
+		return desc
+	}
+	return "dataset"
+}
+
+// aggOpName maps an aggregate kind to its operator name.
+func aggOpName(k AggKind) string {
+	switch k {
+	case AggCount:
+		return "Count"
+	case AggSum:
+		return "Sum"
+	case AggAvg:
+		return "Average"
+	case AggMax:
+		return "Max"
+	case AggMin:
+		return "Min"
+	case AggMedian:
+		return "Median"
+	case AggPercentile:
+		return "Percentile"
+	default:
+		return "Compute"
+	}
+}
+
+// setOpName maps a set operation to its operator name.
+func setOpName(k string) string {
+	switch k {
+	case "union":
+		return "Union"
+	case "intersection":
+		return "Intersection"
+	default:
+		return "Complementary"
+	}
+}
+
+// pickOpName classifies a pick node as Max/Min/TopK/OrderBy.
+func pickOpName(n *Node) string {
+	if n.Want == "docs" {
+		if n.K == 0 {
+			return "OrderBy"
+		}
+		return "TopK"
+	}
+	if n.K == 1 {
+		if n.Dir == "asc" {
+			return "Min"
+		}
+		return "Max"
+	}
+	if n.K == 0 {
+		return "OrderBy"
+	}
+	return "TopK"
+}
+
+// Applicable returns, for each operator that could reduce the query right
+// now, whether applying it would fully solve the query ("fully") or leave
+// more work ("partially"). Operators not present map to nothing.
+func Applicable(q *Query, nextVar int) map[string]string {
+	out := make(map[string]string)
+	for _, op := range OperatorNames {
+		if op == "Generate" || op == "Join" {
+			continue
+		}
+		red, ok := Reduce(q, op, nextVar)
+		if !ok {
+			continue
+		}
+		if red.Query.Solved() {
+			out[op] = "fully"
+		} else {
+			out[op] = "partially"
+		}
+	}
+	return out
+}
+
+// Mentions reports whether the operator's kind of work appears anywhere in
+// the query tree, even if not yet reducible (used for the LLM rerank's
+// "partially solving" judgment on blocked operators).
+func Mentions(q *Query, op string) bool {
+	if q == nil || q.Root == nil {
+		return false
+	}
+	found := false
+	q.Clone().Walk(func(slot **Node) {
+		n := *slot
+		switch n.Kind {
+		case "set":
+			if len(n.Filters) > 0 && (op == "Filter" || op == "Scan") {
+				found = true
+			}
+		case "group":
+			if op == "GroupBy" {
+				found = true
+			}
+		case "agg":
+			if aggOpName(n.Agg) == op {
+				found = true
+			}
+		case "ratio":
+			if op == "Compute" {
+				found = true
+			}
+		case "compare":
+			if op == "Compare" {
+				found = true
+			}
+		case "setop":
+			if setOpName(n.SetOp) == op {
+				found = true
+			}
+		case "labels", "title":
+			if op == "Extract" {
+				found = true
+			}
+		case "classify":
+			if op == "Classify" {
+				found = true
+			}
+		case "pick":
+			if pickOpName(n) == op {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// Reduce attempts to reduce the query by one application of the named
+// operator, returning the reduction and whether the operator was
+// applicable. The input query is not modified.
+func Reduce(q *Query, op string, nextVar int) (Reduction, bool) {
+	return ReduceVariant(q, op, nextVar, 0)
+}
+
+// ReduceVariant is Reduce with an explicit choice among the equally
+// applicable matched segments (variant 0 is the first pending filter,
+// variant 1 the second, ...). Higher variants than available segments
+// fail, letting a planner enumerate alternative reduction orders — the
+// source of candidate-plan diversity.
+func ReduceVariant(q *Query, op string, nextVar, variant int) (Reduction, bool) {
+	if q == nil || q.Root == nil || q.Solved() || variant < 0 {
+		return Reduction{}, false
+	}
+	c := q.Clone()
+	varName := fmt.Sprintf("v%d", nextVar)
+	varTok := VarRef(nextVar)
+
+	var red *Reduction
+	done := func(r Reduction) {
+		r.Query = c
+		r.VarName = varName
+		red = &r
+	}
+
+	c.Walk(func(slot **Node) {
+		if red != nil {
+			return
+		}
+		n := *slot
+		switch {
+		case (op == "Filter" || op == "Scan") && n.Kind == "set" && n.Over == nil && len(n.Filters) > variant:
+			// Scan only applies to the raw dataset (access path); Filter
+			// applies anywhere.
+			if op == "Scan" {
+				if _, isVar := ParseVarRef(n.Base); isVar {
+					return
+				}
+			}
+			f := n.Filters[variant]
+			oldBase := n.Base
+			desc := oldBase + " " + condSurface(f)
+			key := renderNode(n)
+			// Structurally identical sets denote the same collection
+			// (parse may duplicate shared subtrees); reduce them all to
+			// the same variable so the plan shares one operator.
+			c.Walk(func(s2 **Node) {
+				m := *s2
+				if m.Kind == "set" && m.Over == nil && len(m.Filters) > variant && renderNode(m) == key {
+					kept := append([]Filter(nil), m.Filters[:variant]...)
+					kept = append(kept, m.Filters[variant+1:]...)
+					m.Filters = kept
+					m.Base = varTok
+					if len(m.Filters) == 0 {
+						*s2 = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+					}
+				}
+			})
+			done(Reduction{
+				Op:     op,
+				Args:   map[string]string{"Entity": oldBase, "Condition": condSurface(f)},
+				Inputs: []string{inputOf(oldBase)},
+			})
+			red.VarDesc = desc
+
+		case op == "GroupBy" && n.Kind == "group" && n.Over.IsBareSet():
+			over := renderNode(n.Over)
+			key := renderNode(n)
+			desc := "the groups of " + over + " by " + n.Class
+			class := n.Class
+			// Replace every structurally identical group node so that
+			// measure branches share one grouping (DAG sharing).
+			c.Walk(func(s2 **Node) {
+				m := *s2
+				if m.Kind == "group" && renderNode(m) == key {
+					*s2 = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+				}
+				if m.Kind == "set" && m.Over != nil && m.Over.IsVar() {
+					// Sets anchored on the reduced group become sets over
+					// the groups variable.
+					m.Base = "{" + m.Over.Ref + "}"
+					m.Over = nil
+					if len(m.Filters) == 0 {
+						*s2 = &Node{Kind: "var", Ref: m.Base[1 : len(m.Base)-1]}
+					}
+				}
+			})
+			done(Reduction{
+				Op:     "GroupBy",
+				Args:   map[string]string{"Entity": over, "Attribute": class},
+				Inputs: []string{inputOf(over)},
+			})
+			red.VarDesc = desc
+
+		case op != "Scan" && op != "Filter" && n.Kind == "agg" && aggOpName(n.Agg) == op && n.Over.IsBareSet():
+			operand := renderNode(n.Over)
+			desc := renderAgg(n)
+			key := renderNode(n)
+			args := map[string]string{"Entity": operand}
+			if n.Field != "" && n.Agg != AggCount {
+				args["Field"] = n.Field
+			}
+			if n.Agg == AggPercentile {
+				args["Number"] = strconv.Itoa(n.P)
+			}
+			c.Walk(func(s2 **Node) {
+				m := *s2
+				if m.Kind == "agg" && renderNode(m) == key {
+					*s2 = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+				}
+			})
+			done(Reduction{Op: op, Args: args, Inputs: []string{inputOf(operand)}})
+			red.VarDesc = desc
+
+		case op == "Compute" && n.Kind == "ratio" && n.A.IsVar() && n.B.IsVar():
+			a, b := renderNode(n.A), renderNode(n.B)
+			*slot = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+			done(Reduction{
+				Op:     "Compute",
+				Args:   map[string]string{"Entity": a, "Entity2": b, "Expression": a + " / " + b},
+				Inputs: []string{a, b},
+			})
+			red.VarDesc = "the ratio of " + a + " to " + b
+
+		case op == "Compare" && n.Kind == "compare" && n.A.IsVar() && n.B.IsVar():
+			a, b := renderNode(n.A), renderNode(n.B)
+			*slot = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+			done(Reduction{
+				Op:     "Compare",
+				Args:   map[string]string{"Entity": a, "Entity2": b, "Condition": "larger"},
+				Inputs: []string{a, b},
+			})
+			red.VarDesc = "the larger of " + a + " and " + b
+
+		case n.Kind == "setop" && setOpName(n.SetOp) == op && n.A.IsVar() && n.B.IsVar():
+			a, b := renderNode(n.A), renderNode(n.B)
+			*slot = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+			done(Reduction{
+				Op:     op,
+				Args:   map[string]string{"Entity": a, "Entity2": b},
+				Inputs: []string{a, b},
+			})
+			red.VarDesc = "the " + n.SetOp + " of " + a + " and " + b
+
+		case op == "Extract" && n.Kind == "labels" && n.Over.IsBareSet():
+			operand := renderNode(n.Over)
+			desc := renderNode(n)
+			class := n.Class
+			*slot = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+			done(Reduction{
+				Op:     "Extract",
+				Args:   map[string]string{"Entity": "the distinct " + class + "s", "Entity2": operand, "Attribute": class},
+				Inputs: []string{inputOf(operand)},
+			})
+			red.VarDesc = desc
+
+		case op == "Extract" && n.Kind == "title" && n.Over.IsVar():
+			operand := renderNode(n.Over)
+			*slot = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+			done(Reduction{
+				Op:     "Extract",
+				Args:   map[string]string{"Entity": "the title", "Entity2": operand, "Attribute": "title"},
+				Inputs: []string{operand},
+			})
+			red.VarDesc = "the title of " + operand
+
+		case op == "Classify" && n.Kind == "classify" && n.Over.IsVar():
+			operand := renderNode(n.Over)
+			class := n.Class
+			*slot = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+			done(Reduction{
+				Op:     "Classify",
+				Args:   map[string]string{"Entity": operand, "Attribute": class},
+				Inputs: []string{operand},
+			})
+			red.VarDesc = "the " + class + " of " + operand
+
+		case n.Kind == "pick" && pickOpName(n) == op && reduciblePick(n):
+			operand := renderNode(n.Over)
+			desc := renderNode(n)
+			args := map[string]string{"Entity": operand, "Number": strconv.Itoa(n.K)}
+			if n.By != "" {
+				args["Field"] = n.By
+			}
+			if n.Dir != "" {
+				args["Condition"] = n.Dir + "ending"
+			}
+			inputs := []string{inputOf(operand)}
+			*slot = &Node{Kind: "var", Ref: strings.Trim(varTok, "{}")}
+			done(Reduction{Op: op, Args: args, Inputs: inputs})
+			red.VarDesc = desc
+		}
+	})
+
+	if red == nil {
+		return Reduction{}, false
+	}
+	return *red, true
+}
+
+// reduciblePick reports whether a pick node's operand is ready: a variable
+// (grouped measures) or a bare document set (top-k by field).
+func reduciblePick(n *Node) bool {
+	if n.Want == "docs" {
+		return n.Over.IsBareSet()
+	}
+	return n.Over.IsVar()
+}

@@ -1,0 +1,277 @@
+package nlq
+
+import (
+	"fmt"
+	"strings"
+
+	"unify/internal/lexicon"
+	"unify/internal/nlcond"
+)
+
+// CondText renders a condition in canonical surface form, suitable for
+// inclusion in a set description ("with more than 500 views").
+func CondText(c nlcond.Cond) string {
+	switch c.Kind {
+	case nlcond.Numeric:
+		word := map[string]string{">": "more than", ">=": "at least", "<": "fewer than", "<=": "at most", "==": "exactly"}[c.Op]
+		noun := "views"
+		if c.Field == "score" {
+			noun = "upvotes"
+		}
+		return fmt.Sprintf("with %s %d %s", word, int(c.Value), noun)
+	case nlcond.Year:
+		word := map[string]string{">": "after", ">=": "since", "<": "before", "==": "in"}[c.Op]
+		return fmt.Sprintf("posted %s %d", word, int(c.Value))
+	case nlcond.Range:
+		return fmt.Sprintf("posted between %d and %d", int(c.Value), int(c.Value2))
+	case nlcond.Concept:
+		return "related to " + c.Concept
+	case nlcond.Subset:
+		if sub, ok := lexicon.LookupSubset(c.Concept); ok {
+			return sub.Phrase
+		}
+		return "in subset " + c.Concept
+	default:
+		return "unparseable condition"
+	}
+}
+
+// ordinal formats 1 -> "1st", 90 -> "90th" etc.
+func ordinal(n int) string {
+	switch {
+	case n%100 >= 11 && n%100 <= 13:
+		return fmt.Sprintf("%dth", n)
+	case n%10 == 1:
+		return fmt.Sprintf("%dst", n)
+	case n%10 == 2:
+		return fmt.Sprintf("%dnd", n)
+	case n%10 == 3:
+		return fmt.Sprintf("%drd", n)
+	default:
+		return fmt.Sprintf("%dth", n)
+	}
+}
+
+func fieldPhrase(field string) string {
+	if field == "score" {
+		return "score"
+	}
+	return "number of views"
+}
+
+// Render converts a query tree back to canonical natural-language text.
+// Parse(Render(q)) reproduces q for every tree reachable by parsing and
+// reduction (a property exercised by the test suite).
+func (q *Query) Render() string {
+	if q == nil || q.Root == nil {
+		return ""
+	}
+	return renderNode(q.Root)
+}
+
+func renderNode(n *Node) string {
+	switch n.Kind {
+	case "var":
+		return "{" + n.Ref + "}"
+	case "set":
+		return renderSet(n)
+	case "group":
+		return fmt.Sprintf("the groups of %s by %s", renderNode(n.Over), n.Class)
+	case "agg":
+		return renderAgg(n)
+	case "ratio":
+		return fmt.Sprintf("the ratio of %s to %s", renderNode(n.A), renderNode(n.B))
+	case "compare":
+		return fmt.Sprintf("which is larger: %s or %s", renderNode(n.A), renderNode(n.B))
+	case "setop":
+		switch n.SetOp {
+		case "union":
+			return fmt.Sprintf("the union of %s and %s", renderNode(n.A), renderNode(n.B))
+		case "intersection":
+			return fmt.Sprintf("the intersection of %s and %s", renderNode(n.A), renderNode(n.B))
+		default:
+			return fmt.Sprintf("the elements of %s not in %s", renderNode(n.A), renderNode(n.B))
+		}
+	case "labels":
+		return fmt.Sprintf("the distinct %ss of %s", n.Class, renderNode(n.Over))
+	case "title":
+		return "the title of " + renderNode(n.Over)
+	case "classify":
+		return fmt.Sprintf("the %s of %s", n.Class, renderNode(n.Over))
+	case "pick":
+		return renderPick(n)
+	default:
+		return "unrenderable"
+	}
+}
+
+// renderSet renders a document-set (or group-collection) description.
+func renderSet(n *Node) string {
+	var base string
+	switch {
+	case n.Over != nil:
+		// Filters over an unreduced group: the enclosing pick renders the
+		// grouping context, so the set renders with a generic base.
+		base = "questions"
+	case n.Base != "":
+		base = n.Base
+	default:
+		base = "questions"
+	}
+	parts := []string{base}
+	for _, f := range n.Filters {
+		parts = append(parts, condSurface(f))
+	}
+	return strings.Join(parts, " ")
+}
+
+// condSurface renders a filter canonically from its parsed condition, so
+// paraphrase variants of the same query render identically. The raw
+// surface text is kept on the Filter only for diagnostics.
+func condSurface(f Filter) string {
+	if f.Cond.Kind == nlcond.Invalid && f.Text != "" {
+		return f.Text
+	}
+	return CondText(f.Cond)
+}
+
+func renderAgg(n *Node) string {
+	operand := renderNode(n.Over)
+	switch n.Agg {
+	case AggCount:
+		return "the number of " + operand
+	case AggAvg:
+		return fmt.Sprintf("the average %s of %s", fieldPhrase(n.Field), operand)
+	case AggSum:
+		if n.Field == "score" {
+			return "the total score of " + operand
+		}
+		return "the total number of views of " + operand
+	case AggMax:
+		return fmt.Sprintf("the maximum %s of %s", fieldPhrase(n.Field), operand)
+	case AggMin:
+		return fmt.Sprintf("the minimum %s of %s", fieldPhrase(n.Field), operand)
+	case AggMedian:
+		return fmt.Sprintf("the median %s of %s", fieldPhrase(n.Field), operand)
+	case AggPercentile:
+		noun := "views"
+		if n.Field == "score" {
+			noun = "score"
+		}
+		return fmt.Sprintf("the %s percentile of %s of %s", ordinal(n.P), noun, operand)
+	default:
+		return "the aggregate of " + operand
+	}
+}
+
+// findGroup locates the unreduced group node anchoring a measure
+// expression, plus the subset filter (if any) restricting its labels.
+func findGroup(n *Node) (*Node, *nlcond.Cond) {
+	var g *Node
+	var subset *nlcond.Cond
+	var visit func(m *Node)
+	visit = func(m *Node) {
+		if m == nil || g != nil && subset != nil {
+			return
+		}
+		if m.Kind == "group" && g == nil {
+			g = m
+		}
+		if m.Kind == "set" && m.Over != nil {
+			for i := range m.Filters {
+				if m.Filters[i].Cond.Kind == nlcond.Subset && subset == nil {
+					subset = &m.Filters[i].Cond
+				}
+			}
+		}
+		visit(m.Over)
+		visit(m.A)
+		visit(m.B)
+	}
+	visit(n)
+	return g, subset
+}
+
+// measureWithoutSubset renders a measure, omitting subset filters (they
+// are rendered in the "among <class>es <phrase>" preamble instead).
+func measureWithoutSubset(n *Node) string {
+	c := cloneNode(n)
+	var strip func(m *Node)
+	strip = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.Kind == "set" {
+			kept := m.Filters[:0]
+			for _, f := range m.Filters {
+				if f.Cond.Kind != nlcond.Subset {
+					kept = append(kept, f)
+				}
+			}
+			m.Filters = kept
+		}
+		strip(m.Over)
+		strip(m.A)
+		strip(m.B)
+	}
+	strip(c)
+	return renderNode(c)
+}
+
+func classPlural(class string) string {
+	switch class {
+	case "category":
+		return "categories"
+	default:
+		return class + "s"
+	}
+}
+
+func renderPick(n *Node) string {
+	dirWord := "highest"
+	if n.Dir == "asc" {
+		dirWord = "lowest"
+	}
+	// Document picks: full sorts and top-k by a numeric field.
+	if n.Want == "docs" {
+		if n.K == 0 {
+			dir := "descending"
+			if n.Dir == "asc" {
+				dir = "ascending"
+			}
+			return fmt.Sprintf("%s sorted by %s %s", renderNode(n.Over), n.By, dir)
+		}
+		return fmt.Sprintf("the top %d of %s by %s", n.K, renderNode(n.Over), n.By)
+	}
+	// Label picks over a reduced vector variable.
+	if n.Over.IsVar() {
+		if n.K == 1 {
+			return fmt.Sprintf("which entry of %s is the %s", renderNode(n.Over), dirWord)
+		}
+		return fmt.Sprintf("the top %d entries of %s", n.K, renderNode(n.Over))
+	}
+	// Label picks anchored on a grouping. Measures embed without their
+	// leading article ("has the highest ratio of ...").
+	g, subset := findGroup(n.Over)
+	switch {
+	case g != nil && subset != nil:
+		return fmt.Sprintf("among %s %s, which one has the %s %s",
+			classPlural(g.Class), CondText(*subset), dirWord,
+			strings.TrimPrefix(measureWithoutSubset(n.Over), "the "))
+	case g != nil && n.K == 1:
+		return fmt.Sprintf("among %s, which %s has the %s %s",
+			renderNode(g.Over), g.Class, dirWord,
+			strings.TrimPrefix(renderNode(n.Over), "the "))
+	case g != nil:
+		return fmt.Sprintf("among %s, which %d %s have the %s %s",
+			renderNode(g.Over), n.K, classPlural(g.Class), dirWord,
+			strings.TrimPrefix(renderNode(n.Over), "the "))
+	case n.K == 1:
+		// Grouping already reduced; measure still has live operations.
+		return fmt.Sprintf("which entry has the %s %s", dirWord,
+			strings.TrimPrefix(renderNode(n.Over), "the "))
+	default:
+		return fmt.Sprintf("the top %d entries by %s", n.K,
+			strings.TrimPrefix(renderNode(n.Over), "the "))
+	}
+}

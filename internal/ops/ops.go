@@ -1,0 +1,371 @@
+// Package ops implements the 21 unstructured-data-analytics logical
+// operators of the paper's Table II, each with pre-programmed and (where
+// defined) LLM-based physical implementations.
+//
+// A logical operator (Spec) declares its logical representations — the
+// natural-language templates the planner matches queries against — and its
+// candidate physical implementations. The optimizer chooses one Physical
+// per plan node via the cost model; the executor invokes Physical.Run.
+package ops
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"unify/internal/docstore"
+	"unify/internal/llm"
+	"unify/internal/logrep"
+	"unify/internal/values"
+)
+
+// Args carries the placeholder bindings extracted from the rewritten
+// query segment (Entity, Entity2, Condition, Attribute, Number, Field)
+// plus optimizer-injected parameters prefixed with "_" (e.g. _scanK).
+type Args map[string]string
+
+// Get returns a binding, or "".
+func (a Args) Get(key string) string { return a[key] }
+
+// Int returns a numeric binding.
+func (a Args) Int(key string) (int, bool) {
+	v, err := strconv.Atoi(strings.TrimSpace(a[key]))
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Env is the execution environment an operator runs against.
+type Env struct {
+	Store *docstore.Store
+	// Client is the operator-execution model (the paper's Llama-8B),
+	// usually wrapped in an llm.Recorder by the executor so calls are
+	// charged to the virtual clock.
+	Client llm.Client
+	// BatchSize bounds how many documents one LLM invocation covers
+	// ("LLM invocation is batched when possible").
+	BatchSize int
+}
+
+func (e *Env) batch() int {
+	if e.BatchSize <= 0 {
+		return 16
+	}
+	return e.BatchSize
+}
+
+// Physical is one executable implementation of a logical operator.
+type Physical struct {
+	// Name identifies the implementation, e.g. "ExactFilter".
+	Name string
+	// LLMBased distinguishes the two families of Table II.
+	LLMBased bool
+	// Adequate reports whether this implementation satisfies the
+	// operator's semantic requirements for the given arguments; the
+	// optimizer only chooses among adequate implementations (paper
+	// §VI-C: semantic requirements bypass the cost model).
+	Adequate func(args Args, inputs []values.Value) bool
+	// Run executes the operator.
+	Run func(ctx context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error)
+}
+
+// Spec is a logical operator.
+type Spec struct {
+	Name string
+	// LRs are the operator's logical representations.
+	LRs []string
+	// Templates are the compiled LRs, index-aligned with LRs.
+	Templates []*logrep.Template
+	// Phys lists candidate physical implementations.
+	Phys []*Physical
+}
+
+// Template returns the compiled template for an LR string.
+func (s *Spec) Template(lr string) *logrep.Template {
+	for i, t := range s.LRs {
+		if t == lr {
+			return s.Templates[i]
+		}
+	}
+	return nil
+}
+
+// Adequate filters the spec's physicals to those adequate for the inputs.
+func (s *Spec) Adequate(args Args, inputs []values.Value) []*Physical {
+	var out []*Physical
+	for _, p := range s.Phys {
+		if p.Adequate == nil || p.Adequate(args, inputs) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var registry = map[string]*Spec{}
+
+// Register adds a caller-defined logical operator to the registry — the
+// paper's extensibility hook (§IV-B3): define logical representations for
+// planning and physical implementations for execution. It fails on name
+// collisions or incomplete specs.
+func Register(s *Spec) error {
+	if s == nil || s.Name == "" {
+		return fmt.Errorf("ops: operator needs a name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("ops: operator %q already registered", s.Name)
+	}
+	if len(s.LRs) == 0 {
+		return fmt.Errorf("ops: operator %q needs at least one logical representation", s.Name)
+	}
+	if len(s.Phys) == 0 {
+		return fmt.Errorf("ops: operator %q needs at least one physical implementation", s.Name)
+	}
+	for _, lr := range s.LRs {
+		t, err := logrep.Compile(lr)
+		if err != nil {
+			return err
+		}
+		s.Templates = append(s.Templates, t)
+	}
+	registry[s.Name] = s
+	return nil
+}
+
+// Unregister removes a previously Register-ed operator (primarily for
+// tests); built-in operators cannot be removed.
+func Unregister(name string) error {
+	if builtin[name] {
+		return fmt.Errorf("ops: cannot unregister built-in operator %q", name)
+	}
+	if _, ok := registry[name]; !ok {
+		return fmt.Errorf("ops: operator %q not registered", name)
+	}
+	delete(registry, name)
+	return nil
+}
+
+var builtin = map[string]bool{}
+
+func register(s *Spec) {
+	for _, lr := range s.LRs {
+		s.Templates = append(s.Templates, logrep.MustCompile(lr))
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("ops: duplicate operator %q", s.Name))
+	}
+	registry[s.Name] = s
+	builtin[s.Name] = true
+}
+
+// Get returns the named operator spec.
+func Get(name string) (*Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all operator names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every operator spec, sorted by name.
+func All() []*Spec {
+	names := Names()
+	out := make([]*Spec, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+func init() {
+	register(&Spec{
+		Name: "Scan",
+		LRs: []string{
+			"documents satisfy [Condition]",
+			"scan documents with [Condition]",
+		},
+		// Scan is the access path for a (possibly semantic) condition
+		// over the raw collection: a plain LinearScan when there is no
+		// condition, exact/semantic/index-assisted filtering otherwise.
+		Phys: []*Physical{
+			physLinearScan(), physIndexScan(), physExactFilter(),
+			physKeywordFilter(), physSemanticFilter(), physIndexFilter(),
+		},
+	})
+	register(&Spec{
+		Name: "Filter",
+		LRs: []string{
+			"[Entity] that [Condition]",
+			"[Entity] having [Condition]",
+			"[Entity] satisfy [Condition]",
+			"[Entity] which are [Condition]",
+		},
+		Phys: []*Physical{physExactFilter(), physKeywordFilter(), physSemanticFilter(), physIndexFilter()},
+	})
+	register(&Spec{
+		Name: "Compare",
+		LRs: []string{
+			"larger in [Entity] and [Entity]",
+			"compare [Entity] with [Entity] by [Condition]",
+		},
+		Phys: []*Physical{physNumericCompare(), physSemanticCompare()},
+	})
+	register(&Spec{
+		Name: "GroupBy",
+		LRs: []string{
+			"aggregate [Entity] by [Attribute]",
+			"group [Entity] by [Attribute]",
+			"among [Entity], which [Attribute] has the highest [Entity]",
+			"which [Attribute] has the most [Entity]",
+		},
+		Phys: []*Physical{physHashGroupBy(), physSortGroupBy(), physSemanticGroupBy()},
+	})
+	register(&Spec{
+		Name: "Count",
+		LRs: []string{
+			"number of [Entity]",
+			"the count of [Entity]",
+		},
+		Phys: []*Physical{physPreAgg("Count"), physLLMAgg("Count")},
+	})
+	register(&Spec{
+		Name: "Sum",
+		LRs: []string{
+			"the total sum of [Entity]",
+			"the total [Field] of [Entity]",
+		},
+		Phys: []*Physical{physPreAgg("Sum"), physLLMAgg("Sum")},
+	})
+	register(&Spec{
+		Name: "Max",
+		LRs: []string{
+			"the maximum of [Entity]",
+			"the maximum [Field] of [Entity]",
+			"the entry of [Entity] with the highest value",
+		},
+		Phys: []*Physical{physPreAgg("Max"), physLLMAgg("Max"), physPreArg("Max"), physLLMArg("Max")},
+	})
+	register(&Spec{
+		Name: "Min",
+		LRs: []string{
+			"the minimum of [Entity]",
+			"the minimum [Field] of [Entity]",
+			"the entry of [Entity] with the lowest value",
+		},
+		Phys: []*Physical{physPreAgg("Min"), physLLMAgg("Min"), physPreArg("Min"), physLLMArg("Min")},
+	})
+	register(&Spec{
+		Name: "Average",
+		LRs: []string{
+			"the mean of [Entity]",
+			"the average [Field] of [Entity]",
+		},
+		Phys: []*Physical{physPreAgg("Average"), physLLMAgg("Average")},
+	})
+	register(&Spec{
+		Name: "Median",
+		LRs: []string{
+			"the median of [Entity]",
+			"the median [Field] of [Entity]",
+		},
+		Phys: []*Physical{physPreAgg("Median"), physLLMAgg("Median")},
+	})
+	register(&Spec{
+		Name: "Percentile",
+		LRs: []string{
+			"the k-th percentile for [Entity]",
+			"the [Number]th percentile of [Field] of [Entity]",
+		},
+		Phys: []*Physical{physPreAgg("Percentile"), physLLMAgg("Percentile")},
+	})
+	register(&Spec{
+		Name: "OrderBy",
+		LRs: []string{
+			"sort [Entity] [Condition]",
+			"order [Entity] by [Field]",
+		},
+		Phys: []*Physical{physPreOrderBy(), physLLMOrderBy()},
+	})
+	register(&Spec{
+		Name: "Classify",
+		LRs: []string{
+			"the type of [Entity]",
+			"the [Attribute] of [Entity]",
+		},
+		Phys: []*Physical{physRuleClassify(), physSemanticClassify()},
+	})
+	register(&Spec{
+		Name: "Extract",
+		LRs: []string{
+			"get [Entity] from documents",
+			"extract [Entity] from [Entity]",
+			"the distinct [Attribute]s of [Entity]",
+		},
+		Phys: []*Physical{physPreExtract(), physLLMExtract(), physDistinctValues(), physRuleDistinct()},
+	})
+	register(&Spec{
+		Name: "TopK",
+		LRs: []string{
+			"the top [Number] [Entity]",
+			"the top [Number] of [Entity] by [Field]",
+		},
+		Phys: []*Physical{physPreTopK(), physLLMTopK()},
+	})
+	register(&Spec{
+		Name: "Join",
+		LRs: []string{
+			"[Entity] that also occurs in [Entity]",
+		},
+		Phys: []*Physical{physKeyJoin(), physSemanticJoin()},
+	})
+	register(&Spec{
+		Name: "Union",
+		LRs: []string{
+			"set union of [Entity] and [Entity]",
+			"the union of [Entity] and [Entity]",
+		},
+		Phys: []*Physical{physSetOp("union", false), physSetOp("union", true)},
+	})
+	register(&Spec{
+		Name: "Intersection",
+		LRs: []string{
+			"in set [Entity] and in [Entity]",
+			"the intersection of [Entity] and [Entity]",
+		},
+		Phys: []*Physical{physSetOp("intersection", false), physSetOp("intersection", true)},
+	})
+	register(&Spec{
+		Name: "Complementary",
+		LRs: []string{
+			"in set [Entity] not in [Entity]",
+			"the elements of [Entity] not in [Entity]",
+		},
+		Phys: []*Physical{physSetOp("complement", false), physSetOp("complement", true)},
+	})
+	register(&Spec{
+		Name: "Compute",
+		LRs: []string{
+			"sum of squares of [Entity]",
+			"the ratio of [Entity] to [Entity]",
+			"compute [Entity] over [Entity]",
+		},
+		Phys: []*Physical{physPreCompute(), physLLMCompute()},
+	})
+	register(&Spec{
+		Name: "Generate",
+		LRs: []string{
+			"explain the result",
+			"answer [Condition] from context",
+		},
+		Phys: []*Physical{physGenerate()},
+	})
+}

@@ -1,0 +1,792 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"unify/internal/expr"
+	"unify/internal/lexicon"
+	"unify/internal/nlcond"
+	"unify/internal/values"
+)
+
+// This file implements the pre-programmed physical operators: fixed
+// algorithmic implementations (regex field extraction, hash grouping,
+// sorting, arithmetic) that need no semantic understanding, mirroring
+// classic database operators (paper §IV-B1).
+
+func docText(env *Env, id int) (string, error) {
+	d, ok := env.Store.Doc(id)
+	if !ok {
+		return "", fmt.Errorf("ops: unknown document %d", id)
+	}
+	return d.Text, nil
+}
+
+// fieldOf extracts a numeric field from a document by regex.
+func fieldOf(env *Env, id int, field string) (float64, bool) {
+	d, ok := env.Store.Doc(id)
+	if !ok {
+		return 0, false
+	}
+	return nlcond.ExtractField(d.Text, field)
+}
+
+func parseCond(args Args) (nlcond.Cond, bool) {
+	return nlcond.Parse(args.Get("Condition"))
+}
+
+func wantDocsOrGroups(_ Args, inputs []values.Value) bool {
+	return len(inputs) >= 1 && (inputs[0].Kind == values.Docs || inputs[0].Kind == values.Groups)
+}
+
+// --- Scan ---
+
+func physLinearScan() *Physical {
+	return &Physical{
+		Name: "LinearScan",
+		Adequate: func(args Args, inputs []values.Value) bool {
+			// A bare scan is only adequate when there is no condition to
+			// honor; conditioned scans need a filtering implementation.
+			return args.Get("Condition") == "" &&
+				len(inputs) >= 1 && inputs[0].Kind == values.Docs
+		},
+		Run: func(_ context.Context, _ *Env, _ Args, inputs []values.Value) (values.Value, error) {
+			return inputs[0], nil
+		},
+	}
+}
+
+func physIndexScan() *Physical {
+	return &Physical{
+		Name: "IndexScan",
+		Adequate: func(args Args, inputs []values.Value) bool {
+			// Raw candidate generation without verification is only
+			// semantically adequate when explicitly requested (the
+			// recall/latency ablation); normal plans verify candidates
+			// through IndexFilter.
+			_, hasK := args.Int("_scanK")
+			return hasK && args.Get("_raw") == "1" &&
+				len(inputs) >= 1 && inputs[0].Kind == values.Docs
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			k, _ := args.Int("_scanK")
+			res := env.Store.SearchDocs(args.Get("Condition"), k)
+			in := make(map[int]bool, len(inputs[0].DocIDs))
+			for _, id := range inputs[0].DocIDs {
+				in[id] = true
+			}
+			var ids []int
+			for _, r := range res {
+				if in[r.ID] {
+					ids = append(ids, r.ID)
+				}
+			}
+			sort.Ints(ids)
+			return values.NewDocs(ids), nil
+		},
+	}
+}
+
+// --- Filter ---
+
+// physExactFilter evaluates structured (numeric/year) conditions exactly
+// with regular expressions.
+func physExactFilter() *Physical {
+	return &Physical{
+		Name: "ExactFilter",
+		Adequate: func(args Args, inputs []values.Value) bool {
+			c, ok := parseCond(args)
+			return ok && c.Structured() && wantDocsOrGroups(args, inputs)
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			c, ok := parseCond(args)
+			if !ok || !c.Structured() {
+				return values.Value{}, fmt.Errorf("ops: ExactFilter on non-structured condition %q", args.Get("Condition"))
+			}
+			keep := func(id int) (bool, error) {
+				text, err := docText(env, id)
+				if err != nil {
+					return false, err
+				}
+				return c.EvalStructured(text), nil
+			}
+			return filterValue(inputs[0], keep)
+		},
+	}
+}
+
+// physKeywordFilter matches only the concept's name word — a cheap but
+// semantically inadequate approximation kept for ablations; the optimizer
+// never selects it for semantic conditions unless explicitly allowed.
+func physKeywordFilter() *Physical {
+	return &Physical{
+		Name: "KeywordFilter",
+		Adequate: func(args Args, inputs []values.Value) bool {
+			c, ok := parseCond(args)
+			return ok && c.Kind == nlcond.Concept && args.Get("_keyword") == "1" &&
+				wantDocsOrGroups(args, inputs)
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			c, _ := parseCond(args)
+			re := regexp.MustCompile(`(?i)\b` + regexp.QuoteMeta(c.Concept) + `\b`)
+			keep := func(id int) (bool, error) {
+				text, err := docText(env, id)
+				if err != nil {
+					return false, err
+				}
+				return re.MatchString(text), nil
+			}
+			return filterValue(inputs[0], keep)
+		},
+	}
+}
+
+// filterValue applies a per-document predicate to Docs or Groups input.
+func filterValue(in values.Value, keep func(id int) (bool, error)) (values.Value, error) {
+	switch in.Kind {
+	case values.Docs:
+		var out []int
+		for _, id := range in.DocIDs {
+			ok, err := keep(id)
+			if err != nil {
+				return values.Value{}, err
+			}
+			if ok {
+				out = append(out, id)
+			}
+		}
+		return values.NewDocs(out), nil
+	case values.Groups:
+		groups := make([]values.Group, 0, len(in.GroupVal))
+		for _, g := range in.GroupVal {
+			var sub []int
+			for _, id := range g.DocIDs {
+				ok, err := keep(id)
+				if err != nil {
+					return values.Value{}, err
+				}
+				if ok {
+					sub = append(sub, id)
+				}
+			}
+			groups = append(groups, values.Group{Label: g.Label, DocIDs: sub})
+		}
+		return values.NewGroups(groups), nil
+	default:
+		return values.Value{}, fmt.Errorf("ops: cannot filter %s value", in.Kind)
+	}
+}
+
+// --- GroupBy ---
+
+// groupByField groups documents by an exact numeric attribute.
+func groupByField(env *Env, ids []int, field string) (values.Value, error) {
+	buckets := map[string][]int{}
+	for _, id := range ids {
+		v, ok := fieldOf(env, id, field)
+		if !ok {
+			continue
+		}
+		label := fmt.Sprintf("%g", v)
+		buckets[label] = append(buckets[label], id)
+	}
+	groups := make([]values.Group, 0, len(buckets))
+	for label, members := range buckets {
+		groups = append(groups, values.Group{Label: label, DocIDs: members})
+	}
+	return values.NewGroups(groups), nil
+}
+
+func structuredAttr(attr string) bool {
+	switch strings.ToLower(strings.TrimSpace(attr)) {
+	case "year", "score", "views":
+		return true
+	}
+	return false
+}
+
+func physHashGroupBy() *Physical {
+	return &Physical{
+		Name: "HashGroupBy",
+		Adequate: func(args Args, inputs []values.Value) bool {
+			return structuredAttr(args.Get("Attribute")) &&
+				len(inputs) >= 1 && inputs[0].Kind == values.Docs
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			return groupByField(env, inputs[0].DocIDs, strings.ToLower(args.Get("Attribute")))
+		},
+	}
+}
+
+// physSortGroupBy sorts by the attribute and groups adjacent runs —
+// equivalent output to HashGroupBy, different cost profile.
+func physSortGroupBy() *Physical {
+	return &Physical{
+		Name: "SortGroupBy",
+		Adequate: func(args Args, inputs []values.Value) bool {
+			return structuredAttr(args.Get("Attribute")) &&
+				len(inputs) >= 1 && inputs[0].Kind == values.Docs
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			field := strings.ToLower(args.Get("Attribute"))
+			ids := append([]int(nil), inputs[0].DocIDs...)
+			type kv struct {
+				id int
+				v  float64
+			}
+			var pairs []kv
+			for _, id := range ids {
+				if v, ok := fieldOf(env, id, field); ok {
+					pairs = append(pairs, kv{id, v})
+				}
+			}
+			sort.Slice(pairs, func(i, j int) bool {
+				if pairs[i].v != pairs[j].v {
+					return pairs[i].v < pairs[j].v
+				}
+				return pairs[i].id < pairs[j].id
+			})
+			var groups []values.Group
+			for i := 0; i < len(pairs); {
+				j := i
+				for j < len(pairs) && pairs[j].v == pairs[i].v {
+					j++
+				}
+				members := make([]int, 0, j-i)
+				for k := i; k < j; k++ {
+					members = append(members, pairs[k].id)
+				}
+				groups = append(groups, values.Group{Label: fmt.Sprintf("%g", pairs[i].v), DocIDs: members})
+				i = j
+			}
+			return values.NewGroups(groups), nil
+		},
+	}
+}
+
+// --- Aggregates ---
+
+// aggScalar computes an aggregate over a value list.
+func aggScalar(kind string, vals []float64, p int) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	switch kind {
+	case "Sum":
+		var t float64
+		for _, v := range vals {
+			t += v
+		}
+		return t
+	case "Average":
+		var t float64
+		for _, v := range vals {
+			t += v
+		}
+		return t / float64(len(vals))
+	case "Max":
+		m := vals[0]
+		for _, v := range vals {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case "Min":
+		m := vals[0]
+		for _, v := range vals {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case "Median":
+		s := append([]float64(nil), vals...)
+		sort.Float64s(s)
+		mid := len(s) / 2
+		if len(s)%2 == 1 {
+			return s[mid]
+		}
+		return (s[mid-1] + s[mid]) / 2
+	case "Percentile":
+		s := append([]float64(nil), vals...)
+		sort.Float64s(s)
+		idx := (p*len(s) + 99) / 100
+		if idx < 1 {
+			idx = 1
+		}
+		if idx > len(s) {
+			idx = len(s)
+		}
+		return s[idx-1]
+	default:
+		return 0
+	}
+}
+
+// docVals extracts the aggregate field from each document.
+func docVals(env *Env, ids []int, field string) []float64 {
+	var out []float64
+	for _, id := range ids {
+		if v, ok := fieldOf(env, id, field); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func aggField(args Args) string {
+	f := strings.ToLower(args.Get("Field"))
+	if f == "" {
+		f = "views"
+	}
+	return f
+}
+
+// physPreAgg aggregates Docs to a scalar or Groups to a per-label vector
+// using regex field extraction.
+func physPreAgg(kind string) *Physical {
+	return &Physical{
+		Name: "Pre" + kind,
+		Adequate: func(args Args, inputs []values.Value) bool {
+			return wantDocsOrGroups(args, inputs)
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			p, _ := args.Int("Number")
+			field := aggField(args)
+			agg := func(ids []int) float64 {
+				if kind == "Count" {
+					return float64(len(ids))
+				}
+				return aggScalar(kind, docVals(env, ids, field), p)
+			}
+			switch in := inputs[0]; in.Kind {
+			case values.Docs:
+				return values.NewNum(agg(in.DocIDs)), nil
+			case values.Groups:
+				vec := make([]values.LabeledNum, 0, len(in.GroupVal))
+				for _, g := range in.GroupVal {
+					vec = append(vec, values.LabeledNum{Label: g.Label, Num: agg(g.DocIDs)})
+				}
+				return values.NewVec(vec), nil
+			default:
+				return values.Value{}, fmt.Errorf("ops: %s over %s value", kind, in.Kind)
+			}
+		},
+	}
+}
+
+// physPreArg resolves Max/Min over a labeled vector to its extreme label.
+func physPreArg(kind string) *Physical {
+	return &Physical{
+		Name: "PreArg" + kind,
+		Adequate: func(_ Args, inputs []values.Value) bool {
+			return len(inputs) >= 1 && inputs[0].Kind == values.Vec
+		},
+		Run: func(_ context.Context, _ *Env, _ Args, inputs []values.Value) (values.Value, error) {
+			vec := inputs[0].VecVal
+			if len(vec) == 0 {
+				return values.Value{}, fmt.Errorf("ops: %s over empty vector", kind)
+			}
+			best := vec[0]
+			for _, e := range vec[1:] {
+				if (kind == "Max" && e.Num > best.Num) || (kind == "Min" && e.Num < best.Num) {
+					best = e
+				}
+			}
+			return values.NewStr(best.Label), nil
+		},
+	}
+}
+
+// --- OrderBy / TopK ---
+
+func sortedDocs(env *Env, ids []int, field string, desc bool) []int {
+	type kv struct {
+		id int
+		v  float64
+	}
+	pairs := make([]kv, 0, len(ids))
+	for _, id := range ids {
+		if v, ok := fieldOf(env, id, field); ok {
+			pairs = append(pairs, kv{id, v})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].v != pairs[j].v {
+			if desc {
+				return pairs[i].v > pairs[j].v
+			}
+			return pairs[i].v < pairs[j].v
+		}
+		return pairs[i].id < pairs[j].id
+	})
+	out := make([]int, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.id
+	}
+	return out
+}
+
+func sortedVec(vec []values.LabeledNum, desc bool) []values.LabeledNum {
+	out := append([]values.LabeledNum(nil), vec...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Num != out[j].Num {
+			if desc {
+				return out[i].Num > out[j].Num
+			}
+			return out[i].Num < out[j].Num
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+func isDesc(args Args) bool {
+	return !strings.Contains(strings.ToLower(args.Get("Condition")), "asc")
+}
+
+func physPreOrderBy() *Physical {
+	return &Physical{
+		Name: "PreOrderBy",
+		Adequate: func(_ Args, inputs []values.Value) bool {
+			return len(inputs) >= 1 && (inputs[0].Kind == values.Docs || inputs[0].Kind == values.Vec)
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			desc := isDesc(args)
+			switch in := inputs[0]; in.Kind {
+			case values.Docs:
+				return values.NewDocs(sortedDocs(env, in.DocIDs, aggField(args), desc)), nil
+			case values.Vec:
+				return values.Value{Kind: values.Vec, VecVal: sortedVec(in.VecVal, desc)}, nil
+			default:
+				return values.Value{}, fmt.Errorf("ops: OrderBy over %s value", in.Kind)
+			}
+		},
+	}
+}
+
+func physPreTopK() *Physical {
+	return &Physical{
+		Name: "PreTopK",
+		Adequate: func(args Args, inputs []values.Value) bool {
+			_, hasK := args.Int("Number")
+			return hasK && len(inputs) >= 1 &&
+				(inputs[0].Kind == values.Docs || inputs[0].Kind == values.Vec)
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			k, _ := args.Int("Number")
+			desc := isDesc(args)
+			switch in := inputs[0]; in.Kind {
+			case values.Docs:
+				ids := sortedDocs(env, in.DocIDs, aggField(args), desc)
+				if k > len(ids) {
+					k = len(ids)
+				}
+				return values.Value{Kind: values.Docs, DocIDs: ids[:k]}, nil
+			case values.Vec:
+				vec := sortedVec(in.VecVal, desc)
+				if k > len(vec) {
+					k = len(vec)
+				}
+				labels := make([]string, k)
+				for i := 0; i < k; i++ {
+					labels[i] = vec[i].Label
+				}
+				return values.Value{Kind: values.Labels, LabelVal: labels}, nil
+			default:
+				return values.Value{}, fmt.Errorf("ops: TopK over %s value", in.Kind)
+			}
+		},
+	}
+}
+
+// --- Classify / Extract ---
+
+// physRuleClassify matches only class names verbatim — the "rule-based"
+// implementation of Table II; inadequate for semantic classification
+// unless the document happens to name its class.
+func physRuleClassify() *Physical {
+	return &Physical{
+		Name: "RuleClassify",
+		Adequate: func(args Args, _ []values.Value) bool {
+			return args.Get("_rule") == "1"
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			if len(inputs) < 1 || inputs[0].Kind != values.Docs || len(inputs[0].DocIDs) == 0 {
+				return values.Value{}, fmt.Errorf("ops: RuleClassify needs a document")
+			}
+			text, err := docText(env, inputs[0].DocIDs[0])
+			if err != nil {
+				return values.Value{}, err
+			}
+			for _, label := range classLabels(args.Get("Attribute")) {
+				if regexp.MustCompile(`(?i)\b` + regexp.QuoteMeta(label) + `\b`).MatchString(text) {
+					return values.NewStr(label), nil
+				}
+			}
+			return values.NewStr("unknown"), nil
+		},
+	}
+}
+
+// physRuleDistinct is the rule-based distinct-value extraction: a label
+// counts only when its name appears verbatim — cheap, low recall, kept
+// for ablations (mirrors RuleClassify).
+func physRuleDistinct() *Physical {
+	return &Physical{
+		Name: "RuleDistinct",
+		Adequate: func(args Args, inputs []values.Value) bool {
+			return args.Get("_rule") == "1" && classAttr(args.Get("Attribute")) &&
+				len(inputs) >= 1 && inputs[0].Kind == values.Docs
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			labels := classLabels(args.Get("Attribute"))
+			res := map[string]bool{}
+			for _, id := range inputs[0].DocIDs {
+				text, err := docText(env, id)
+				if err != nil {
+					return values.Value{}, err
+				}
+				for _, l := range labels {
+					if !res[l] && regexp.MustCompile(`(?i)\b`+regexp.QuoteMeta(l)+`\b`).MatchString(text) {
+						res[l] = true
+					}
+				}
+			}
+			out := make([]string, 0, len(res))
+			for l := range res {
+				out = append(out, l)
+			}
+			sort.Strings(out)
+			return values.NewLabels(out), nil
+		},
+	}
+}
+
+// physPreExtract handles structural extraction: distinct group labels and
+// regex field/title extraction from a single document.
+func physPreExtract() *Physical {
+	return &Physical{
+		Name: "PreExtract",
+		Adequate: func(args Args, inputs []values.Value) bool {
+			if len(inputs) < 1 {
+				return false
+			}
+			if inputs[0].Kind == values.Groups {
+				return true
+			}
+			attr := strings.ToLower(args.Get("Attribute"))
+			return inputs[0].Kind == values.Docs &&
+				(attr == "title" || attr == "views" || attr == "score" || attr == "year")
+		},
+		Run: func(_ context.Context, env *Env, args Args, inputs []values.Value) (values.Value, error) {
+			in := inputs[0]
+			if in.Kind == values.Groups {
+				labels := make([]string, 0, len(in.GroupVal))
+				for _, g := range in.GroupVal {
+					labels = append(labels, g.Label)
+				}
+				return values.NewLabels(labels), nil
+			}
+			if len(in.DocIDs) == 0 {
+				return values.Value{}, fmt.Errorf("ops: Extract from empty document list")
+			}
+			attr := strings.ToLower(args.Get("Attribute"))
+			d, ok := env.Store.Doc(in.DocIDs[0])
+			if !ok {
+				return values.Value{}, fmt.Errorf("ops: unknown document %d", in.DocIDs[0])
+			}
+			if attr == "title" {
+				return values.NewStr(d.Title), nil
+			}
+			v, ok := nlcond.ExtractField(d.Text, attr)
+			if !ok {
+				return values.Value{}, fmt.Errorf("ops: field %q absent from document %d", attr, d.ID)
+			}
+			return values.NewNum(v), nil
+		},
+	}
+}
+
+// --- Join / set operations ---
+
+func physKeyJoin() *Physical {
+	return &Physical{
+		Name: "KeyJoin",
+		Adequate: func(_ Args, inputs []values.Value) bool {
+			return len(inputs) >= 2 && inputs[0].Kind == inputs[1].Kind &&
+				(inputs[0].Kind == values.Docs || inputs[0].Kind == values.Labels || inputs[0].Kind == values.Vec)
+		},
+		Run: func(_ context.Context, _ *Env, _ Args, inputs []values.Value) (values.Value, error) {
+			return setOpValues("intersection", inputs[0], inputs[1])
+		},
+	}
+}
+
+// setOpValues performs a set operation over two same-kind values.
+func setOpValues(op string, a, b values.Value) (values.Value, error) {
+	switch {
+	case a.Kind == values.Docs && b.Kind == values.Docs:
+		inB := make(map[int]bool, len(b.DocIDs))
+		for _, id := range b.DocIDs {
+			inB[id] = true
+		}
+		var out []int
+		switch op {
+		case "union":
+			seen := map[int]bool{}
+			for _, id := range append(append([]int{}, a.DocIDs...), b.DocIDs...) {
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
+			}
+		case "intersection":
+			for _, id := range a.DocIDs {
+				if inB[id] {
+					out = append(out, id)
+				}
+			}
+		default:
+			for _, id := range a.DocIDs {
+				if !inB[id] {
+					out = append(out, id)
+				}
+			}
+		}
+		sort.Ints(out)
+		return values.NewDocs(out), nil
+	case (a.Kind == values.Labels || a.Kind == values.Vec) && (b.Kind == values.Labels || b.Kind == values.Vec):
+		al, bl := labelList(a), labelList(b)
+		inB := make(map[string]bool, len(bl))
+		for _, l := range bl {
+			inB[l] = true
+		}
+		var out []string
+		switch op {
+		case "union":
+			seen := map[string]bool{}
+			for _, l := range append(append([]string{}, al...), bl...) {
+				if !seen[l] {
+					seen[l] = true
+					out = append(out, l)
+				}
+			}
+		case "intersection":
+			for _, l := range al {
+				if inB[l] {
+					out = append(out, l)
+				}
+			}
+		default:
+			for _, l := range al {
+				if !inB[l] {
+					out = append(out, l)
+				}
+			}
+		}
+		sort.Strings(out)
+		return values.NewLabels(out), nil
+	default:
+		return values.Value{}, fmt.Errorf("ops: set operation over %s and %s", a.Kind, b.Kind)
+	}
+}
+
+func labelList(v values.Value) []string {
+	if v.Kind == values.Labels {
+		return v.LabelVal
+	}
+	out := make([]string, len(v.VecVal))
+	for i, e := range v.VecVal {
+		out[i] = e.Label
+	}
+	return out
+}
+
+// --- Compare / Compute ---
+
+func physNumericCompare() *Physical {
+	return &Physical{
+		Name: "NumericCompare",
+		Adequate: func(_ Args, inputs []values.Value) bool {
+			return len(inputs) >= 2 && inputs[0].Kind == values.Num && inputs[1].Kind == values.Num
+		},
+		Run: func(_ context.Context, _ *Env, _ Args, inputs []values.Value) (values.Value, error) {
+			if inputs[0].NumVal >= inputs[1].NumVal {
+				return values.NewStr("first"), nil
+			}
+			return values.NewStr("second"), nil
+		},
+	}
+}
+
+func physPreCompute() *Physical {
+	return &Physical{
+		Name: "PreCompute",
+		Adequate: func(_ Args, inputs []values.Value) bool {
+			if len(inputs) < 2 {
+				return false
+			}
+			sameNum := inputs[0].Kind == values.Num && inputs[1].Kind == values.Num
+			sameVec := inputs[0].Kind == values.Vec && inputs[1].Kind == values.Vec
+			return sameNum || sameVec
+		},
+		Run: func(_ context.Context, _ *Env, args Args, inputs []values.Value) (values.Value, error) {
+			a, b := inputs[0], inputs[1]
+			if a.Kind == values.Num {
+				expression := args.Get("Expression")
+				if expression == "" {
+					expression = args.Get("Entity") + " / " + args.Get("Entity2")
+				}
+				bindings := map[string]float64{
+					args.Get("Entity"):  a.NumVal,
+					args.Get("Entity2"): b.NumVal,
+				}
+				v, err := expr.Eval(expression, bindings)
+				if err != nil {
+					return values.Value{}, err
+				}
+				return values.NewNum(v), nil
+			}
+			// Element-wise ratio over matching labels.
+			bv := make(map[string]float64, len(b.VecVal))
+			for _, e := range b.VecVal {
+				bv[e.Label] = e.Num
+			}
+			var out []values.LabeledNum
+			for _, e := range a.VecVal {
+				if d, ok := bv[e.Label]; ok && d != 0 {
+					out = append(out, values.LabeledNum{Label: e.Label, Num: e.Num / d})
+				}
+			}
+			return values.NewVec(out), nil
+		},
+	}
+}
+
+// classLabels lists candidate labels for a surface class word, mirroring
+// the lexicon's class naming from the query side.
+func classLabels(classWord string) []string {
+	switch strings.ToLower(strings.TrimSpace(classWord)) {
+	case "sport":
+		return lexNames("sport")
+	case "field":
+		return lexNames("aifield")
+	case "area":
+		return lexNames("lawarea")
+	case "category":
+		return lexNames("wikicat")
+	case "topic":
+		return append(append(append(lexNames("topic"), lexNames("aiaspect")...),
+			lexNames("lawaspect")...), lexNames("wikiaspect")...)
+	default:
+		return nil
+	}
+}
+
+func lexNames(class string) []string { return lexicon.Names(class) }

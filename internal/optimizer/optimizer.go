@@ -1,0 +1,670 @@
+// Package optimizer lowers logical plans to physical plans (paper §VI):
+// it estimates intermediate cardinalities with semantic cardinality
+// estimation, reorders filters so selective ones run first, selects a
+// physical implementation per operator with the cost model, and picks the
+// cheapest candidate plan by simulating its schedule on the machine model.
+package optimizer
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"unify/internal/core"
+	"unify/internal/cost"
+	"unify/internal/docstore"
+	"unify/internal/llm"
+	"unify/internal/nlcond"
+	"unify/internal/ops"
+	"unify/internal/sce"
+	"unify/internal/values"
+	"unify/internal/vtime"
+)
+
+// Mode selects the optimization strategy (for the paper's ablations).
+type Mode int
+
+// Optimization modes.
+const (
+	// CostBased is full Unify optimization: SCE-driven ordering and
+	// cost-based physical selection.
+	CostBased Mode = iota
+	// Rule performs no cost-based optimization: it keeps the planner's
+	// operator order and picks physicals only by semantic requirements
+	// (randomly among adequate ones) — the Unify-Rule baseline.
+	Rule
+	// GroundTruth uses true cardinalities instead of SCE — the Unify-GD
+	// upper bound.
+	GroundTruth
+)
+
+// Objective selects what the cost model minimizes (the paper's footnote
+// 1: the method optimizes total execution time by default, and total
+// monetary cost by swapping the cost function).
+type Objective int
+
+// Optimization objectives.
+const (
+	// MinTime minimizes the plan's simulated makespan (default).
+	MinTime Objective = iota
+	// MinTokens minimizes the total generated tokens (a proxy for
+	// dollar cost), ignoring parallelism.
+	MinTokens
+)
+
+// Optimizer converts logical plans into physical plans.
+type Optimizer struct {
+	Store     *docstore.Store
+	Estimator *sce.Estimator
+	Calib     *cost.Calibrator
+	Mode      Mode
+	// Objective selects the quantity the plan-selection step minimizes.
+	Objective Objective
+	// Slots is the LLM server slot count of the machine model.
+	Slots int
+	// SampleFrac is the SCE sampling budget as a fraction of the corpus.
+	SampleFrac float64
+	// Seed drives Rule-mode random selections.
+	Seed uint64
+
+	selCache map[string]selEntry
+}
+
+type selEntry struct {
+	sel     float64
+	charged bool
+}
+
+// Stats reports optimization cost (SCE judgments are LLM work and are
+// charged to the planning clock).
+type Stats struct {
+	Calls    []llm.Call
+	Duration time.Duration
+	// EstimatedCost is the predicted makespan of the chosen plan.
+	EstimatedCost time.Duration
+}
+
+// New returns an optimizer.
+func New(store *docstore.Store, est *sce.Estimator, calib *cost.Calibrator, slots int) *Optimizer {
+	if slots < 1 {
+		slots = 4
+	}
+	return &Optimizer{
+		Store:      store,
+		Estimator:  est,
+		Calib:      calib,
+		Slots:      slots,
+		SampleFrac: 0.01,
+		Seed:       11,
+		selCache:   map[string]selEntry{},
+	}
+}
+
+// Optimize selects and returns the cheapest physical plan among the
+// candidates (paper §VI-C: operator order selection, physical operator
+// selection, plan selection).
+func (o *Optimizer) Optimize(ctx context.Context, plans []*core.Plan) (*core.Plan, *Stats, error) {
+	if len(plans) == 0 {
+		return nil, nil, fmt.Errorf("optimizer: no candidate plans")
+	}
+	stats := &Stats{}
+	var best *core.Plan
+	bestCost := time.Duration(math.MaxInt64)
+	for _, logical := range plans {
+		plan := logical.Clone()
+		if o.Mode == CostBased || o.Mode == GroundTruth {
+			if err := o.reorderFilters(ctx, plan, stats); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := o.selectPhysical(ctx, plan, stats); err != nil {
+			return nil, nil, err
+		}
+		c, err := o.planCost(plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		if o.Mode == Rule {
+			// Rule mode performs no cost-based plan selection: the first
+			// candidate wins.
+			stats.EstimatedCost = c
+			return plan, stats, nil
+		}
+		if c < bestCost {
+			bestCost = c
+			best = plan
+		}
+	}
+	stats.EstimatedCost = bestCost
+	return best, stats, nil
+}
+
+// --- selectivity estimation ---
+
+// selectivity estimates the fraction of documents satisfying a condition.
+func (o *Optimizer) selectivity(ctx context.Context, condText string, stats *Stats) (float64, error) {
+	if e, ok := o.selCache[condText]; ok {
+		return e.sel, nil
+	}
+	n := o.Store.Len()
+	if n == 0 {
+		return 0, nil
+	}
+	cond, ok := nlcond.Parse(condText)
+	sel := 0.3 // prior for unparseable conditions
+	switch {
+	case ok && cond.Structured():
+		// Structured conditions: cheap exact sampling with regexes (a
+		// pre-programmed synopsis, no LLM involved).
+		sample := 256
+		if sample > n {
+			sample = n
+		}
+		hit := 0
+		step := n / sample
+		if step < 1 {
+			step = 1
+		}
+		seen := 0
+		for i := 0; i < n && seen < sample; i += step {
+			d := o.Store.Docs[i]
+			if cond.EvalStructured(d.Text) {
+				hit++
+			}
+			seen++
+		}
+		if seen > 0 {
+			sel = float64(hit) / float64(seen)
+		}
+	case o.Mode == GroundTruth:
+		truth, err := o.Estimator.TrueCardinality(ctx, condText, 16)
+		if err != nil {
+			return 0, err
+		}
+		sel = float64(truth) / float64(n)
+	default:
+		ns := int(float64(n) * o.SampleFrac)
+		est, calls, err := o.Estimator.Estimate(ctx, sce.Unify, condText, ns)
+		if err != nil {
+			return 0, err
+		}
+		stats.Calls = append(stats.Calls, calls...)
+		for _, c := range calls {
+			stats.Duration += c.Dur
+		}
+		sel = est / float64(n)
+	}
+	if sel < 0.001 {
+		sel = 0.001
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	o.selCache[condText] = selEntry{sel: sel, charged: true}
+	return sel, nil
+}
+
+// --- filter ordering ---
+
+// reorderFilters finds linear chains of Filter nodes and permutes their
+// conditions so that cheap structured filters run first and semantic
+// filters run in increasing selectivity order (most selective first),
+// minimizing the documents reaching expensive operators.
+func (o *Optimizer) reorderFilters(ctx context.Context, plan *core.Plan, stats *Stats) error {
+	consumers := map[int]int{} // node id -> number of dependents
+	for _, n := range plan.Nodes {
+		for _, d := range n.Deps {
+			consumers[d]++
+		}
+	}
+	visited := map[int]bool{}
+	for _, n := range plan.Nodes {
+		if visited[n.ID] || !isFilterOp(n.Op) {
+			continue
+		}
+		// Walk down the chain starting from a filter whose input is not
+		// another exclusive filter.
+		chain := []*core.Node{n}
+		visited[n.ID] = true
+		cur := n
+		for {
+			next := o.soleFilterConsumer(plan, cur, consumers)
+			if next == nil {
+				break
+			}
+			chain = append(chain, next)
+			visited[next.ID] = true
+			cur = next
+		}
+		if len(chain) < 2 {
+			continue
+		}
+		type condInfo struct {
+			cond string
+			sel  float64
+			pre  bool
+		}
+		infos := make([]condInfo, len(chain))
+		for i, c := range chain {
+			condText := c.Args.Get("Condition")
+			sel, err := o.selectivity(ctx, condText, stats)
+			if err != nil {
+				return err
+			}
+			cond, ok := nlcond.Parse(condText)
+			infos[i] = condInfo{cond: condText, sel: sel, pre: ok && cond.Structured()}
+		}
+		sort.SliceStable(infos, func(i, j int) bool {
+			if infos[i].pre != infos[j].pre {
+				return infos[i].pre // free structured filters first
+			}
+			return infos[i].sel < infos[j].sel
+		})
+		// Permute the conditions across the chain's nodes, keeping the
+		// node/variable wiring intact (descriptions follow the moved
+		// conditions).
+		for i, c := range chain {
+			c.Args["Condition"] = infos[i].cond
+			c.Desc = c.Args.Get("Entity") + " " + infos[i].cond
+		}
+	}
+	return nil
+}
+
+func isFilterOp(op string) bool { return op == "Filter" || op == "Scan" }
+
+// soleFilterConsumer returns the next filter in a linear chain: the only
+// node consuming cur's output, itself a filter with cur as its only dep.
+func (o *Optimizer) soleFilterConsumer(plan *core.Plan, cur *core.Node, consumers map[int]int) *core.Node {
+	if consumers[cur.ID] != 1 {
+		return nil
+	}
+	for _, n := range plan.Nodes {
+		for _, d := range n.Deps {
+			if d == cur.ID {
+				if isFilterOp(n.Op) && len(n.Deps) == 1 {
+					return n
+				}
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// --- cardinality propagation and physical selection ---
+
+// sig is the optimizer's static signature of a variable: expected value
+// kind and cardinalities.
+type sig struct {
+	kind   values.Kind
+	card   int // documents (Docs/Groups) or entries (Vec/Labels)
+	groups int // group count for Groups
+}
+
+func (o *Optimizer) selectPhysical(ctx context.Context, plan *core.Plan, stats *Stats) error {
+	order, err := plan.Topo()
+	if err != nil {
+		return err
+	}
+	vars := map[string]sig{
+		"dataset": {kind: values.Docs, card: o.Store.Len()},
+	}
+	for _, n := range order {
+		ins := make([]sig, len(n.Inputs))
+		for i, ref := range n.Inputs {
+			s, ok := vars[ref]
+			if !ok {
+				s = vars["dataset"]
+			}
+			ins[i] = s
+		}
+		out, err := o.lowerNode(ctx, plan, n, ins, stats)
+		if err != nil {
+			return err
+		}
+		vars["{"+n.OutVar+"}"] = out
+	}
+	return nil
+}
+
+// dummyValue fabricates a value of the right kind for adequacy checks.
+func dummyValue(s sig) values.Value {
+	switch s.kind {
+	case values.Docs:
+		return values.Value{Kind: values.Docs, DocIDs: make([]int, s.card)}
+	case values.Groups:
+		g := make([]values.Group, s.groups)
+		return values.Value{Kind: values.Groups, GroupVal: g}
+	case values.Vec:
+		return values.Value{Kind: values.Vec, VecVal: make([]values.LabeledNum, s.card)}
+	case values.Labels:
+		return values.Value{Kind: values.Labels, LabelVal: make([]string, s.card)}
+	case values.Num:
+		return values.NewNum(0)
+	default:
+		return values.NewStr("")
+	}
+}
+
+// lowerNode picks the physical implementation for one node and returns
+// the output signature.
+func (o *Optimizer) lowerNode(ctx context.Context, plan *core.Plan, n *core.Node, ins []sig, stats *Stats) (sig, error) {
+	spec, ok := ops.Get(n.Op)
+	if !ok {
+		return sig{}, fmt.Errorf("optimizer: unknown operator %q", n.Op)
+	}
+	inCard := 0
+	if len(ins) > 0 {
+		inCard = ins[0].card
+	}
+
+	// Output signature and per-candidate work estimation.
+	outSig, work := o.propagate(ctx, n, ins, stats)
+	n.EstCard = outSig.card
+
+	// IndexFilter opportunity: scanning the raw dataset with a semantic
+	// condition can shortlist ~3x the estimated output instead of
+	// scanning everything.
+	if o.Mode != Rule && n.Op == "Filter" && len(n.Inputs) == 1 && n.Inputs[0] == "dataset" {
+		if c, okc := nlcond.Parse(n.Args.Get("Condition")); okc && !c.Structured() {
+			scanK := outSig.card * 3
+			if scanK < 16 {
+				scanK = 16
+			}
+			if scanK < (inCard*4)/5 {
+				n.Args["_scanK"] = fmt.Sprint(scanK)
+			}
+		}
+	}
+
+	dummies := make([]values.Value, len(ins))
+	for i, s := range ins {
+		dummies[i] = dummyValue(s)
+	}
+	cands := spec.Adequate(n.Args, dummies)
+	if len(cands) == 0 {
+		return sig{}, fmt.Errorf("optimizer: no adequate physical for %s(%v) with %d inputs", n.Op, n.Args, len(ins))
+	}
+
+	switch o.Mode {
+	case Rule:
+		n.Phys = cands[pick(o.Seed, plan.Query, n.ID, len(cands))].Name
+	default:
+		bestCost := time.Duration(math.MaxInt64)
+		for _, c := range cands {
+			var cc time.Duration
+			if c.LLMBased {
+				w := work
+				if strings.HasPrefix(c.Name, "IndexFilter") {
+					if k, okk := n.Args.Int("_scanK"); okk {
+						w = k
+					}
+				}
+				cc = o.Calib.EstimateLLM(c.Name, w)
+			} else {
+				cc = o.Calib.EstimatePre(c.Name, inCard)
+			}
+			if cc < bestCost {
+				bestCost = cc
+				n.Phys = c.Name
+			}
+		}
+	}
+	if !strings.HasPrefix(n.Phys, "IndexFilter") && n.Phys != "IndexScan" {
+		delete(n.Args, "_scanK")
+	}
+	return outSig, nil
+}
+
+// propagate computes the output signature of a node and the number of
+// items its (LLM) work scales with.
+func (o *Optimizer) propagate(ctx context.Context, n *core.Node, ins []sig, stats *Stats) (sig, int) {
+	in := sig{kind: values.Docs, card: o.Store.Len()}
+	if len(ins) > 0 {
+		in = ins[0]
+	}
+	switch n.Op {
+	case "Scan":
+		return in, in.card
+	case "Filter":
+		sel, err := o.selectivity(ctx, n.Args.Get("Condition"), stats)
+		if err != nil {
+			sel = 0.3
+		}
+		out := in
+		out.card = int(float64(in.card)*sel + 0.5)
+		if out.card < 1 {
+			out.card = 1
+		}
+		if in.kind == values.Groups {
+			if c, ok := nlcond.Parse(n.Args.Get("Condition")); ok && c.Kind == nlcond.Subset {
+				out.groups = (in.groups + 1) / 2
+				out.card = in.card / 2
+				return out, in.groups // one judgment per group label
+			}
+		}
+		return out, in.card
+	case "GroupBy":
+		groups := 12
+		if in.card < groups {
+			groups = in.card
+		}
+		return sig{kind: values.Groups, card: in.card, groups: groups}, in.card
+	case "Count", "Sum", "Average", "Median", "Percentile":
+		if in.kind == values.Groups {
+			return sig{kind: values.Vec, card: in.groups}, in.card
+		}
+		return sig{kind: values.Num, card: 1}, in.card
+	case "Max", "Min":
+		if in.kind == values.Vec {
+			return sig{kind: values.Str, card: 1}, in.card
+		}
+		if in.kind == values.Groups {
+			return sig{kind: values.Vec, card: in.groups}, in.card
+		}
+		return sig{kind: values.Num, card: 1}, in.card
+	case "TopK":
+		k, _ := n.Args.Int("Number")
+		if k <= 0 {
+			k = 1
+		}
+		if in.kind == values.Vec {
+			c := k
+			if c > in.card {
+				c = in.card
+			}
+			return sig{kind: values.Labels, card: c}, in.card
+		}
+		c := k
+		if c > in.card {
+			c = in.card
+		}
+		return sig{kind: values.Docs, card: c}, in.card
+	case "OrderBy":
+		return in, in.card
+	case "Classify":
+		return sig{kind: values.Str, card: 1}, 1
+	case "Extract":
+		if in.kind == values.Groups {
+			return sig{kind: values.Labels, card: in.groups}, in.groups
+		}
+		if in.kind == values.Docs && classAttrWord(n.Args.Get("Attribute")) {
+			// Distinct-value extraction classifies every document.
+			groups := 12
+			if in.card < groups {
+				groups = in.card
+			}
+			return sig{kind: values.Labels, card: groups}, in.card
+		}
+		return sig{kind: values.Str, card: 1}, 1
+	case "Join", "Union", "Intersection", "Complementary":
+		b := sig{}
+		if len(ins) > 1 {
+			b = ins[1]
+		}
+		out := in
+		out.card = in.card + b.card
+		if n.Op == "Intersection" || n.Op == "Join" {
+			out.card = min(in.card, b.card)
+		}
+		if n.Op == "Complementary" {
+			out.card = in.card
+		}
+		return out, in.card + b.card
+	case "Compute":
+		if in.kind == values.Vec {
+			return in, in.card
+		}
+		return sig{kind: values.Num, card: 1}, 1
+	case "Compare":
+		return sig{kind: values.Str, card: 1}, 1
+	case "Generate":
+		return sig{kind: values.Str, card: 1}, 8
+	default:
+		return sig{kind: values.Str, card: 1}, 1
+	}
+}
+
+func classAttrWord(attr string) bool {
+	switch strings.ToLower(strings.TrimSpace(attr)) {
+	case "sport", "field", "area", "category", "topic":
+		return true
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pick is a deterministic pseudo-random choice for Rule mode.
+func pick(seed uint64, query string, nodeID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := seed
+	for _, b := range []byte(query) {
+		h = h*1099511628211 + uint64(b)
+	}
+	h = h*1099511628211 + uint64(nodeID)
+	return int(h % uint64(n))
+}
+
+// planCost predicts the plan's cost under the configured objective: the
+// scheduled makespan (time) or the total token volume (money, expressed
+// on a common duration scale so plan comparison stays uniform).
+func (o *Optimizer) planCost(plan *core.Plan) (time.Duration, error) {
+	if o.Objective == MinTokens {
+		return o.planTokenCost(plan)
+	}
+	tasks, err := o.PlanTasks(plan)
+	if err != nil {
+		return 0, err
+	}
+	res, err := vtime.NewSchedule(o.Slots).Run(tasks)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}
+
+// planTokenCost sums estimated generated tokens across LLM-based
+// operators (1 token == 1ms on the comparison scale).
+func (o *Optimizer) planTokenCost(plan *core.Plan) (time.Duration, error) {
+	order, err := plan.Topo()
+	if err != nil {
+		return 0, err
+	}
+	cardOf := map[string]int{"dataset": o.Store.Len()}
+	total := 0.0
+	for _, n := range order {
+		inCard := 0
+		for _, ref := range n.Inputs {
+			if c, ok := cardOf[ref]; ok && c > inCard {
+				inCard = c
+			}
+		}
+		if inCard == 0 {
+			inCard = o.Store.Len()
+		}
+		work := inCard
+		if k, ok := n.Args.Int("_scanK"); ok && strings.HasPrefix(n.Phys, "IndexFilter") {
+			work = k
+		}
+		spec, _ := ops.Get(n.Op)
+		if spec != nil {
+			for _, p := range spec.Phys {
+				if p.Name == n.Phys && p.LLMBased {
+					total += o.Calib.EstimateLLMTokens(n.Phys, work)
+				}
+			}
+		}
+		cardOf["{"+n.OutVar+"}"] = n.EstCard
+	}
+	return time.Duration(total) * time.Millisecond, nil
+}
+
+// PlanTasks converts an annotated physical plan into vtime tasks with
+// ESTIMATED durations (used for plan selection; the executor later builds
+// the same structure from observed durations).
+func (o *Optimizer) PlanTasks(plan *core.Plan) ([]vtime.Task, error) {
+	order, err := plan.Topo()
+	if err != nil {
+		return nil, err
+	}
+	// Recover each node's input cardinality from its deps' estimates.
+	cardOf := map[string]int{"dataset": o.Store.Len()}
+	var tasks []vtime.Task
+	for _, n := range order {
+		inCard := 0
+		for _, ref := range n.Inputs {
+			if c, ok := cardOf[ref]; ok && c > inCard {
+				inCard = c
+			}
+		}
+		if inCard == 0 {
+			inCard = o.Store.Len()
+		}
+		work := inCard
+		if k, ok := n.Args.Int("_scanK"); ok && strings.HasPrefix(n.Phys, "IndexFilter") {
+			work = k
+		}
+		var units []vtime.Unit
+		spec, _ := ops.Get(n.Op)
+		var phys *ops.Physical
+		if spec != nil {
+			for _, p := range spec.Phys {
+				if p.Name == n.Phys {
+					phys = p
+				}
+			}
+		}
+		if phys != nil && phys.LLMBased {
+			busy := o.Calib.EstimateLLM(n.Phys, work)
+			calls := o.Calib.EstimateLLMCalls(work)
+			if calls < 1 {
+				calls = 1
+			}
+			per := busy / time.Duration(calls)
+			for i := 0; i < calls; i++ {
+				units = append(units, vtime.Unit{Dur: per, Resource: vtime.ResourceLLM})
+			}
+		} else {
+			units = append(units, vtime.Unit{Dur: o.Calib.EstimatePre(n.Phys, work)})
+		}
+		deps := make([]string, len(n.Deps))
+		for i, d := range n.Deps {
+			deps[i] = fmt.Sprintf("n%d", d)
+		}
+		tasks = append(tasks, vtime.Task{ID: fmt.Sprintf("n%d", n.ID), Deps: deps, Units: units, Sequential: true})
+		cardOf["{"+n.OutVar+"}"] = n.EstCard
+	}
+	return tasks, nil
+}

@@ -1,0 +1,204 @@
+package optimizer
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"unify/internal/core"
+	"unify/internal/corpus"
+	"unify/internal/cost"
+	"unify/internal/docstore"
+	"unify/internal/llm"
+	"unify/internal/ops"
+	"unify/internal/sce"
+)
+
+func setup(t *testing.T, n int) (*Optimizer, *docstore.Store) {
+	t.Helper()
+	ds, err := corpus.GenerateN("sports", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docstore.New("sports", ds.Documents(), docstore.WithoutSentences())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := llm.DefaultSimConfig()
+	cfg.FilterNoise = 0
+	client := llm.NewSim(cfg)
+	est := sce.NewEstimator(store, client, 8)
+	if err := est.Train(context.Background(), []string{"related to football", "related to injury"}, 16); err != nil {
+		t.Fatal(err)
+	}
+	return New(store, est, cost.NewCalibrator(16), 4), store
+}
+
+// filterCountPlan builds Filter(sem) -> Filter(exact) -> Count manually.
+func filterCountPlan() *core.Plan {
+	return &core.Plan{Query: "test", Nodes: []*core.Node{
+		{ID: 0, Op: "Filter", Args: ops.Args{"Entity": "questions", "Condition": "related to golf"},
+			Inputs: []string{"dataset"}, OutVar: "v1", Desc: "golf questions"},
+		{ID: 1, Op: "Filter", Args: ops.Args{"Entity": "{v1}", "Condition": "with more than 500 views"},
+			Inputs: []string{"{v1}"}, OutVar: "v2", Deps: []int{0}, Desc: "golf questions with views"},
+		{ID: 2, Op: "Count", Args: ops.Args{"Entity": "{v2}"},
+			Inputs: []string{"{v2}"}, OutVar: "v3", Deps: []int{1}},
+	}}
+}
+
+func TestFilterReordering(t *testing.T) {
+	o, _ := setup(t, 600)
+	plan, stats, err := o.Optimize(context.Background(), []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The free structured views-filter must run before the semantic one.
+	c0, _ := plan.Nodes[0].Args["Condition"]
+	if !strings.Contains(c0, "views") {
+		t.Errorf("structured filter not first: node0 condition %q\n%s", c0, plan)
+	}
+	if stats.EstimatedCost <= 0 {
+		t.Error("no estimated plan cost")
+	}
+}
+
+func TestPhysicalSelection(t *testing.T) {
+	o, _ := setup(t, 600)
+	plan, _, err := o.Optimize(context.Background(), []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range plan.Nodes {
+		if n.Phys == "" {
+			t.Errorf("node %d has no physical implementation", n.ID)
+		}
+		cond := n.Args.Get("Condition")
+		if n.Op == "Filter" && strings.Contains(cond, "views") && n.Phys != "ExactFilter" {
+			t.Errorf("structured filter got %s", n.Phys)
+		}
+		if n.Op == "Count" && n.Phys != "PreCount" {
+			t.Errorf("count got %s, want PreCount", n.Phys)
+		}
+	}
+}
+
+func TestRuleModeRespectsSemanticRequirements(t *testing.T) {
+	o, _ := setup(t, 400)
+	o.Mode = Rule
+	plan, _, err := o.Optimize(context.Background(), []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range plan.Nodes {
+		if n.Op != "Filter" {
+			continue
+		}
+		cond := n.Args.Get("Condition")
+		if strings.Contains(cond, "golf") {
+			// A semantic condition must never get a pre-programmed exact
+			// or keyword implementation.
+			if n.Phys == "ExactFilter" || n.Phys == "KeywordFilter" {
+				t.Errorf("rule mode picked %s for a semantic condition", n.Phys)
+			}
+		}
+	}
+	// Rule mode must not enable index scans (it does no cost-based work).
+	for _, n := range plan.Nodes {
+		if _, ok := n.Args["_scanK"]; ok {
+			t.Errorf("rule mode set _scanK on node %d", n.ID)
+		}
+	}
+}
+
+func TestIndexFilterChosenForSelectiveCondition(t *testing.T) {
+	o, _ := setup(t, 1500)
+	// A rare category: the estimate should be far below the corpus size,
+	// making the index-assisted filter cheaper than a full scan.
+	plan := &core.Plan{Query: "t", Nodes: []*core.Node{
+		{ID: 0, Op: "Filter", Args: ops.Args{"Entity": "questions", "Condition": "related to fencing"},
+			Inputs: []string{"dataset"}, OutVar: "v1"},
+		{ID: 1, Op: "Count", Args: ops.Args{"Entity": "{v1}"},
+			Inputs: []string{"{v1}"}, OutVar: "v2", Deps: []int{0}},
+	}}
+	out, _, err := o.Optimize(context.Background(), []*core.Plan{plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Nodes[0].Phys != "IndexFilter" {
+		t.Errorf("selective semantic scan got %s, want IndexFilter\n%s", out.Nodes[0].Phys, out)
+	}
+	if _, ok := out.Nodes[0].Args.Int("_scanK"); !ok {
+		t.Error("IndexFilter chosen without _scanK")
+	}
+}
+
+func TestPlanSelectionPrefersCheaper(t *testing.T) {
+	o, _ := setup(t, 600)
+	// Two logically equivalent plans; the second starts with the free
+	// structured filter and must win under the cost model... both get
+	// reordered identically, so instead compare a plan with a needless
+	// full-corpus semantic group-by against the plain one.
+	cheap := filterCountPlan()
+	expensive := filterCountPlan()
+	expensive.Nodes = append(expensive.Nodes, &core.Node{
+		ID: 3, Op: "GroupBy", Args: ops.Args{"Entity": "dataset", "Attribute": "sport"},
+		Inputs: []string{"dataset"}, OutVar: "v4",
+	})
+	chosen, _, err := o.Optimize(context.Background(), []*core.Plan{expensive, cheap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chosen.Nodes) != len(cheap.Nodes) {
+		t.Errorf("optimizer picked the expensive plan (%d nodes)", len(chosen.Nodes))
+	}
+}
+
+func TestGroundTruthMode(t *testing.T) {
+	o, _ := setup(t, 400)
+	o.Mode = GroundTruth
+	plan, _, err := o.Optimize(context.Background(), []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground-truth cardinalities should be close to reality.
+	var filterNode *core.Node
+	for _, n := range plan.Nodes {
+		if n.Op == "Filter" && strings.Contains(n.Args.Get("Condition"), "golf") {
+			filterNode = n
+		}
+	}
+	if filterNode == nil {
+		t.Fatal("golf filter missing")
+	}
+	if filterNode.EstCard <= 0 {
+		t.Errorf("EstCard = %d", filterNode.EstCard)
+	}
+}
+
+func TestNoPlansError(t *testing.T) {
+	o, _ := setup(t, 100)
+	if _, _, err := o.Optimize(context.Background(), nil); err == nil {
+		t.Error("empty plan list accepted")
+	}
+}
+
+// TestTokenObjective exercises the footnote-1 extension: plan selection
+// by total generated tokens instead of makespan. A sequential plan with
+// fewer LLM-touched documents must win even if wall time would prefer
+// otherwise.
+func TestTokenObjective(t *testing.T) {
+	o, _ := setup(t, 600)
+	o.Objective = MinTokens
+	plan, stats, err := o.Optimize(context.Background(), []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EstimatedCost <= 0 {
+		t.Error("token objective produced no cost")
+	}
+	// The structured filter must still be ordered first: fewer documents
+	// reach the paid semantic filter, minimizing tokens.
+	if !strings.Contains(plan.Nodes[0].Args.Get("Condition"), "views") {
+		t.Errorf("token objective did not order the free filter first:\n%s", plan)
+	}
+}

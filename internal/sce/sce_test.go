@@ -1,0 +1,169 @@
+package sce
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"unify/internal/corpus"
+	"unify/internal/docstore"
+	"unify/internal/llm"
+)
+
+func testSetup(t *testing.T, n int) (*Estimator, *corpus.Dataset) {
+	t.Helper()
+	ds, err := corpus.GenerateN("sports", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docstore.New("sports", ds.Documents(), docstore.WithoutSentences())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := llm.DefaultSimConfig()
+	cfg.FilterNoise = 0
+	return NewEstimator(store, llm.NewSim(cfg), 8), ds
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{10, 10, 1},
+		{20, 10, 2},
+		{10, 20, 2},
+		{0, 50, 50}, // zero estimate floored at 1
+		{50, 0, 50}, // zero truth floored at 1
+		{0.5, 0.5, 1} /* both floored */}
+	for _, c := range cases {
+		if got := QError(c.est, c.truth); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("QError(%v, %v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestTrueCardinalityMatchesJudge(t *testing.T) {
+	est, ds := testSetup(t, 400)
+	truth, err := est.TrueCardinality(context.Background(), "related to injury", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, d := range ds.Docs {
+		if d.Hidden.Aspect == "injury" {
+			want++
+		}
+	}
+	// With zero noise and two-hit matching, the LLM judgment equals the
+	// hidden label on this corpus.
+	if truth != want {
+		t.Errorf("true cardinality %d, want %d", truth, want)
+	}
+}
+
+func TestUniformUnbiasedOnLargePredicates(t *testing.T) {
+	est, _ := testSetup(t, 800)
+	ctx := context.Background()
+	truth, _ := est.TrueCardinality(ctx, "related to training", 16)
+	e, calls, err := est.Estimate(ctx, Uniform, "related to training", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Error("estimation recorded no LLM calls")
+	}
+	if QError(e, float64(truth)) > 2.0 {
+		t.Errorf("uniform estimate %v vs truth %d too far off with a large sample", e, truth)
+	}
+}
+
+func TestTrainConcentratesImportance(t *testing.T) {
+	est, _ := testSetup(t, 600)
+	ctx := context.Background()
+	if err := est.Train(ctx, []string{"related to football", "related to injury"}, 16); err != nil {
+		t.Fatal(err)
+	}
+	f := est.Importance()
+	sum := 0.0
+	for _, v := range f {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance does not sum to 1: %v", sum)
+	}
+	// Nearest buckets must carry more importance than the farthest.
+	if f[0] <= f[len(f)-1] {
+		t.Errorf("importance not concentrated near the predicate: %v", f)
+	}
+}
+
+func TestUnifyBeatsUniformOnRarePredicate(t *testing.T) {
+	est, ds := testSetup(t, 1500)
+	ctx := context.Background()
+	if err := est.Train(ctx, []string{"related to football", "related to golf", "related to injury"}, 16); err != nil {
+		t.Fatal(err)
+	}
+	// Pick the rarest category present.
+	counts := map[string]int{}
+	for _, d := range ds.Docs {
+		counts[d.Hidden.Category]++
+	}
+	rare, rareN := "", 1<<30
+	for c, n := range counts {
+		if n > 4 && n < rareN {
+			rare, rareN = c, n
+		}
+	}
+	pred := "related to " + rare
+	truth, _ := est.TrueCardinality(ctx, pred, 16)
+	ns := 15 // 1% of the corpus
+	var qUni, qUnify float64
+	reps := 5
+	for r := 0; r < reps; r++ {
+		salt := string(rune('a' + r))
+		eu, _, err := est.EstimateSeeded(ctx, Uniform, pred, ns, salt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		en, _, err := est.EstimateSeeded(ctx, Unify, pred, ns, salt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qUni += QError(eu, float64(truth))
+		qUnify += QError(en, float64(truth))
+	}
+	if qUnify >= qUni {
+		t.Errorf("importance sampling (avg q-err %.2f) not better than uniform (%.2f) on rare predicate %q (truth %d)",
+			qUnify/float64(reps), qUni/float64(reps), rare, truth)
+	}
+}
+
+func TestAllMethodsRun(t *testing.T) {
+	est, _ := testSetup(t, 300)
+	ctx := context.Background()
+	for _, m := range []Method{Uniform, Stratified, AIS, Unify} {
+		e, calls, err := est.Estimate(ctx, m, "related to tennis", 24)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if e < 0 {
+			t.Errorf("%s: negative estimate %v", m, e)
+		}
+		if len(calls) == 0 {
+			t.Errorf("%s: no calls recorded", m)
+		}
+	}
+	if _, _, err := est.Estimate(ctx, Method("bogus"), "x", 10); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	est, _ := testSetup(t, 300)
+	ctx := context.Background()
+	a, _, _ := est.Estimate(ctx, Unify, "related to rugby", 24)
+	b, _, _ := est.Estimate(ctx, Unify, "related to rugby", 24)
+	if a != b {
+		t.Errorf("estimation not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,201 @@
+// Package server exposes a Unify system over HTTP: a small JSON API for
+// submitting natural-language analytics queries, inspecting plans
+// (EXPLAIN), and browsing the operator registry — the shape a deployed
+// instance of the paper's system would take.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"unify"
+	"unify/internal/core"
+	"unify/internal/ops"
+)
+
+// Server wraps a System with HTTP handlers.
+type Server struct {
+	Sys *unify.System
+	// Timeout bounds each query's processing time.
+	Timeout time.Duration
+	mux     *http.ServeMux
+}
+
+// New returns a server over the given system.
+func New(sys *unify.System) *Server {
+	s := &Server{Sys: sys, Timeout: 5 * time.Minute, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/operators", s.handleOperators)
+	s.mux.HandleFunc("/v1/health", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// QueryRequest is the body of POST /v1/query and /v1/plan.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// PlanNode is the JSON form of one plan operator.
+type PlanNode struct {
+	ID       int               `json:"id"`
+	Op       string            `json:"op"`
+	Physical string            `json:"physical,omitempty"`
+	Args     map[string]string `json:"args,omitempty"`
+	Inputs   []string          `json:"inputs,omitempty"`
+	Deps     []int             `json:"deps,omitempty"`
+	OutVar   string            `json:"out_var"`
+	Desc     string            `json:"desc,omitempty"`
+}
+
+// QueryResponse is the body returned by POST /v1/query.
+type QueryResponse struct {
+	Answer        string     `json:"answer"`
+	Plan          []PlanNode `json:"plan"`
+	PlanningSecs  float64    `json:"planning_secs"`
+	EstimationSec float64    `json:"estimation_secs"`
+	ExecSecs      float64    `json:"exec_secs"`
+	TotalSecs     float64    `json:"total_secs"`
+	LLMCalls      int        `json:"llm_calls"`
+	Fallback      bool       `json:"fallback"`
+	Adjusted      bool       `json:"adjusted"`
+}
+
+// PlanResponse is the body returned by POST /v1/plan.
+type PlanResponse struct {
+	Plan         []PlanNode `json:"plan"`
+	PlanningSecs float64    `json:"planning_secs"`
+}
+
+// OperatorInfo describes one registry entry for GET /v1/operators.
+type OperatorInfo struct {
+	Name                   string   `json:"name"`
+	LogicalRepresentations []string `json:"logical_representations"`
+	PreProgrammed          []string `json:"pre_programmed"`
+	LLMBased               []string `json:"llm_based"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) readQuery(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return "", false
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed body: %v", err)
+		return "", false
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, "empty query")
+		return "", false
+	}
+	return req.Query, true
+}
+
+func planNodes(p *core.Plan) []PlanNode {
+	out := make([]PlanNode, 0, len(p.Nodes))
+	for _, n := range p.Nodes {
+		out = append(out, PlanNode{
+			ID:       n.ID,
+			Op:       n.Op,
+			Physical: n.Phys,
+			Args:     n.Args,
+			Inputs:   n.Inputs,
+			Deps:     n.Deps,
+			OutVar:   n.OutVar,
+			Desc:     n.Desc,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.readQuery(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout())
+	defer cancel()
+	ans, err := s.Sys.Query(ctx, q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Answer:        ans.Text,
+		Plan:          planNodes(ans.Plan),
+		PlanningSecs:  ans.PlanningDur.Seconds(),
+		EstimationSec: ans.EstimationDur.Seconds(),
+		ExecSecs:      ans.ExecDur.Seconds(),
+		TotalSecs:     ans.TotalDur.Seconds(),
+		LLMCalls:      ans.LLMCalls,
+		Fallback:      ans.Fallback,
+		Adjusted:      ans.Adjusted,
+	})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.readQuery(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout())
+	defer cancel()
+	plan, dur, err := s.Sys.Plan(ctx, q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "planning failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlanResponse{Plan: planNodes(plan), PlanningSecs: dur.Seconds()})
+}
+
+func (s *Server) handleOperators(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var out []OperatorInfo
+	for _, spec := range ops.All() {
+		info := OperatorInfo{Name: spec.Name, LogicalRepresentations: spec.LRs}
+		for _, p := range spec.Phys {
+			if p.LLMBased {
+				info.LLMBased = append(info.LLMBased, p.Name)
+			} else {
+				info.PreProgrammed = append(info.PreProgrammed, p.Name)
+			}
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":    "ok",
+		"dataset":   s.Sys.Dataset.Name,
+		"documents": s.Sys.Store.Len(),
+	})
+}
+
+func (s *Server) timeout() time.Duration {
+	if s.Timeout <= 0 {
+		return 5 * time.Minute
+	}
+	return s.Timeout
+}

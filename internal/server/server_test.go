@@ -1,0 +1,147 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"unify"
+	"unify/internal/corpus"
+	"unify/internal/llm"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ds, err := corpus.GenerateN("sports", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := llm.SimConfig{Profile: llm.WorkerProfile(), Seed: 1}
+	sys, err := unify.OpenDataset(ds, unify.Config{Dataset: "sports", Sim: &sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return httptest.NewServer(New(sys))
+}
+
+func post(t *testing.T, url, query string) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{Query: query})
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	resp, raw := post(t, srv.URL+"/v1/query", "How many questions are about tennis?")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Answer == "" || len(out.Plan) == 0 || out.TotalSecs <= 0 {
+		t.Errorf("incomplete response: %+v", out)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	resp, raw := post(t, srv.URL+"/v1/plan", "What is the average score of questions related to injury?")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out PlanResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Plan) < 2 {
+		t.Errorf("plan too small: %+v", out.Plan)
+	}
+	ops := map[string]bool{}
+	for _, n := range out.Plan {
+		ops[n.Op] = true
+		if n.Physical == "" {
+			t.Errorf("node %d missing physical", n.ID)
+		}
+	}
+	if !ops["Average"] {
+		t.Errorf("plan ops = %v", ops)
+	}
+}
+
+func TestOperatorsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/operators")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []OperatorInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 21 {
+		t.Errorf("got %d operators, want 21", len(out))
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "\"status\":\"ok\"") {
+		t.Errorf("health = %s", buf.String())
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	// Empty body.
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty query -> %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, err = http.Get(srv.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET query -> %d", resp.StatusCode)
+	}
+	// Garbage JSON.
+	resp, err = http.Post(srv.URL+"/v1/plan", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body -> %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,155 @@
+// Package tokenizer provides text tokenization primitives shared by the
+// embedding model, the keyword-based physical operators, and the simulated
+// LLM backend. It deliberately implements only lightweight, deterministic
+// processing: lowercasing, punctuation splitting, stop-word removal and a
+// tiny suffix stemmer, which is all the upstream components rely on.
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is a compact English stop-word list. It intentionally keeps
+// comparison and quantity words ("more", "most", "least") because query
+// parsing relies on them.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "is": true, "are": true,
+	"was": true, "were": true, "be": true, "been": true, "being": true,
+	"of": true, "in": true, "on": true, "at": true, "to": true,
+	"for": true, "from": true, "by": true, "with": true, "and": true,
+	"or": true, "as": true, "it": true, "its": true, "this": true,
+	"that": true, "these": true, "those": true, "there": true,
+	"i": true, "you": true, "he": true, "she": true, "we": true,
+	"they": true, "my": true, "your": true, "our": true, "their": true,
+	"do": true, "does": true, "did": true, "have": true, "has": true,
+	"had": true, "will": true, "would": true, "can": true, "could": true,
+	"should": true, "may": true, "might": true, "am": true, "so": true,
+	"but": true, "if": true, "then": true, "than": true, "not": true,
+	"no": true, "nor": true, "into": true, "about": true, "over": true,
+	"under": true, "after": true, "before": true, "between": true,
+	"what": true, "which": true, "who": true, "whom": true, "how": true,
+	"when": true, "where": true, "why": true, "any": true, "all": true,
+	"some": true, "such": true, "own": true, "same": true, "too": true,
+	"very": true, "just": true, "also": true, "each": true, "per": true,
+}
+
+// IsStopword reports whether w (already lowercased) is a stop word.
+func IsStopword(w string) bool { return stopwords[w] }
+
+// Tokenize splits text into lowercase word tokens. Digits are kept as
+// tokens (numeric facts such as view counts matter to the analytics
+// operators). Punctuation separates tokens and is dropped.
+func Tokenize(text string) []string {
+	tokens := make([]string, 0, len(text)/6+1)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r):
+			b.WriteRune(unicode.ToLower(r))
+		case unicode.IsDigit(r):
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Terms tokenizes text and removes stop words, applying the light stemmer.
+// It is the canonical preprocessing used by the embedder and the simulated
+// LLM's keyword matching, so both sides agree on vocabulary.
+func Terms(text string) []string {
+	raw := Tokenize(text)
+	out := make([]string, 0, len(raw))
+	for _, t := range raw {
+		if stopwords[t] {
+			continue
+		}
+		out = append(out, Stem(t))
+	}
+	return out
+}
+
+// Stem applies a tiny deterministic suffix stemmer (a small subset of
+// Porter step 1): plural and gerund/participle endings. It never shortens
+// a token below three characters, which keeps short domain words intact.
+func Stem(w string) string {
+	n := len(w)
+	switch {
+	case n > 4 && strings.HasSuffix(w, "ies"):
+		return w[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(w, "sses"):
+		return w[:n-2]
+	case n > 4 && strings.HasSuffix(w, "shes") || n > 4 && strings.HasSuffix(w, "ches") || n > 4 && strings.HasSuffix(w, "xes"):
+		return w[:n-2]
+	case n > 3 && strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && !strings.HasSuffix(w, "us"):
+		return w[:n-1]
+	case n > 5 && strings.HasSuffix(w, "ing"):
+		return w[:n-3]
+	case n > 4 && strings.HasSuffix(w, "ed"):
+		return w[:n-2]
+	default:
+		return w
+	}
+}
+
+// Bigrams returns adjacent term pairs joined by '_'. Bigrams sharpen the
+// embedding space so that multiword concepts ("entity matching") embed
+// differently from their parts.
+func Bigrams(terms []string) []string {
+	if len(terms) < 2 {
+		return nil
+	}
+	out := make([]string, 0, len(terms)-1)
+	for i := 0; i+1 < len(terms); i++ {
+		out = append(out, terms[i]+"_"+terms[i+1])
+	}
+	return out
+}
+
+// TermFreq counts stemmed non-stop-word terms in text.
+func TermFreq(text string) map[string]int {
+	tf := make(map[string]int)
+	for _, t := range Terms(text) {
+		tf[t]++
+	}
+	return tf
+}
+
+// ContainsTerm reports whether any stemmed term of text equals the stem of
+// word. It is the primitive used by keyword filters.
+func ContainsTerm(text, word string) bool {
+	target := Stem(strings.ToLower(word))
+	for _, t := range Terms(text) {
+		if t == target {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAny reports whether text contains any of the given words
+// (stem-matched). An empty word list never matches.
+func ContainsAny(text string, words []string) bool {
+	if len(words) == 0 {
+		return false
+	}
+	set := make(map[string]bool, len(words))
+	for _, w := range words {
+		set[Stem(strings.ToLower(w))] = true
+	}
+	for _, t := range Terms(text) {
+		if set[t] {
+			return true
+		}
+	}
+	return false
+}

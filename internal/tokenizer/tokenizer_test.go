@@ -1,0 +1,140 @@
+package tokenizer
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"Views: 1523", []string{"views", "1523"}},
+		{"", nil},
+		{"...", nil},
+		{"a-b c_d", []string{"a", "b", "c", "d"}},
+		{"UPPER lower MiXeD", []string{"upper", "lower", "mixed"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTerms(t *testing.T) {
+	got := Terms("The players are training for the big match")
+	for _, w := range got {
+		if IsStopword(w) {
+			t.Errorf("Terms kept stopword %q in %v", w, got)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("Terms dropped everything")
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"injuries": "injury",
+		"matches":  "match",
+		"boxes":    "box",
+		"players":  "player",
+		"training": "train",
+		"jumped":   "jump",
+		"class":    "class", // -ss protected
+		"ing":      "ing",   // too short
+		"bus":      "bus",   // -us protected
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnOutput(t *testing.T) {
+	// Stemming a stem must not shrink below 3 characters.
+	f := func(s string) bool {
+		w := strings.Map(func(r rune) rune {
+			if unicode.IsLetter(r) {
+				return unicode.ToLower(r)
+			}
+			return -1
+		}, s)
+		if w == "" {
+			return true
+		}
+		st := Stem(w)
+		return len(st) >= 3 || len(w) <= 3 || len(st) >= len(w)-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigrams(t *testing.T) {
+	got := Bigrams([]string{"a", "b", "c"})
+	want := []string{"a_b", "b_c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Bigrams = %v, want %v", got, want)
+	}
+	if Bigrams([]string{"solo"}) != nil {
+		t.Error("single term should yield no bigrams")
+	}
+}
+
+func TestContainsTerm(t *testing.T) {
+	text := "The goalkeeper made three great saves yesterday"
+	if !ContainsTerm(text, "goalkeeper") {
+		t.Error("exact term not found")
+	}
+	if !ContainsTerm(text, "save") {
+		t.Error("stemmed term not matched (saves -> save)")
+	}
+	if ContainsTerm(text, "tennis") {
+		t.Error("absent term matched")
+	}
+}
+
+func TestContainsAny(t *testing.T) {
+	text := "discussion about marathon pacing"
+	if !ContainsAny(text, []string{"sprint", "marathon"}) {
+		t.Error("ContainsAny missed a present word")
+	}
+	if ContainsAny(text, nil) {
+		t.Error("empty word list must not match")
+	}
+}
+
+func TestTermFreq(t *testing.T) {
+	tf := TermFreq("goal goal goal keeper")
+	if tf["goal"] != 3 {
+		t.Errorf("tf[goal] = %d, want 3", tf["goal"])
+	}
+}
+
+// TestTokenizeNeverPanics fuzzes the tokenizer with arbitrary strings.
+func TestTokenizeNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

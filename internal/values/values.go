@@ -1,0 +1,162 @@
+// Package values defines the runtime value system flowing between plan
+// operators: document lists, scalars, label lists, grouped documents, and
+// labeled numeric vectors (per-group aggregates).
+package values
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates Value.
+type Kind int
+
+// Value kinds.
+const (
+	Invalid Kind = iota
+	Docs         // a list of document ids
+	Num          // a scalar
+	Str          // a string (label, title, "first"/"second")
+	Labels       // a list of label strings
+	Groups       // documents partitioned by label
+	Vec          // per-label numeric values (ordered)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Docs:
+		return "docs"
+	case Num:
+		return "num"
+	case Str:
+		return "str"
+	case Labels:
+		return "labels"
+	case Groups:
+		return "groups"
+	case Vec:
+		return "vec"
+	default:
+		return "invalid"
+	}
+}
+
+// Group is one labeled partition of documents.
+type Group struct {
+	Label  string
+	DocIDs []int
+}
+
+// LabeledNum is one entry of a per-label numeric vector.
+type LabeledNum struct {
+	Label string
+	Num   float64
+}
+
+// Value is the tagged union exchanged between operators.
+type Value struct {
+	Kind     Kind
+	DocIDs   []int
+	NumVal   float64
+	StrVal   string
+	LabelVal []string
+	GroupVal []Group
+	VecVal   []LabeledNum
+}
+
+// NewDocs builds a Docs value.
+func NewDocs(ids []int) Value { return Value{Kind: Docs, DocIDs: ids} }
+
+// NewNum builds a Num value.
+func NewNum(v float64) Value { return Value{Kind: Num, NumVal: v} }
+
+// NewStr builds a Str value.
+func NewStr(s string) Value { return Value{Kind: Str, StrVal: s} }
+
+// NewLabels builds a Labels value.
+func NewLabels(ls []string) Value { return Value{Kind: Labels, LabelVal: ls} }
+
+// NewGroups builds a Groups value with deterministic label order.
+func NewGroups(gs []Group) Value {
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Label < gs[j].Label })
+	return Value{Kind: Groups, GroupVal: gs}
+}
+
+// NewVec builds a Vec value with deterministic label order.
+func NewVec(v []LabeledNum) Value {
+	sort.Slice(v, func(i, j int) bool { return v[i].Label < v[j].Label })
+	return Value{Kind: Vec, VecVal: v}
+}
+
+// Len returns the cardinality of the value: number of documents, groups,
+// labels or vector entries; 1 for scalars.
+func (v Value) Len() int {
+	switch v.Kind {
+	case Docs:
+		return len(v.DocIDs)
+	case Groups:
+		return len(v.GroupVal)
+	case Labels:
+		return len(v.LabelVal)
+	case Vec:
+		return len(v.VecVal)
+	case Num, Str:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TotalDocs returns the number of documents the value spans (documents in
+// all groups for Groups).
+func (v Value) TotalDocs() int {
+	switch v.Kind {
+	case Docs:
+		return len(v.DocIDs)
+	case Groups:
+		n := 0
+		for _, g := range v.GroupVal {
+			n += len(g.DocIDs)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// String renders the value as an answer string; document lists render as
+// id lists (use a formatter with store access for titles).
+func (v Value) String() string {
+	switch v.Kind {
+	case Num:
+		return strconv.FormatFloat(v.NumVal, 'f', -1, 64)
+	case Str:
+		return v.StrVal
+	case Labels:
+		ls := append([]string(nil), v.LabelVal...)
+		sort.Strings(ls)
+		return strings.Join(ls, ", ")
+	case Docs:
+		parts := make([]string, len(v.DocIDs))
+		for i, id := range v.DocIDs {
+			parts[i] = fmt.Sprintf("doc:%d", id)
+		}
+		return strings.Join(parts, ", ")
+	case Groups:
+		parts := make([]string, len(v.GroupVal))
+		for i, g := range v.GroupVal {
+			parts[i] = fmt.Sprintf("%s(%d)", g.Label, len(g.DocIDs))
+		}
+		return strings.Join(parts, ", ")
+	case Vec:
+		parts := make([]string, len(v.VecVal))
+		for i, e := range v.VecVal {
+			parts[i] = fmt.Sprintf("%s=%g", e.Label, e.Num)
+		}
+		return strings.Join(parts, ", ")
+	default:
+		return "<invalid>"
+	}
+}

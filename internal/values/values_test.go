@@ -1,0 +1,63 @@
+package values
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstructorsAndLen(t *testing.T) {
+	if v := NewDocs([]int{1, 2, 3}); v.Len() != 3 || v.TotalDocs() != 3 {
+		t.Errorf("docs: %+v", v)
+	}
+	if v := NewNum(4.5); v.Len() != 1 || v.NumVal != 4.5 {
+		t.Errorf("num: %+v", v)
+	}
+	if v := NewStr("x"); v.Len() != 1 {
+		t.Errorf("str: %+v", v)
+	}
+	if v := NewLabels([]string{"a", "b"}); v.Len() != 2 {
+		t.Errorf("labels: %+v", v)
+	}
+	g := NewGroups([]Group{{Label: "b", DocIDs: []int{1}}, {Label: "a", DocIDs: []int{2, 3}}})
+	if g.Len() != 2 || g.TotalDocs() != 3 {
+		t.Errorf("groups: %+v", g)
+	}
+	if g.GroupVal[0].Label != "a" {
+		t.Error("groups not label-sorted")
+	}
+	vec := NewVec([]LabeledNum{{"z", 1}, {"a", 2}})
+	if vec.VecVal[0].Label != "a" {
+		t.Error("vec not label-sorted")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := NewNum(3.5).String(); s != "3.5" {
+		t.Errorf("num string = %q", s)
+	}
+	if s := NewLabels([]string{"b", "a"}).String(); s != "a, b" {
+		t.Errorf("labels string = %q", s)
+	}
+	if s := NewStr("first").String(); s != "first" {
+		t.Errorf("str string = %q", s)
+	}
+	if s := NewDocs([]int{7}).String(); !strings.Contains(s, "7") {
+		t.Errorf("docs string = %q", s)
+	}
+	var zero Value
+	if s := zero.String(); s != "<invalid>" {
+		t.Errorf("invalid string = %q", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		Docs: "docs", Num: "num", Str: "str", Labels: "labels",
+		Groups: "groups", Vec: "vec", Invalid: "invalid",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

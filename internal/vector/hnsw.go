@@ -1,0 +1,370 @@
+package vector
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"unify/internal/embedding"
+)
+
+// HNSWConfig controls graph construction and search.
+type HNSWConfig struct {
+	M              int    // max links per node per layer (layer 0 uses 2M)
+	EfConstruction int    // beam width during insertion
+	EfSearch       int    // beam width during search
+	Seed           uint64 // level-generator seed (deterministic builds)
+}
+
+// DefaultHNSWConfig mirrors common hnswlib defaults scaled for the corpus
+// sizes used in the paper (1k-5k documents).
+func DefaultHNSWConfig() HNSWConfig {
+	return HNSWConfig{M: 16, EfConstruction: 128, EfSearch: 64, Seed: 1}
+}
+
+type hnswNode struct {
+	id    int
+	vec   []float32
+	level int
+	// links[l] lists neighbor slots (indices into nodes) at layer l.
+	links [][]int32
+}
+
+// HNSW is a hierarchical navigable small-world graph index.
+type HNSW struct {
+	cfg    HNSWConfig
+	nodes  []hnswNode
+	byID   map[int]int32
+	entry  int32 // slot of entry point, -1 if empty
+	maxLvl int
+	rng    uint64
+	mult   float64 // level multiplier 1/ln(M)
+}
+
+// NewHNSW returns an empty HNSW index with the given configuration.
+func NewHNSW(cfg HNSWConfig) *HNSW {
+	if cfg.M < 2 {
+		cfg.M = 2
+	}
+	if cfg.EfConstruction < cfg.M {
+		cfg.EfConstruction = cfg.M * 4
+	}
+	if cfg.EfSearch < 1 {
+		cfg.EfSearch = 16
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &HNSW{
+		cfg:   cfg,
+		byID:  make(map[int]int32),
+		entry: -1,
+		rng:   seed,
+		mult:  1 / math.Log(float64(cfg.M)),
+	}
+}
+
+// Len implements Index.
+func (h *HNSW) Len() int { return len(h.nodes) }
+
+// nextFloat is a deterministic xorshift64* PRNG in (0,1).
+func (h *HNSW) nextFloat() float64 {
+	h.rng ^= h.rng >> 12
+	h.rng ^= h.rng << 25
+	h.rng ^= h.rng >> 27
+	v := h.rng * 0x2545F4914F6CDD1D
+	return (float64(v>>11) + 1) / (1 << 53)
+}
+
+func (h *HNSW) randomLevel() int {
+	return int(-math.Log(h.nextFloat()) * h.mult)
+}
+
+func (h *HNSW) maxLinks(layer int) int {
+	if layer == 0 {
+		return h.cfg.M * 2
+	}
+	return h.cfg.M
+}
+
+// Add implements Index.
+func (h *HNSW) Add(id int, vec []float32) error {
+	if id < 0 {
+		return fmt.Errorf("vector: negative id %d", id)
+	}
+	if _, dup := h.byID[id]; dup {
+		return fmt.Errorf("vector: duplicate id %d", id)
+	}
+	level := h.randomLevel()
+	slot := int32(len(h.nodes))
+	node := hnswNode{id: id, vec: vec, level: level, links: make([][]int32, level+1)}
+	h.nodes = append(h.nodes, node)
+	h.byID[id] = slot
+
+	if h.entry < 0 {
+		h.entry = slot
+		h.maxLvl = level
+		return nil
+	}
+
+	ep := h.entry
+	// Greedy descent through layers above the new node's level.
+	for l := h.maxLvl; l > level; l-- {
+		ep = h.greedyClosest(vec, ep, l)
+	}
+	// Insert with beam search on each layer from min(level, maxLvl) down.
+	top := level
+	if top > h.maxLvl {
+		top = h.maxLvl
+	}
+	for l := top; l >= 0; l-- {
+		cands := h.searchLayer(vec, ep, h.cfg.EfConstruction, l)
+		neighbors := h.selectNeighbors(vec, cands, h.maxLinks(l))
+		h.nodes[slot].links[l] = append(h.nodes[slot].links[l], neighbors...)
+		for _, n := range neighbors {
+			h.link(n, slot, l)
+		}
+		if len(cands) > 0 {
+			ep = cands[0].slot
+		}
+	}
+	if level > h.maxLvl {
+		h.maxLvl = level
+		h.entry = slot
+	}
+	return nil
+}
+
+// link adds dst to src's layer-l neighbor list, pruning to capacity by
+// keeping the closest links.
+func (h *HNSW) link(src, dst int32, l int) {
+	node := &h.nodes[src]
+	node.links[l] = append(node.links[l], dst)
+	maxL := h.maxLinks(l)
+	if len(node.links[l]) <= maxL {
+		return
+	}
+	// Prune: keep the maxL closest neighbors to src.
+	type cand struct {
+		slot int32
+		dist float64
+	}
+	cands := make([]cand, 0, len(node.links[l]))
+	for _, n := range node.links[l] {
+		cands = append(cands, cand{n, embedding.Distance(node.vec, h.nodes[n].vec)})
+	}
+	// Selection by partial sort (small lists).
+	for i := 0; i < maxL; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].dist < cands[best].dist {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	kept := make([]int32, maxL)
+	for i := 0; i < maxL; i++ {
+		kept[i] = cands[i].slot
+	}
+	node.links[l] = kept
+}
+
+func (h *HNSW) greedyClosest(q []float32, ep int32, l int) int32 {
+	cur := ep
+	curDist := embedding.Distance(q, h.nodes[cur].vec)
+	for {
+		improved := false
+		for _, n := range h.nodes[cur].links[l] {
+			if d := embedding.Distance(q, h.nodes[n].vec); d < curDist {
+				cur, curDist = n, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+type scored struct {
+	slot int32
+	dist float64
+}
+
+// minHeap orders by ascending distance (candidates to expand).
+type minHeap []scored
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// maxHeap orders by descending distance (result set, worst on top).
+type maxHeap []scored
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(scored)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// searchLayer runs a beam search of width ef on layer l starting from ep.
+// Results are sorted ascending by distance.
+func (h *HNSW) searchLayer(q []float32, ep int32, ef, l int) []scored {
+	visited := map[int32]bool{ep: true}
+	start := scored{ep, embedding.Distance(q, h.nodes[ep].vec)}
+	cands := &minHeap{start}
+	res := &maxHeap{start}
+	for cands.Len() > 0 {
+		c := heap.Pop(cands).(scored)
+		if res.Len() >= ef && c.dist > (*res)[0].dist {
+			break
+		}
+		for _, n := range h.nodes[c.slot].links[l] {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			d := embedding.Distance(q, h.nodes[n].vec)
+			if res.Len() < ef || d < (*res)[0].dist {
+				heap.Push(cands, scored{n, d})
+				heap.Push(res, scored{n, d})
+				if res.Len() > ef {
+					heap.Pop(res)
+				}
+			}
+		}
+	}
+	out := make([]scored, res.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(res).(scored)
+	}
+	return out
+}
+
+// selectNeighbors keeps the m closest candidates (simple selection, which
+// is adequate at the corpus scales exercised here).
+func (h *HNSW) selectNeighbors(q []float32, cands []scored, m int) []int32 {
+	if len(cands) > m {
+		cands = cands[:m]
+	}
+	out := make([]int32, len(cands))
+	for i, c := range cands {
+		out[i] = c.slot
+	}
+	return out
+}
+
+// Search implements Index.
+func (h *HNSW) Search(query []float32, k int) []Result {
+	if k <= 0 || h.entry < 0 {
+		return nil
+	}
+	ep := h.entry
+	for l := h.maxLvl; l > 0; l-- {
+		ep = h.greedyClosest(query, ep, l)
+	}
+	ef := h.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	cands := h.searchLayer(query, ep, ef, 0)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: h.nodes[c.slot].id, Distance: c.dist}
+	}
+	return out
+}
+
+var (
+	_ Index = (*Flat)(nil)
+	_ Index = (*HNSW)(nil)
+)
+
+// HNSWDump is the serializable form of an HNSW graph.
+type HNSWDump struct {
+	Cfg    HNSWConfig
+	IDs    []int
+	Vecs   [][]float32
+	Levels []int
+	Links  [][][]int32
+	Entry  int32
+	MaxLvl int
+	RNG    uint64
+}
+
+// Export snapshots the graph for persistence.
+func (h *HNSW) Export() *HNSWDump {
+	d := &HNSWDump{
+		Cfg:    h.cfg,
+		IDs:    make([]int, len(h.nodes)),
+		Vecs:   make([][]float32, len(h.nodes)),
+		Levels: make([]int, len(h.nodes)),
+		Links:  make([][][]int32, len(h.nodes)),
+		Entry:  h.entry,
+		MaxLvl: h.maxLvl,
+		RNG:    h.rng,
+	}
+	for i, n := range h.nodes {
+		d.IDs[i] = n.id
+		d.Vecs[i] = n.vec
+		d.Levels[i] = n.level
+		links := make([][]int32, len(n.links))
+		for l, ls := range n.links {
+			links[l] = append([]int32(nil), ls...)
+		}
+		d.Links[i] = links
+	}
+	return d
+}
+
+// ImportHNSW reconstructs a graph from a dump.
+func ImportHNSW(d *HNSWDump) (*HNSW, error) {
+	if d == nil {
+		return nil, fmt.Errorf("vector: nil HNSW dump")
+	}
+	n := len(d.IDs)
+	if len(d.Vecs) != n || len(d.Levels) != n || len(d.Links) != n {
+		return nil, fmt.Errorf("vector: inconsistent HNSW dump (%d/%d/%d/%d)",
+			n, len(d.Vecs), len(d.Levels), len(d.Links))
+	}
+	h := NewHNSW(d.Cfg)
+	h.rng = d.RNG
+	h.entry = d.Entry
+	h.maxLvl = d.MaxLvl
+	h.nodes = make([]hnswNode, n)
+	for i := 0; i < n; i++ {
+		if _, dup := h.byID[d.IDs[i]]; dup {
+			return nil, fmt.Errorf("vector: duplicate id %d in dump", d.IDs[i])
+		}
+		h.byID[d.IDs[i]] = int32(i)
+		h.nodes[i] = hnswNode{
+			id:    d.IDs[i],
+			vec:   d.Vecs[i],
+			level: d.Levels[i],
+			links: d.Links[i],
+		}
+	}
+	if n > 0 && (h.entry < 0 || int(h.entry) >= n) {
+		return nil, fmt.Errorf("vector: dump entry point %d out of range", h.entry)
+	}
+	return h, nil
+}

@@ -1,0 +1,173 @@
+package vector
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"unify/internal/embedding"
+)
+
+// randVec returns a random unit vector.
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	var norm float64
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+		norm += float64(v[i]) * float64(v[i])
+	}
+	inv := float32(1 / math.Sqrt(norm))
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+func TestFlatExactOrder(t *testing.T) {
+	f := NewFlat()
+	rng := rand.New(rand.NewSource(1))
+	vecs := make([][]float32, 50)
+	for i := range vecs {
+		vecs[i] = randVec(rng, 16)
+		if err := f.Add(i, vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := randVec(rng, 16)
+	res := f.Search(q, 10)
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Distance < res[i-1].Distance {
+			t.Fatal("results not sorted by distance")
+		}
+	}
+	// Verify the top hit is the true nearest.
+	best, bestD := -1, math.Inf(1)
+	for i, v := range vecs {
+		if d := embedding.Distance(q, v); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if res[0].ID != best {
+		t.Errorf("top hit %d, want %d", res[0].ID, best)
+	}
+}
+
+func TestFlatDuplicateAndNegative(t *testing.T) {
+	f := NewFlat()
+	v := []float32{1, 0}
+	if err := f.Add(1, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(1, v); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := f.Add(-1, v); err == nil {
+		t.Error("negative id accepted")
+	}
+}
+
+func TestFlatDistances(t *testing.T) {
+	f := NewFlat()
+	f.Add(0, []float32{1, 0})
+	f.Add(1, []float32{0, 1})
+	d := f.Distances([]float32{1, 0})
+	if d[0] > 1e-6 {
+		t.Errorf("self distance %v", d[0])
+	}
+	if math.Abs(d[1]-1) > 1e-6 {
+		t.Errorf("orthogonal distance %v, want 1", d[1])
+	}
+}
+
+// TestHNSWRecall checks approximate search recall against the exact index
+// — the correctness criterion for an ANN structure.
+func TestHNSWRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, dim, k, queries = 800, 32, 10, 40
+	flat := NewFlat()
+	hnsw := NewHNSW(DefaultHNSWConfig())
+	for i := 0; i < n; i++ {
+		v := randVec(rng, dim)
+		if err := flat.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := hnsw.Add(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var hit, total int
+	for qi := 0; qi < queries; qi++ {
+		q := randVec(rng, dim)
+		exact := map[int]bool{}
+		for _, r := range flat.Search(q, k) {
+			exact[r.ID] = true
+		}
+		for _, r := range hnsw.Search(q, k) {
+			if exact[r.ID] {
+				hit++
+			}
+		}
+		total += k
+	}
+	recall := float64(hit) / float64(total)
+	if recall < 0.9 {
+		t.Errorf("HNSW recall = %.3f, want >= 0.9", recall)
+	}
+}
+
+func TestHNSWDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := make([][]float32, 200)
+	for i := range vecs {
+		vecs[i] = randVec(rng, 16)
+	}
+	build := func() *HNSW {
+		h := NewHNSW(DefaultHNSWConfig())
+		for i, v := range vecs {
+			h.Add(i, v)
+		}
+		return h
+	}
+	a, b := build(), build()
+	q := randVec(rng, 16)
+	ra, rb := a.Search(q, 5), b.Search(q, 5)
+	if fmt.Sprint(ra) != fmt.Sprint(rb) {
+		t.Errorf("non-deterministic HNSW: %v vs %v", ra, rb)
+	}
+}
+
+func TestHNSWEmptyAndSmall(t *testing.T) {
+	h := NewHNSW(DefaultHNSWConfig())
+	if res := h.Search([]float32{1, 0}, 5); res != nil {
+		t.Error("empty index returned results")
+	}
+	h.Add(42, []float32{1, 0})
+	res := h.Search([]float32{1, 0}, 5)
+	if len(res) != 1 || res[0].ID != 42 {
+		t.Errorf("single-element search = %v", res)
+	}
+	if err := h.Add(42, []float32{0, 1}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestIndexInterface(t *testing.T) {
+	for _, idx := range []Index{NewFlat(), NewHNSW(DefaultHNSWConfig())} {
+		if idx.Len() != 0 {
+			t.Error("fresh index not empty")
+		}
+		idx.Add(0, []float32{1, 0, 0})
+		idx.Add(1, []float32{0, 1, 0})
+		if idx.Len() != 2 {
+			t.Errorf("Len = %d", idx.Len())
+		}
+		res := idx.Search([]float32{1, 0, 0}, 1)
+		if len(res) != 1 || res[0].ID != 0 {
+			t.Errorf("nearest = %v, want id 0", res)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package vtime computes simulated wall-clock latency for plan executions.
+//
+// The paper evaluates end-to-end latency on a server hosting 4 local LLM
+// instances; LLM call time dominates and is proportional to output tokens.
+// Rather than sleeping, this reproduction records every LLM call and every
+// pre-programmed computation as work units, then list-schedules them on a
+// model of the machine: a slot-limited "llm" resource pool plus an
+// unlimited CPU resource. The resulting makespan is the simulated latency.
+// Deterministic tie-breaking makes latencies reproducible bit-for-bit.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Unit is one indivisible piece of work: a single LLM invocation (possibly
+// covering a batched prompt) or a block of programmed computation.
+type Unit struct {
+	Dur      time.Duration
+	Resource string // "" means unlimited (CPU-style) resource
+}
+
+// Task is a schedulable node: typically one physical operator execution.
+// Units of a task may run concurrently unless Sequential is set. A task
+// becomes ready when all its dependencies have fully completed.
+type Task struct {
+	ID         string
+	Deps       []string
+	Units      []Unit
+	Sequential bool // units must run one after another (chained prompts)
+}
+
+// Schedule is a machine model: capacity per named resource. Resources not
+// present are treated as unlimited.
+type Schedule struct {
+	Capacity map[string]int
+}
+
+// NewSchedule returns a machine model with the given number of LLM slots.
+func NewSchedule(llmSlots int) *Schedule {
+	if llmSlots < 1 {
+		llmSlots = 1
+	}
+	return &Schedule{Capacity: map[string]int{ResourceLLM: llmSlots}}
+}
+
+// ResourceLLM is the canonical resource name for LLM server slots.
+const ResourceLLM = "llm"
+
+// Result reports the outcome of scheduling a task graph.
+type Result struct {
+	Makespan time.Duration
+	// Finish maps task ID to its completion time.
+	Finish map[string]time.Duration
+	// Busy maps resource name to total busy time across slots.
+	Busy map[string]time.Duration
+}
+
+type pendingUnit struct {
+	taskIdx int
+	unitIdx int
+	ready   time.Duration // earliest start
+	seq     int           // global tie-break sequence
+}
+
+type unitHeap []pendingUnit
+
+func (h unitHeap) Len() int { return len(h) }
+func (h unitHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
+func (h unitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *unitHeap) Push(x interface{}) { *h = append(*h, x.(pendingUnit)) }
+func (h *unitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run schedules the task graph and returns its makespan. It returns an
+// error on unknown dependencies or dependency cycles.
+func (s *Schedule) Run(tasks []Task) (Result, error) {
+	idx := make(map[string]int, len(tasks))
+	for i, t := range tasks {
+		if _, dup := idx[t.ID]; dup {
+			return Result{}, fmt.Errorf("vtime: duplicate task %q", t.ID)
+		}
+		idx[t.ID] = i
+	}
+	indeg := make([]int, len(tasks))
+	succ := make([][]int, len(tasks))
+	for i, t := range tasks {
+		for _, d := range t.Deps {
+			j, ok := idx[d]
+			if !ok {
+				return Result{}, fmt.Errorf("vtime: task %q depends on unknown task %q", t.ID, d)
+			}
+			indeg[i]++
+			succ[j] = append(succ[j], i)
+		}
+	}
+
+	// State per task.
+	remaining := make([]int, len(tasks)) // unfinished units
+	nextUnit := make([]int, len(tasks))  // for sequential tasks
+	taskReady := make([]time.Duration, len(tasks))
+	finish := make([]time.Duration, len(tasks))
+	started := make([]bool, len(tasks))
+	for i, t := range tasks {
+		remaining[i] = len(t.Units)
+	}
+
+	// Resource state: per resource, a min-heap of slot free times.
+	free := map[string]*durHeap{}
+	slotHeap := func(res string) *durHeap {
+		h, ok := free[res]
+		if !ok {
+			cap, limited := s.Capacity[res]
+			if !limited {
+				return nil // unlimited
+			}
+			hh := make(durHeap, cap)
+			h = &hh
+			heap.Init(h)
+			free[res] = h
+		}
+		return h
+	}
+
+	pend := &unitHeap{}
+	seq := 0
+	enqueueTask := func(i int, at time.Duration) {
+		started[i] = true
+		taskReady[i] = at
+		t := &tasks[i]
+		if len(t.Units) == 0 {
+			return // completed immediately; handled by caller
+		}
+		if t.Sequential {
+			heap.Push(pend, pendingUnit{i, 0, at, seq})
+			seq++
+			nextUnit[i] = 0
+			return
+		}
+		for u := range t.Units {
+			heap.Push(pend, pendingUnit{i, u, at, seq})
+			seq++
+		}
+	}
+
+	busy := map[string]time.Duration{}
+	res := Result{Finish: make(map[string]time.Duration, len(tasks)), Busy: busy}
+
+	// completeTask marks a task finished at time t and releases successors.
+	var completeTask func(i int, t time.Duration)
+	completeTask = func(i int, t time.Duration) {
+		started[i] = true
+		finish[i] = t
+		res.Finish[tasks[i].ID] = t
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+		for _, nxt := range succ[i] {
+			indeg[nxt]--
+			if indeg[nxt] == 0 {
+				// Ready time is the max finish of all deps.
+				at := time.Duration(0)
+				for _, d := range tasks[nxt].Deps {
+					if f := finish[idx[d]]; f > at {
+						at = f
+					}
+				}
+				if remaining[nxt] == 0 {
+					completeTask(nxt, at)
+				} else {
+					enqueueTask(nxt, at)
+				}
+			}
+		}
+	}
+
+	// Seed roots deterministically in declaration order. Tasks already
+	// released by a zero-unit root's completion are skipped.
+	for i := range tasks {
+		if indeg[i] == 0 && !started[i] {
+			if remaining[i] == 0 {
+				completeTask(i, 0)
+			} else {
+				enqueueTask(i, 0)
+			}
+		}
+	}
+
+	scheduled := 0
+	total := 0
+	for i := range tasks {
+		total += len(tasks[i].Units)
+	}
+
+	for pend.Len() > 0 {
+		pu := heap.Pop(pend).(pendingUnit)
+		t := &tasks[pu.taskIdx]
+		u := t.Units[pu.unitIdx]
+		start := pu.ready
+		h := slotHeap(u.Resource)
+		if h != nil {
+			slotFree := heap.Pop(h).(time.Duration)
+			if slotFree > start {
+				start = slotFree
+			}
+		}
+		end := start + u.Dur
+		if h != nil {
+			heap.Push(h, end)
+			busy[u.Resource] += u.Dur
+		}
+		scheduled++
+		remaining[pu.taskIdx]--
+		if t.Sequential && pu.unitIdx+1 < len(t.Units) {
+			heap.Push(pend, pendingUnit{pu.taskIdx, pu.unitIdx + 1, end, seq})
+			seq++
+		}
+		if end > finish[pu.taskIdx] {
+			finish[pu.taskIdx] = end
+		}
+		if remaining[pu.taskIdx] == 0 {
+			completeTask(pu.taskIdx, finish[pu.taskIdx])
+		}
+	}
+
+	if scheduled != total {
+		// Some tasks never became ready: there is a dependency cycle.
+		var stuck []string
+		for i := range tasks {
+			if !started[i] && remaining[i] > 0 {
+				stuck = append(stuck, tasks[i].ID)
+			}
+		}
+		sort.Strings(stuck)
+		return Result{}, fmt.Errorf("vtime: dependency cycle involving %v", stuck)
+	}
+	return res, nil
+}
+
+// durHeap is a min-heap of slot-free times.
+type durHeap []time.Duration
+
+func (h durHeap) Len() int            { return len(h) }
+func (h durHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h durHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *durHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *durHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Serial returns the makespan if every unit ran back-to-back on a single
+// slot — a lower-level bound used in unit tests.
+func Serial(tasks []Task) time.Duration {
+	var total time.Duration
+	for _, t := range tasks {
+		for _, u := range t.Units {
+			total += u.Dur
+		}
+	}
+	return total
+}
+
+// SerialOperators computes the makespan when OPERATORS run strictly one
+// after another (no DAG parallelism) while each operator still batches
+// its own calls across the slot pool — the Unify-noLO ablation of
+// Figure 5(a).
+func (s *Schedule) SerialOperators(tasks []Task) (time.Duration, error) {
+	chained := make([]Task, len(tasks))
+	for i, t := range tasks {
+		c := t
+		c.Deps = nil
+		if i > 0 {
+			c.Deps = []string{tasks[i-1].ID}
+		}
+		chained[i] = c
+	}
+	res, err := s.Run(chained)
+	if err != nil {
+		return 0, err
+	}
+	return res.Makespan, nil
+}

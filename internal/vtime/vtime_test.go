@@ -1,0 +1,256 @@
+package vtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func u(ms int) Unit { return Unit{Dur: time.Duration(ms) * time.Millisecond, Resource: ResourceLLM} }
+
+func TestSingleTask(t *testing.T) {
+	s := NewSchedule(4)
+	res, err := s.Run([]Task{{ID: "a", Units: []Unit{u(100)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 100*time.Millisecond {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestParallelUnitsLimitedBySlots(t *testing.T) {
+	// 8 units of 100ms on 4 slots -> 200ms.
+	units := make([]Unit, 8)
+	for i := range units {
+		units[i] = u(100)
+	}
+	res, err := NewSchedule(4).Run([]Task{{ID: "a", Units: units}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 200*time.Millisecond {
+		t.Errorf("makespan = %v, want 200ms", res.Makespan)
+	}
+}
+
+func TestSequentialTask(t *testing.T) {
+	units := make([]Unit, 4)
+	for i := range units {
+		units[i] = u(50)
+	}
+	res, err := NewSchedule(4).Run([]Task{{ID: "a", Units: units, Sequential: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 200*time.Millisecond {
+		t.Errorf("sequential makespan = %v, want 200ms", res.Makespan)
+	}
+}
+
+func TestDependencyChain(t *testing.T) {
+	tasks := []Task{
+		{ID: "a", Units: []Unit{u(100)}},
+		{ID: "b", Deps: []string{"a"}, Units: []Unit{u(100)}},
+		{ID: "c", Deps: []string{"b"}, Units: []Unit{u(100)}},
+	}
+	res, err := NewSchedule(4).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 300*time.Millisecond {
+		t.Errorf("chain makespan = %v, want 300ms", res.Makespan)
+	}
+	if res.Finish["a"] != 100*time.Millisecond || res.Finish["c"] != 300*time.Millisecond {
+		t.Errorf("finish times %v", res.Finish)
+	}
+}
+
+// TestDiamondParallelism: two independent branches overlap; the makespan
+// is the critical path, not the sum.
+func TestDiamondParallelism(t *testing.T) {
+	tasks := []Task{
+		{ID: "src", Units: []Unit{u(50)}},
+		{ID: "left", Deps: []string{"src"}, Units: []Unit{u(200)}},
+		{ID: "right", Deps: []string{"src"}, Units: []Unit{u(150)}},
+		{ID: "sink", Deps: []string{"left", "right"}, Units: []Unit{u(50)}},
+	}
+	res, err := NewSchedule(4).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 300 * time.Millisecond // 50 + max(200,150) + 50
+	if res.Makespan != want {
+		t.Errorf("diamond makespan = %v, want %v", res.Makespan, want)
+	}
+	if ser := Serial(tasks); ser != 450*time.Millisecond {
+		t.Errorf("serial = %v, want 450ms", ser)
+	}
+}
+
+func TestSlotContentionAcrossTasks(t *testing.T) {
+	// Two independent tasks of 4x100ms units on 2 slots: 8 units total,
+	// 2 at a time -> 400ms.
+	mk := func(id string) Task {
+		return Task{ID: id, Units: []Unit{u(100), u(100), u(100), u(100)}}
+	}
+	res, err := NewSchedule(2).Run([]Task{mk("a"), mk("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 400*time.Millisecond {
+		t.Errorf("contended makespan = %v, want 400ms", res.Makespan)
+	}
+}
+
+func TestUnlimitedResource(t *testing.T) {
+	units := make([]Unit, 16)
+	for i := range units {
+		units[i] = Unit{Dur: 100 * time.Millisecond} // no resource: unlimited
+	}
+	res, err := NewSchedule(1).Run([]Task{{ID: "cpu", Units: units}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 100*time.Millisecond {
+		t.Errorf("unlimited-resource makespan = %v, want 100ms", res.Makespan)
+	}
+}
+
+func TestZeroUnitTasks(t *testing.T) {
+	tasks := []Task{
+		{ID: "a"},
+		{ID: "b", Deps: []string{"a"}, Units: []Unit{u(100)}},
+	}
+	res, err := NewSchedule(1).Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 100*time.Millisecond {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewSchedule(1).Run([]Task{{ID: "a"}, {ID: "a"}}); err == nil {
+		t.Error("duplicate task accepted")
+	}
+	if _, err := NewSchedule(1).Run([]Task{{ID: "a", Deps: []string{"ghost"}}}); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	cyc := []Task{
+		{ID: "a", Deps: []string{"b"}, Units: []Unit{u(10)}},
+		{ID: "b", Deps: []string{"a"}, Units: []Unit{u(10)}},
+	}
+	if _, err := NewSchedule(1).Run(cyc); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	res, err := NewSchedule(2).Run([]Task{{ID: "a", Units: []Unit{u(100), u(50)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Busy[ResourceLLM] != 150*time.Millisecond {
+		t.Errorf("busy = %v, want 150ms", res.Busy[ResourceLLM])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tasks := []Task{
+		{ID: "a", Units: []Unit{u(30), u(70), u(20)}},
+		{ID: "b", Units: []Unit{u(40), u(10)}},
+		{ID: "c", Deps: []string{"a", "b"}, Units: []Unit{u(25)}},
+	}
+	r1, err1 := NewSchedule(2).Run(tasks)
+	r2, err2 := NewSchedule(2).Run(tasks)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Errorf("non-deterministic: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+}
+
+// TestSchedulingInvariants property-tests the scheduler: for random task
+// graphs, the makespan is bounded below by both the critical path and
+// busy-time/slots, and above by the total serial time.
+func TestSchedulingInvariants(t *testing.T) {
+	f := func(seed uint8, nTasks uint8, slots uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		n := int(nTasks)%8 + 2
+		cap := int(slots)%4 + 1
+		tasks := make([]Task, n)
+		var totalBusy time.Duration
+		for i := range tasks {
+			nu := rng.Intn(4) + 1
+			units := make([]Unit, nu)
+			for j := range units {
+				d := time.Duration(rng.Intn(90)+10) * time.Millisecond
+				units[j] = Unit{Dur: d, Resource: ResourceLLM}
+				totalBusy += d
+			}
+			tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Units: units, Sequential: rng.Intn(2) == 0}
+			// Random backward dependencies keep the graph acyclic.
+			for j := 0; j < i; j++ {
+				if rng.Intn(4) == 0 {
+					tasks[i].Deps = append(tasks[i].Deps, fmt.Sprintf("t%d", j))
+				}
+			}
+		}
+		res, err := NewSchedule(cap).Run(tasks)
+		if err != nil {
+			return false
+		}
+		serial := Serial(tasks)
+		lower := totalBusy / time.Duration(cap)
+		if res.Makespan > serial {
+			t.Logf("makespan %v above serial %v", res.Makespan, serial)
+			return false
+		}
+		if res.Makespan < lower {
+			t.Logf("makespan %v below busy/slots %v", res.Makespan, lower)
+			return false
+		}
+		if res.Busy[ResourceLLM] != totalBusy {
+			return false
+		}
+		// Every task finishes after all its dependencies.
+		for _, task := range tasks {
+			for _, d := range task.Deps {
+				if res.Finish[task.ID] < res.Finish[d] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSerialOperatorsNotBelowDAG: operator-serial execution can never
+// beat the DAG schedule.
+func TestSerialOperatorsNotBelowDAG(t *testing.T) {
+	tasks := []Task{
+		{ID: "a", Units: []Unit{u(100), u(100)}},
+		{ID: "b", Units: []Unit{u(150)}},
+		{ID: "c", Deps: []string{"a", "b"}, Units: []Unit{u(50)}},
+	}
+	s := NewSchedule(4)
+	res, err := s.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := s.SerialOperators(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser < res.Makespan {
+		t.Errorf("serial %v below DAG %v", ser, res.Makespan)
+	}
+}

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"unify/internal/corpus"
+)
+
+// miniDataset builds a fully controlled corpus so template truths can be
+// verified against hand computation.
+func miniDataset() *corpus.Dataset {
+	mk := func(id int, cat, asp string, views, score, year int) corpus.Doc {
+		return corpus.Doc{
+			ID:    id,
+			Title: fmt.Sprintf("doc-%d", id),
+			Text:  fmt.Sprintf("Title: doc-%d\nViews: %d\nScore: %d\nPosted: %d\nBody: x", id, views, score, year),
+			Hidden: corpus.Hidden{
+				Category: cat, Aspect: asp, Views: views, Score: score, Year: year,
+			},
+		}
+	}
+	return &corpus.Dataset{
+		Name:        "mini",
+		EntityWord:  "questions",
+		CatClass:    "sport",
+		AspectClass: "topic",
+		CatWord:     "sport",
+		AspectWord:  "topic",
+		SubsetName:  "ball",
+		Docs: []corpus.Doc{
+			mk(0, "football", "injury", 1000, 10, 2015),
+			mk(1, "football", "injury", 100, 5, 2012),
+			mk(2, "football", "training", 500, 8, 2018),
+			mk(3, "tennis", "injury", 800, 12, 2016),
+			mk(4, "tennis", "training", 50, 4, 2011),
+			mk(5, "tennis", "training", 900, 6, 2019),
+			mk(6, "swimming", "injury", 700, 9, 2014),
+			mk(7, "swimming", "rules", 300, 7, 2013),
+			mk(8, "golf", "injury", 400, 3, 2017),
+			mk(9, "golf", "training", 600, 11, 2020),
+		},
+	}
+}
+
+// truthOf finds the instance of a template built with specific literals by
+// scanning generated queries; the generator is deterministic so the
+// queries are stable.
+func queriesFor(t *testing.T, tpl int) []Query {
+	t.Helper()
+	var out []Query
+	for _, q := range Generate(miniDataset(), 5, 42) {
+		if q.Template == tpl {
+			out = append(out, q)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("template %d produced no instances", tpl)
+	}
+	return out
+}
+
+func TestHandComputedCountTruths(t *testing.T) {
+	// Independently recompute every T1 truth by brute force.
+	ds := miniDataset()
+	for _, q := range queriesFor(t, 1) {
+		// The query names one category and one views threshold; recover
+		// them from the text via a crude scan over known literals.
+		var cat string
+		for _, c := range []string{"football", "tennis", "swimming", "golf"} {
+			if containsWord(q.Text, c) {
+				cat = c
+			}
+		}
+		if cat == "" {
+			t.Fatalf("no category literal in %q", q.Text)
+		}
+		threshold := extractInt(t, q.Text)
+		want := 0
+		for _, d := range ds.Docs {
+			if d.Hidden.Category == cat && d.Hidden.Views > threshold {
+				want++
+			}
+		}
+		if q.Truth.Kind != Num || int(q.Truth.Num) != want {
+			t.Errorf("%s: truth %v, hand-computed %d (%q)", q.ID, q.Truth.Num, want, q.Text)
+		}
+	}
+}
+
+func TestHandComputedCompareTruth(t *testing.T) {
+	ds := miniDataset()
+	for _, q := range queriesFor(t, 5) {
+		if q.Truth.Kind != Choice || len(q.Truth.Accept) != 1 {
+			t.Fatalf("%s: truth %+v", q.ID, q.Truth)
+		}
+		// Sides are the two aspects named in the query, in order.
+		var aspects []string
+		for _, token := range splitWords(q.Text) {
+			switch token {
+			case "injury", "training", "rules", "equipment", "nutrition", "history":
+				aspects = append(aspects, token)
+			}
+		}
+		if len(aspects) < 2 {
+			t.Fatalf("%s: aspects not found in %q", q.ID, q.Text)
+		}
+		count := func(a string) int {
+			n := 0
+			for _, d := range ds.Docs {
+				if d.Hidden.Aspect == a {
+					n++
+				}
+			}
+			return n
+		}
+		want := "first"
+		if count(aspects[1]) > count(aspects[0]) {
+			want = "second"
+		}
+		if q.Truth.Accept[0] != want {
+			t.Errorf("%s: truth %q, hand %q (%q: %d vs %d)",
+				q.ID, q.Truth.Accept[0], want, q.Text, count(aspects[0]), count(aspects[1]))
+		}
+	}
+}
+
+func TestHandComputedSubsetArgmax(t *testing.T) {
+	// T20 on the mini corpus: ball sports are football, tennis, golf
+	// (swimming excluded).
+	for _, q := range queriesFor(t, 20) {
+		if q.Truth.Kind != Label || len(q.Truth.Accept) == 0 {
+			t.Fatalf("%s: truth %+v", q.ID, q.Truth)
+		}
+		for _, label := range q.Truth.Accept {
+			if label == "swimming" {
+				t.Errorf("%s: non-ball sport in subset argmax truth %v", q.ID, q.Truth.Accept)
+			}
+		}
+	}
+}
+
+func TestHandComputedFraction(t *testing.T) {
+	ds := miniDataset()
+	for _, q := range queriesFor(t, 10) {
+		var cat, asp string
+		for _, token := range splitWords(q.Text) {
+			switch token {
+			case "football", "tennis", "swimming", "golf":
+				cat = token
+			case "injury", "training", "rules":
+				asp = token
+			}
+		}
+		if cat == "" || asp == "" {
+			t.Fatalf("%s: literals not found in %q", q.ID, q.Text)
+		}
+		num, den := 0, 0
+		for _, d := range ds.Docs {
+			if d.Hidden.Category == cat {
+				den++
+				if d.Hidden.Aspect == asp {
+					num++
+				}
+			}
+		}
+		want := float64(num) / float64(den)
+		if q.Truth.Num != want {
+			t.Errorf("%s: truth %v, hand %v", q.ID, q.Truth.Num, want)
+		}
+	}
+}
+
+// --- tiny text helpers ---
+
+func splitWords(s string) []string {
+	var out []string
+	word := ""
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+			word += string(r)
+		} else {
+			if word != "" {
+				out = append(out, word)
+			}
+			word = ""
+		}
+	}
+	if word != "" {
+		out = append(out, word)
+	}
+	return out
+}
+
+func containsWord(s, w string) bool {
+	for _, tok := range splitWords(s) {
+		if tok == w {
+			return true
+		}
+	}
+	return false
+}
+
+func extractInt(t *testing.T, s string) int {
+	t.Helper()
+	n, cur, found := 0, 0, false
+	inNum := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			cur = cur*10 + int(r-'0')
+			inNum = true
+		} else if inNum {
+			n, found = cur, true
+			break
+		}
+	}
+	if inNum && !found {
+		n, found = cur, true
+	}
+	if !found {
+		t.Fatalf("no integer literal in %q", s)
+	}
+	return n
+}

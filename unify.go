@@ -1,0 +1,339 @@
+// Package unify is a reproduction of "Unify: An Unstructured Data
+// Analytics System" (ICDE 2025): natural-language analytics over
+// collections of unstructured text documents, with automatic logical plan
+// generation by LLM-guided query reduction, cost-based physical
+// optimization driven by semantic cardinality estimation, and parallel
+// DAG execution.
+//
+// Quick start:
+//
+//	sys, err := unify.Open(unify.Config{Dataset: "sports", Size: 500})
+//	ans, err := sys.Query(ctx, "How many questions about football have more than 500 views?")
+//	fmt.Println(ans.Text, ans.TotalDur)
+//
+// The LLM substrate is simulated (deterministic, latency-modeled); see
+// DESIGN.md for the substitution rationale. Any llm.Client implementation
+// can be plugged in via OpenWithClients.
+package unify
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"unify/internal/core"
+	"unify/internal/corpus"
+	"unify/internal/cost"
+	"unify/internal/docstore"
+	"unify/internal/exec"
+	"unify/internal/lexicon"
+	"unify/internal/llm"
+	"unify/internal/optimizer"
+	"unify/internal/sce"
+	"unify/internal/values"
+)
+
+// Config controls system construction.
+type Config struct {
+	// Dataset names a built-in synthetic corpus: "sports", "ai", "law",
+	// "wiki". Ignored when documents are supplied directly.
+	Dataset string
+	// Size overrides the corpus document count (0 = the paper's size).
+	Size int
+
+	// Planner hyper-parameters (paper defaults: K=5, NC=3, Tau=0.75).
+	K   int
+	NC  int
+	Tau float64
+
+	// Machine model: LLM server slots (paper: 4) and per-invocation
+	// document batch size.
+	Slots     int
+	BatchSize int
+
+	// Mode selects the optimizer strategy (CostBased, Rule, GroundTruth
+	// via the optimizer package constants).
+	Mode optimizer.Mode
+
+	// SCEBuckets sets the importance-function resolution.
+	SCEBuckets int
+	// TrainSCE learns the importance function from a small set of
+	// historical predicates at open time (recommended; the paper's
+	// offline phase).
+	TrainSCE bool
+
+	// Sim overrides the simulated model configuration (noise, speed).
+	Sim *llm.SimConfig
+}
+
+func (c *Config) defaults() {
+	if c.Dataset == "" {
+		c.Dataset = "sports"
+	}
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.NC == 0 {
+		c.NC = 3
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.75
+	}
+	if c.Slots == 0 {
+		c.Slots = 4
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.SCEBuckets == 0 {
+		c.SCEBuckets = 8
+	}
+}
+
+// System is an opened Unify instance over one document collection.
+type System struct {
+	Config  Config
+	Dataset *corpus.Dataset
+	Store   *docstore.Store
+
+	PlannerClient llm.Client
+	WorkerClient  llm.Client
+
+	Planner   *core.Planner
+	Optimizer *optimizer.Optimizer
+	Executor  *exec.Executor
+	Estimator *sce.Estimator
+	Calib     *cost.Calibrator
+
+	// PreprocessDur is the simulated offline preprocessing time
+	// (embedding + indexing + SCE training).
+	PreprocessDur time.Duration
+}
+
+// NodeStat summarizes one operator's execution for diagnostics.
+type NodeStat struct {
+	NodeID   int
+	Op       string
+	Physical string
+	InCard   int
+	OutCard  int
+	LLMCalls int
+	// Busy is the operator's total model time (its calls run
+	// sequentially on one instance in the machine model).
+	Busy time.Duration
+}
+
+// Answer is a completed query.
+type Answer struct {
+	Text  string
+	Value values.Value
+	Plan  *core.Plan
+	// Nodes reports per-operator execution statistics in plan order.
+	Nodes []NodeStat
+	// Unresolved lists sub-queries the planner could not reduce (the
+	// paper suggests mining these to design new operators).
+	Unresolved []string
+
+	PlanningDur   time.Duration // logical planning (sequential prompts)
+	EstimationDur time.Duration // SCE + physical optimization
+	ExecDur       time.Duration // parallel execution makespan
+	TotalDur      time.Duration
+	// SerialExecDur is the latency had execution been fully sequential
+	// (the Unify-noLO ablation).
+	SerialExecDur time.Duration
+
+	LLMCalls int
+	Fallback bool
+	// Adjusted reports runtime plan adjustment: an operator's selected
+	// physical implementation failed and a fallback ran instead.
+	Adjusted bool
+}
+
+// Open builds a system over a named built-in dataset.
+func Open(cfg Config) (*System, error) {
+	cfg.defaults()
+	size := cfg.Size
+	if size == 0 {
+		size = corpus.DefaultSize(cfg.Dataset)
+	}
+	ds, err := corpus.GenerateN(cfg.Dataset, size)
+	if err != nil {
+		return nil, err
+	}
+	return OpenDataset(ds, cfg)
+}
+
+// OpenDataset builds a system over an already-generated dataset.
+func OpenDataset(ds *corpus.Dataset, cfg Config) (*System, error) {
+	cfg.defaults()
+	simCfg := llm.DefaultSimConfig()
+	if cfg.Sim != nil {
+		simCfg = *cfg.Sim
+	}
+	workerCfg := simCfg
+	workerCfg.Profile = llm.WorkerProfile()
+	plannerCfg := simCfg
+	plannerCfg.Profile = llm.PlannerProfile()
+	return OpenWithClients(ds, cfg, llm.NewSim(plannerCfg), llm.NewSim(workerCfg))
+}
+
+// OpenWithClients builds a system with caller-provided model clients (the
+// extension point for real LLM backends).
+func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, error) {
+	cfg.defaults()
+	store, err := docstore.New(ds.Name, ds.Documents())
+	if err != nil {
+		return nil, err
+	}
+	calib := cost.NewCalibrator(cfg.BatchSize)
+	est := sce.NewEstimator(store, worker, cfg.SCEBuckets)
+	opt := optimizer.New(store, est, calib, cfg.Slots)
+	opt.Mode = cfg.Mode
+	s := &System{
+		Config:        cfg,
+		Dataset:       ds,
+		Store:         store,
+		PlannerClient: planner,
+		WorkerClient:  worker,
+		Planner:       core.NewPlanner(planner, store.Embedder(), cfg.K, cfg.NC, cfg.Tau),
+		Optimizer:     opt,
+		Executor:      exec.New(store, worker, calib),
+		Estimator:     est,
+		Calib:         calib,
+	}
+	s.Executor.Slots = cfg.Slots
+	s.Executor.BatchSize = cfg.BatchSize
+	if cfg.TrainSCE {
+		start := time.Now()
+		if err := s.TrainSCE(context.Background()); err != nil {
+			return nil, err
+		}
+		s.PreprocessDur += time.Since(start)
+	}
+	return s, nil
+}
+
+// TrainSCE learns the importance function from historical predicates
+// derived from the dataset's concept classes (the paper's offline phase).
+func (s *System) TrainSCE(ctx context.Context) error {
+	var preds []string
+	for i, name := range lexicon.Names(s.Dataset.CatClass) {
+		if i%3 == 0 { // a small, representative historical workload
+			preds = append(preds, "related to "+name)
+		}
+	}
+	for i, name := range lexicon.Names(s.Dataset.AspectClass) {
+		if i%3 == 0 {
+			preds = append(preds, "related to "+name)
+		}
+	}
+	return s.Estimator.Train(ctx, preds, 24)
+}
+
+// Plan generates and optimizes the physical plan for a query without
+// executing it (EXPLAIN-style). The returned duration is the simulated
+// planning + estimation latency.
+func (s *System) Plan(ctx context.Context, q string) (*core.Plan, time.Duration, error) {
+	plans, pstats, err := s.Planner.GeneratePlans(ctx, q)
+	if err != nil {
+		return nil, 0, fmt.Errorf("unify: planning %q: %w", q, err)
+	}
+	plan, ostats, err := s.Optimizer.Optimize(ctx, plans)
+	if err != nil {
+		return nil, 0, fmt.Errorf("unify: optimizing %q: %w", q, err)
+	}
+	return plan, pstats.Duration + ostats.Duration/time.Duration(s.Config.Slots), nil
+}
+
+// Query answers one natural-language analytics query end to end:
+// logical plan generation, physical optimization, parallel execution.
+func (s *System) Query(ctx context.Context, q string) (*Answer, error) {
+	plans, pstats, err := s.Planner.GeneratePlans(ctx, q)
+	if err != nil {
+		return nil, fmt.Errorf("unify: planning %q: %w", q, err)
+	}
+	plan, ostats, err := s.Optimizer.Optimize(ctx, plans)
+	if err != nil {
+		return nil, fmt.Errorf("unify: optimizing %q: %w", q, err)
+	}
+	res, err := s.Executor.Run(ctx, plan)
+	if err != nil {
+		// Plan adjustment at the system level: dynamic replanning via
+		// the Generate fallback rather than a complete restart.
+		fb := fallbackPlan(q)
+		res, err = s.Executor.Run(ctx, fb)
+		if err != nil {
+			return nil, fmt.Errorf("unify: executing %q: %w", q, err)
+		}
+		plan = fb
+		pstats.Fallback = true
+	}
+
+	// SCE judgments parallelize across the slot pool.
+	estDur := ostats.Duration / time.Duration(s.Config.Slots)
+	ans := &Answer{
+		Value:         res.Answer,
+		Plan:          plan,
+		PlanningDur:   pstats.Duration,
+		EstimationDur: estDur,
+		ExecDur:       res.Makespan,
+		SerialExecDur: res.Serial,
+		LLMCalls:      len(pstats.Calls) + len(ostats.Calls) + res.LLMCalls,
+		Fallback:      pstats.Fallback,
+		Adjusted:      res.Adjusted,
+	}
+	ans.Unresolved = pstats.Unresolved
+	for _, nr := range res.Nodes {
+		var busy time.Duration
+		for _, c := range nr.Calls {
+			busy += c.Dur
+		}
+		busy += nr.PreDur
+		ans.Nodes = append(ans.Nodes, NodeStat{
+			NodeID:   nr.NodeID,
+			Op:       nr.Op,
+			Physical: nr.Phys,
+			InCard:   nr.InCard,
+			OutCard:  nr.Value.Len(),
+			LLMCalls: len(nr.Calls),
+			Busy:     busy,
+		})
+	}
+	ans.TotalDur = ans.PlanningDur + ans.EstimationDur + ans.ExecDur
+	ans.Text = s.FormatValue(res.Answer)
+	return ans, nil
+}
+
+// FormatValue renders a value as an answer string, resolving document ids
+// to titles.
+func (s *System) FormatValue(v values.Value) string {
+	if v.Kind == values.Docs {
+		titles := make([]string, 0, len(v.DocIDs))
+		for _, id := range v.DocIDs {
+			if d, ok := s.Store.Doc(id); ok {
+				titles = append(titles, d.Title)
+			}
+		}
+		return strings.Join(titles, ", ")
+	}
+	return v.String()
+}
+
+// fallbackPlan is the single-node RAG fallback used when an optimized
+// plan cannot be executed.
+func fallbackPlan(q string) *core.Plan {
+	return &core.Plan{
+		Query: q,
+		Nodes: []*core.Node{{
+			ID:     0,
+			Op:     "Generate",
+			LR:     "answer [Condition] from context",
+			Args:   map[string]string{"Condition": q},
+			Inputs: []string{"dataset"},
+			OutVar: "v1",
+			Desc:   "generated answer",
+			Phys:   "Generate",
+		}},
+	}
+}
