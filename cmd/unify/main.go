@@ -7,6 +7,7 @@
 //	unify -dataset sports -size 1000 "How many questions about football have more than 500 views?"
 //	unify -list-ops
 //	unify -dataset law "What is the average score of questions related to liability?"
+//	unify -analyze "How many questions are about tennis?"
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"unify"
+	"unify/internal/obs"
 	"unify/internal/ops"
 )
 
@@ -28,6 +30,7 @@ func main() {
 		listOps     = flag.Bool("list-ops", false, "list the operator registry (Table II) and exit")
 		verbose     = flag.Bool("v", false, "print the physical plan")
 		planOnly    = flag.Bool("plan", false, "EXPLAIN: print the optimized plan without executing")
+		analyze     = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute with tracing and print the span tree")
 		interactive = flag.Bool("i", false, "interactive mode: read queries from stdin")
 		dotOut      = flag.Bool("dot", false, "print the plan as Graphviz DOT and exit")
 	)
@@ -66,7 +69,11 @@ func main() {
 		fmt.Printf("planning latency: %.1fs\n", dur.Seconds())
 		return
 	}
-	ans, err := sys.Query(context.Background(), query)
+	ctx := context.Background()
+	if *analyze {
+		ctx = obs.WithTracer(ctx, obs.NewTracer())
+	}
+	ans, err := sys.Query(ctx, query)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "query:", err)
 		os.Exit(1)
@@ -77,6 +84,10 @@ func main() {
 		ans.ExecDur.Seconds(), ans.LLMCalls)
 	if ans.Fallback {
 		fmt.Println("note: the planner fell back to the Generate (RAG) operator")
+	}
+	if *analyze && ans.Trace != nil {
+		fmt.Println("EXPLAIN ANALYZE:")
+		fmt.Print(obs.Render(ans.Trace))
 	}
 	if *verbose {
 		fmt.Print(ans.Plan)

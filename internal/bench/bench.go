@@ -7,6 +7,7 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -63,18 +64,48 @@ type MethodScore struct {
 	Accuracy float64
 	// AvgLatency is the mean end-to-end simulated latency per query.
 	AvgLatency time.Duration
-	// AvgPlanning is the planning component (Unify only; zero
-	// elsewhere except Manual's design charge).
-	AvgPlanning time.Duration
-	Queries     int
+	// AvgPlanning, AvgEstimation, and AvgExec break the Unify latency
+	// into its phases (semantic parsing + plan reduction, cardinality
+	// estimation + physical lowering, and DAG execution); zero for the
+	// baseline methods, which have no planner.
+	AvgPlanning   time.Duration
+	AvgEstimation time.Duration
+	AvgExec       time.Duration
+	Queries       int
+}
+
+// MarshalJSON renders durations in seconds so the artifacts JSON carries
+// a readable per-phase latency breakdown instead of raw nanoseconds.
+func (m MethodScore) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Dataset           string  `json:"dataset"`
+		Method            string  `json:"method"`
+		Accuracy          float64 `json:"accuracy"`
+		AvgLatencySecs    float64 `json:"avg_latency_secs"`
+		AvgPlanningSecs   float64 `json:"avg_planning_secs"`
+		AvgEstimationSecs float64 `json:"avg_estimation_secs"`
+		AvgExecSecs       float64 `json:"avg_exec_secs"`
+		Queries           int     `json:"queries"`
+	}{
+		Dataset:           m.Dataset,
+		Method:            m.Method,
+		Accuracy:          m.Accuracy,
+		AvgLatencySecs:    m.AvgLatency.Seconds(),
+		AvgPlanningSecs:   m.AvgPlanning.Seconds(),
+		AvgEstimationSecs: m.AvgEstimation.Seconds(),
+		AvgExecSecs:       m.AvgExec.Seconds(),
+		Queries:           m.Queries,
+	})
 }
 
 // unifyBaseline adapts a Unify system to the Baseline interface.
 type unifyBaseline struct {
 	sys *unify.System
-	// lastPlanning accumulates planning time for reporting.
-	planning time.Duration
-	queries  int
+	// Per-phase accumulators for the latency breakdown.
+	planning   time.Duration
+	estimation time.Duration
+	exec       time.Duration
+	queries    int
 }
 
 func (u *unifyBaseline) Name() string { return "Unify" }
@@ -84,7 +115,9 @@ func (u *unifyBaseline) Run(ctx context.Context, query string) (baselines.Result
 	if err != nil {
 		return baselines.Result{}, err
 	}
-	u.planning += ans.PlanningDur + ans.EstimationDur
+	u.planning += ans.PlanningDur
+	u.estimation += ans.EstimationDur
+	u.exec += ans.ExecDur
 	u.queries++
 	return baselines.Result{Text: ans.Text, Latency: ans.TotalDur, LLMCalls: ans.LLMCalls}, nil
 }
@@ -161,7 +194,10 @@ func RunFig4(ctx context.Context, cfg Config) ([]MethodScore, error) {
 			score.Accuracy = float64(correct) / float64(len(queries))
 			score.AvgLatency = total / time.Duration(len(queries))
 			if ub, ok := b.(*unifyBaseline); ok && ub.queries > 0 {
-				score.AvgPlanning = ub.planning / time.Duration(ub.queries)
+				n := time.Duration(ub.queries)
+				score.AvgPlanning = ub.planning / n
+				score.AvgEstimation = ub.estimation / n
+				score.AvgExec = ub.exec / n
 			}
 			out = append(out, score)
 		}
@@ -194,6 +230,15 @@ func PrintFig4(w io.Writer, rows []MethodScore) {
 			fmt.Fprintf(w, " %s=%.2f", r.Method, r.AvgLatency.Minutes())
 		}
 		fmt.Fprintln(w)
+	}
+	for _, ds := range dsOrder {
+		for _, r := range byDS[ds] {
+			if r.AvgPlanning == 0 && r.AvgEstimation == 0 && r.AvgExec == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-8s %s phases: planning=%.1fs estimation=%.1fs execution=%.1fs\n",
+				ds, r.Method, r.AvgPlanning.Seconds(), r.AvgEstimation.Seconds(), r.AvgExec.Seconds())
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"unify/internal/embedding"
 	"unify/internal/llm"
+	"unify/internal/obs"
 	"unify/internal/ops"
 )
 
@@ -80,6 +81,31 @@ type planSession struct {
 	// best tracks the deepest partial plan for the Generate fallback.
 	best        *searchState
 	budgetCands int
+
+	// Tracing state: cur is the span of the reduction iteration being
+	// explored; traced attaches one LLM-call span per prompt under it.
+	// Both are nil-safe when no tracer is installed.
+	cur    *obs.Span
+	traced *llm.Traced
+}
+
+// enter opens a child span under the current one and retargets the
+// session's LLM-call spans to it. The returned function restores the
+// previous span (the planner's DFS is strictly sequential, so a plain
+// save/restore mirrors the search tree).
+func (ps *planSession) enter(name, kind string) (*obs.Span, func()) {
+	parent := ps.cur
+	if parent == nil {
+		return nil, func() {}
+	}
+	child := parent.StartChild(name, kind)
+	ps.cur = child
+	ps.traced.Attach(child)
+	return child, func() {
+		child.End()
+		ps.cur = parent
+		ps.traced.Attach(parent)
+	}
 }
 
 type searchState struct {
@@ -96,12 +122,14 @@ func (s *searchState) clone() *searchState {
 	return &searchState{query: s.query, plan: s.plan.Clone(), vars: vars}
 }
 
-// ask issues one planning prompt and returns its text.
+// ask issues one planning prompt and returns its text, charging the
+// call's simulated duration to the current iteration span.
 func (ps *planSession) ask(task string, fields map[string]string) (string, error) {
-	resp, err := ps.rec.Complete(ps.ctx, llm.BuildPrompt(task, fields))
+	resp, err := ps.traced.Complete(ps.ctx, llm.BuildPrompt(task, fields))
 	if err != nil {
 		return "", err
 	}
+	ps.cur.AddVDur(resp.Dur)
 	return resp.Text, nil
 }
 
@@ -109,12 +137,15 @@ func (ps *planSession) ask(task string, fields map[string]string) (string, error
 // plans (at least one: the Generate fallback if decomposition fails).
 func (p *Planner) GeneratePlans(ctx context.Context, query string) ([]*Plan, *PlanStats, error) {
 	rec := llm.NewRecorder(p.Client)
+	pspan := obs.SpanFrom(ctx)
 	ps := &planSession{
-		p:     p,
-		ctx:   ctx,
-		rec:   rec,
-		stats: &PlanStats{},
-		query: query,
+		p:      p,
+		ctx:    ctx,
+		rec:    rec,
+		stats:  &PlanStats{},
+		query:  query,
+		cur:    pspan,
+		traced: llm.NewTraced(rec, pspan),
 	}
 	cands := p.K
 	if p.Tau > 0 && p.Tau < 1 {
@@ -139,6 +170,7 @@ func (p *Planner) GeneratePlans(ctx context.Context, query string) ([]*Plan, *Pl
 		// Error handling (paper §V-D): restore the most complete partial
 		// plan and append a Generate operator for the remaining query.
 		ps.stats.Fallback = true
+		pspan.SetAttr("fallback", "true")
 		base := start
 		if ps.best != nil {
 			base = ps.best
@@ -164,6 +196,11 @@ func (p *Planner) GeneratePlans(ctx context.Context, query string) ([]*Plan, *Pl
 
 	ps.stats.Calls = rec.Calls()
 	ps.stats.Duration = rec.TotalDur()
+	pspan.SetInt("plans", len(ps.plans))
+	pspan.SetInt("llm_calls", len(ps.stats.Calls))
+	if n := len(ps.stats.Unresolved); n > 0 {
+		pspan.SetInt("unresolved", n)
+	}
 	return ps.plans, ps.stats, nil
 }
 
@@ -172,12 +209,16 @@ func (ps *planSession) genPlan(st *searchState, depth int) error {
 	if len(ps.plans) >= ps.p.NC || depth > ps.p.MaxSteps {
 		return nil
 	}
+	span, leave := ps.enter(fmt.Sprintf("reduce[depth=%d]", depth), obs.KindIter)
+	defer leave()
+	span.SetAttr("subquery", st.query)
 	// End of reduction (SimpleQuestion).
 	ans, err := ps.ask("simple_question", map[string]string{"query": st.query})
 	if err != nil {
 		return err
 	}
 	if strings.TrimSpace(ans) == "yes" {
+		span.SetAttr("plan_complete", "true")
 		ps.plans = append(ps.plans, st.plan.Clone())
 		return nil
 	}
@@ -275,6 +316,8 @@ type opCandidate struct {
 // matchOperators parses the query into its logical representation and
 // returns the top-K operators by embedding distance (paper §V-A).
 func (ps *planSession) matchOperators(query string) ([]opCandidate, error) {
+	span, leave := ps.enter("semantic_parse", obs.KindPhase)
+	defer leave()
 	out, err := ps.ask("parse_query", map[string]string{"query": query})
 	if err != nil {
 		return nil, err
@@ -284,8 +327,10 @@ func (ps *planSession) matchOperators(query string) ([]opCandidate, error) {
 		LR string `json:"lr"`
 	}
 	if err := json.Unmarshal([]byte(out), &parsed); err != nil || !parsed.OK {
+		span.SetAttr("grounded", "false")
 		return nil, nil // ungroundable query: triggers fallback upstream
 	}
+	span.SetAttr("lr", parsed.LR)
 	qv := ps.p.Embedder.Embed(parsed.LR)
 	best := map[string]opCandidate{}
 	for _, e := range ps.p.opIndex {

@@ -17,6 +17,7 @@ import (
 	"unify/internal/cost"
 	"unify/internal/docstore"
 	"unify/internal/llm"
+	"unify/internal/obs"
 	"unify/internal/ops"
 	"unify/internal/values"
 	"unify/internal/vtime"
@@ -56,6 +57,8 @@ type NodeResult struct {
 	InCard     int
 	Sequential bool
 	Adjusted   bool // a fallback physical implementation was used
+	// Span is the node's trace span (nil when tracing is off).
+	Span *obs.Span
 }
 
 // Result is a completed plan execution.
@@ -75,6 +78,9 @@ type Result struct {
 	// Adjusted reports that at least one operator needed a fallback
 	// physical implementation (the paper's plan adjustment).
 	Adjusted bool
+	// SlotBusy is the total simulated busy time across the LLM slot
+	// pool (slot utilization = SlotBusy / (Makespan * slots)).
+	SlotBusy time.Duration
 }
 
 // New returns an executor with the paper's defaults.
@@ -93,12 +99,21 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 		return nil, fmt.Errorf("exec: empty plan")
 	}
 
+	espan := obs.SpanFrom(ctx)
+
 	var (
 		mu      sync.Mutex
 		vars    = map[string]values.Value{"dataset": values.NewDocs(e.Store.IDs())}
 		results = map[int]*NodeResult{}
 		firstE  error
 	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		mu.Unlock()
+	}
 	done := make(map[int]chan struct{}, len(order))
 	for _, n := range order {
 		done[n.ID] = make(chan struct{})
@@ -112,9 +127,16 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			defer close(done[n.ID])
-			// Wait for prerequisites (bottom-up topological execution).
+			// Wait for prerequisites (bottom-up topological execution),
+			// bailing out when the query's context is cancelled so a
+			// server-side timeout stops in-flight plans.
 			for _, d := range n.Deps {
-				<-done[d]
+				select {
+				case <-done[d]:
+				case <-ctx.Done():
+					setErr(ctx.Err())
+					return
+				}
 			}
 			mu.Lock()
 			failed := firstE != nil
@@ -130,17 +152,22 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 			if failed {
 				return
 			}
-			sem <- struct{}{}
-			nr, err := e.runNode(ctx, plan, n, inputs)
-			<-sem
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstE == nil {
-					firstE = err
-				}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				setErr(ctx.Err())
 				return
 			}
+			nspan := espan.NewDetached(fmt.Sprintf("node[%d] %s", n.ID, n.Op), obs.KindNode)
+			nr, err := e.runNode(ctx, plan, n, inputs, nspan)
+			nspan.End()
+			<-sem
+			if err != nil {
+				setErr(err)
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
 			vars["{"+n.OutVar+"}"] = nr.Value
 			results[n.ID] = nr
 		}()
@@ -149,6 +176,9 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 	if firstE != nil {
 		return nil, firstE
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res := &Result{}
 	for _, n := range order {
@@ -156,6 +186,9 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 		if nr == nil {
 			return nil, fmt.Errorf("exec: node %d produced no result", n.ID)
 		}
+		// Adopt node spans in plan order so EXPLAIN ANALYZE output is
+		// deterministic regardless of goroutine completion order.
+		espan.Adopt(nr.Span)
 		res.Nodes = append(res.Nodes, *nr)
 		if nr.Adjusted {
 			res.Adjusted = true
@@ -177,6 +210,12 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 		return nil, err
 	}
 	res.Makespan = sched.Makespan
+	res.SlotBusy = sched.Busy[vtime.ResourceLLM]
+	for _, nr := range res.Nodes {
+		if f, ok := sched.Finish[fmt.Sprintf("n%d", nr.NodeID)]; ok {
+			nr.Span.SetAttr("finish_vtime", f.Round(time.Millisecond).String())
+		}
+	}
 	ser, err := vtime.NewSchedule(e.slots()).SerialOperators(tasks)
 	if err != nil {
 		return nil, err
@@ -202,7 +241,7 @@ func (e *Executor) maxParallel() int {
 // runNode executes one operator, trying the selected physical first and
 // falling back to other adequate implementations on failure (the paper's
 // plan adjustment during execution).
-func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, inputs []values.Value) (*NodeResult, error) {
+func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, inputs []values.Value, span *obs.Span) (*NodeResult, error) {
 	spec, ok := ops.Get(n.Op)
 	if !ok {
 		return nil, fmt.Errorf("exec: unknown operator %q", n.Op)
@@ -227,13 +266,21 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 	var lastErr error
 	for i, phys := range cands {
 		rec := llm.NewRecorder(e.Worker)
-		env := &ops.Env{Store: e.Store, Client: rec, BatchSize: e.batch()}
+		// When tracing, wrap the recorder so each model invocation
+		// attaches an llm span under the node span (calls of failed
+		// attempts stay visible: that is the plan adjustment happening).
+		var cli llm.Client = rec
+		if span != nil {
+			cli = llm.NewTraced(rec, span)
+		}
+		env := &ops.Env{Store: e.Store, Client: cli, BatchSize: e.batch()}
 		v, err := phys.Run(ctx, env, n.Args, inputs)
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
+			span.SetAttr("failed_phys", phys.Name)
 			continue
 		}
 		nr := &NodeResult{
@@ -245,6 +292,7 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 			InCard:     inCard,
 			Sequential: sequentialPhys[phys.Name],
 			Adjusted:   i > 0,
+			Span:       span,
 		}
 		work := inCard
 		if k, okk := n.Args.Int("_scanK"); okk && strings.HasPrefix(phys.Name, "IndexFilter") {
@@ -255,6 +303,23 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		} else {
 			nr.PreDur = e.Calib.PreDuration(phys.Name, work)
 			e.Calib.RecordPre(phys.Name, work, nr.PreDur)
+		}
+		// Annotate the node span: the virtual duration is the operator's
+		// busy time on its model instance (its calls run sequentially).
+		var busy time.Duration
+		var outTok int
+		for _, c := range nr.Calls {
+			busy += c.Dur
+			outTok += c.OutTokens
+		}
+		span.SetVDur(busy + nr.PreDur)
+		span.SetAttr("phys", phys.Name)
+		span.SetInt("in_card", inCard)
+		span.SetInt("out_card", v.Len())
+		span.SetInt("llm_calls", len(nr.Calls))
+		span.SetInt("out_tokens", outTok)
+		if nr.Adjusted {
+			span.SetAttr("adjusted", "true")
 		}
 		return nr, nil
 	}

@@ -2,14 +2,18 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	"unify/internal/core"
 	"unify/internal/corpus"
 	"unify/internal/cost"
 	"unify/internal/docstore"
 	"unify/internal/llm"
+	"unify/internal/obs"
 	"unify/internal/ops"
 	"unify/internal/values"
 )
@@ -155,6 +159,113 @@ func TestDeterministicExecution(t *testing.T) {
 	}
 	if r1.Answer.String() != r2.Answer.String() || r1.Makespan != r2.Makespan {
 		t.Error("execution not deterministic")
+	}
+}
+
+// TestSpanAccountingConsistent: with tracing enabled, the executor must
+// attach one span per plan node, and the per-node virtual durations must
+// sum to exactly the Serial (fully sequential) latency while bounding the
+// DAG makespan from above.
+func TestSpanAccountingConsistent(t *testing.T) {
+	e, _ := setup(t, 300)
+	espan := obs.NewTracer().Start("execute", obs.KindPhase)
+	ctx := obs.WithSpan(context.Background(), espan)
+	plan := &core.Plan{Query: "compare", Nodes: []*core.Node{
+		{ID: 0, Op: "Filter", Phys: "SemanticFilter",
+			Args:   ops.Args{"Entity": "questions", "Condition": "related to injury"},
+			Inputs: []string{"dataset"}, OutVar: "v1"},
+		{ID: 1, Op: "Filter", Phys: "SemanticFilter",
+			Args:   ops.Args{"Entity": "questions", "Condition": "related to training"},
+			Inputs: []string{"dataset"}, OutVar: "v2"},
+		{ID: 2, Op: "Count", Phys: "PreCount", Args: ops.Args{"Entity": "{v1}"},
+			Inputs: []string{"{v1}"}, OutVar: "v3", Deps: []int{0}},
+		{ID: 3, Op: "Count", Phys: "PreCount", Args: ops.Args{"Entity": "{v2}"},
+			Inputs: []string{"{v2}"}, OutVar: "v4", Deps: []int{1}},
+		{ID: 4, Op: "Compare", Phys: "NumericCompare",
+			Args:   ops.Args{"Entity": "{v3}", "Entity2": "{v4}"},
+			Inputs: []string{"{v3}", "{v4}"}, OutVar: "v5", Deps: []int{2, 3}},
+	}}
+	res, err := e.Run(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	children := espan.Children()
+	if len(children) != len(plan.Nodes) {
+		t.Fatalf("%d node spans, want %d", len(children), len(plan.Nodes))
+	}
+	var sum time.Duration
+	for i, c := range children {
+		// Spans are adopted in deterministic plan order.
+		if want := plan.Nodes[i].Op; !strings.Contains(c.Name, want) {
+			t.Errorf("span %d = %q, want op %q", i, c.Name, want)
+		}
+		if c.Attr("finish_vtime") == "" {
+			t.Errorf("span %q missing finish_vtime", c.Name)
+		}
+		if c.Attr("llm_calls") == "" || c.Attr("in_card") == "" || c.Attr("out_card") == "" {
+			t.Errorf("span %q missing accounting attrs: %v", c.Name, c.Attrs())
+		}
+		sum += c.VDur()
+	}
+	if sum != res.Serial {
+		t.Errorf("node span vtimes sum to %v, Serial accounting says %v", sum, res.Serial)
+	}
+	if res.Makespan > res.Serial {
+		t.Errorf("makespan %v exceeds serial %v", res.Makespan, res.Serial)
+	}
+	if res.SlotBusy <= 0 || res.SlotBusy > res.Serial {
+		t.Errorf("slot busy %v outside (0, %v]", res.SlotBusy, res.Serial)
+	}
+}
+
+// blockingClient models a stuck LLM backend that only returns when the
+// call's context is cancelled.
+type blockingClient struct{}
+
+func (blockingClient) Complete(ctx context.Context, prompt string) (llm.Response, error) {
+	<-ctx.Done()
+	return llm.Response{}, ctx.Err()
+}
+
+func (blockingClient) Profile() llm.Profile { return llm.WorkerProfile() }
+
+// TestContextCancellation: a server-side timeout must stop in-flight
+// plans — goroutines waiting on dependency channels or on a slot must
+// observe ctx.Done() and Run must return ctx.Err().
+func TestContextCancellation(t *testing.T) {
+	ds, err := corpus.GenerateN("sports", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docstore.New("sports", ds.Documents(), docstore.WithoutSentences())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(store, blockingClient{}, cost.NewCalibrator(16))
+	e.MaxParallel = 1 // force the second branch to wait on the slot
+	plan := &core.Plan{Query: "cancel", Nodes: []*core.Node{
+		{ID: 0, Op: "Filter", Phys: "SemanticFilter",
+			Args:   ops.Args{"Entity": "questions", "Condition": "related to injury"},
+			Inputs: []string{"dataset"}, OutVar: "v1"},
+		{ID: 1, Op: "Filter", Phys: "SemanticFilter",
+			Args:   ops.Args{"Entity": "questions", "Condition": "related to training"},
+			Inputs: []string{"dataset"}, OutVar: "v2"},
+		{ID: 2, Op: "Compare", Phys: "NumericCompare",
+			Args:   ops.Args{"Entity": "{v1}", "Entity2": "{v2}"},
+			Inputs: []string{"{v1}", "{v2}"}, OutVar: "v3", Deps: []int{0, 1}},
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = e.Run(ctx, plan)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("run did not stop promptly after cancellation (%v)", elapsed)
 	}
 }
 

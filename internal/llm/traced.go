@@ -1,0 +1,70 @@
+package llm
+
+import (
+	"context"
+	"sync"
+
+	"unify/internal/obs"
+)
+
+// Traced wraps a Client and attaches one obs span per successful call
+// under a parent span, carrying the prompt task, token counts, and the
+// simulated duration (the call's virtual-clock cost). It composes with
+// Recorder: executors wrap their per-node Recorder in a Traced so calls
+// are both charged to the cost model and visible in EXPLAIN ANALYZE.
+//
+// With a nil parent span the wrapper degrades to pure pass-through, so
+// installing it unconditionally costs nothing when tracing is off.
+type Traced struct {
+	inner Client
+
+	mu   sync.Mutex
+	span *obs.Span
+}
+
+// NewTraced wraps inner, attaching call spans under parent (which may be
+// nil for a no-op wrapper).
+func NewTraced(inner Client, parent *obs.Span) *Traced {
+	return &Traced{inner: inner, span: parent}
+}
+
+// Attach retargets subsequent call spans to a new parent (nil detaches).
+// The planner re-attaches its Traced to the current reduction-iteration
+// span as the sequential search descends.
+func (t *Traced) Attach(parent *obs.Span) {
+	t.mu.Lock()
+	t.span = parent
+	t.mu.Unlock()
+}
+
+// parent returns the current parent span.
+func (t *Traced) parent() *obs.Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.span
+}
+
+// Complete implements Client.
+func (t *Traced) Complete(ctx context.Context, prompt string) (Response, error) {
+	resp, err := t.inner.Complete(ctx, prompt)
+	if err != nil {
+		return resp, err
+	}
+	if p := t.parent(); p != nil {
+		task, _, _ := ParsePrompt(prompt)
+		if task == "" {
+			task = "unknown"
+		}
+		s := p.StartChild("llm:"+task, obs.KindLLM)
+		s.SetInt("in_tokens", resp.InTokens)
+		s.SetInt("out_tokens", resp.OutTokens)
+		s.SetVDur(resp.Dur)
+		s.End()
+	}
+	return resp, nil
+}
+
+// Profile implements Client.
+func (t *Traced) Profile() Profile { return t.inner.Profile() }
+
+var _ Client = (*Traced)(nil)

@@ -1,0 +1,104 @@
+package obs
+
+import "time"
+
+// Metrics bundles the standard Unify instruments over one Registry: the
+// process-wide counters the server exposes at /metrics and /v1/stats and
+// the health endpoint reads. A nil *Metrics is a valid no-op sink (every
+// method checks the receiver), so library users who construct systems by
+// hand pay nothing.
+type Metrics struct {
+	Reg *Registry
+
+	Queries      Counter // by terminal status: "ok" / "error"
+	QuerySeconds Histogram
+	PlanSeconds  Histogram
+	ExecSeconds  Histogram
+
+	LLMCalls     Counter // by task
+	LLMTokensIn  Counter // by task
+	LLMTokensOut Counter // by task
+
+	PlanFallbacks   Counter
+	PlanAdjustments Counter
+
+	SlotBusySeconds Counter
+	SlotUtilization Gauge
+
+	HTTPRequests Counter // by path
+}
+
+// NewMetrics builds a fresh registry with the standard Unify instruments
+// registered.
+func NewMetrics() *Metrics {
+	r := NewRegistry()
+	m := &Metrics{Reg: r}
+	m.Queries = r.CounterVec("unify_queries_total",
+		"Queries processed, by terminal status.", "status")
+	m.QuerySeconds = r.Histogram("unify_query_vtime_seconds",
+		"End-to-end simulated query latency.", nil)
+	m.PlanSeconds = r.Histogram("unify_plan_vtime_seconds",
+		"Simulated planning+estimation latency per query.", nil)
+	m.ExecSeconds = r.Histogram("unify_exec_vtime_seconds",
+		"Simulated execution makespan per query.", nil)
+	m.LLMCalls = r.CounterVec("unify_llm_calls_total",
+		"Model invocations, by prompt task.", "task")
+	m.LLMTokensIn = r.CounterVec("unify_llm_in_tokens_total",
+		"Prompt tokens consumed, by task.", "task")
+	m.LLMTokensOut = r.CounterVec("unify_llm_out_tokens_total",
+		"Tokens generated, by task.", "task")
+	m.PlanFallbacks = r.Counter("unify_plan_fallback_total",
+		"Queries answered via the Generate (RAG) fallback plan.")
+	m.PlanAdjustments = r.Counter("unify_exec_adjusted_total",
+		"Queries where a failing physical operator was swapped at run time.")
+	m.SlotBusySeconds = r.Counter("unify_slot_busy_vtime_seconds_total",
+		"Simulated busy time accumulated across LLM slots.")
+	m.SlotUtilization = r.Gauge("unify_slot_utilization",
+		"Slot-pool utilization of the most recent query (busy / (makespan*slots)).")
+	m.HTTPRequests = r.CounterVec("unify_http_requests_total",
+		"HTTP requests served, by path.", "path")
+	return m
+}
+
+// RecordQueryOK records a successfully answered query's aggregates.
+func (m *Metrics) RecordQueryOK(total, plan, exec time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Queries.IncL("ok")
+	m.QuerySeconds.ObserveDur(total)
+	m.PlanSeconds.ObserveDur(plan)
+	m.ExecSeconds.ObserveDur(exec)
+}
+
+// RecordQueryFailed records a failed query.
+func (m *Metrics) RecordQueryFailed() {
+	if m == nil {
+		return
+	}
+	m.Queries.IncL("error")
+}
+
+// RecordCall charges one LLM call to the per-task counters.
+func (m *Metrics) RecordCall(task string, inTokens, outTokens int) {
+	if m == nil {
+		return
+	}
+	if task == "" {
+		task = "unknown"
+	}
+	m.LLMCalls.IncL(task)
+	m.LLMTokensIn.AddL(task, float64(inTokens))
+	m.LLMTokensOut.AddL(task, float64(outTokens))
+}
+
+// RecordSlots records the executor slot accounting of one query.
+func (m *Metrics) RecordSlots(busy, makespan time.Duration, slots int) {
+	if m == nil {
+		return
+	}
+	m.SlotBusySeconds.Add(busy.Seconds())
+	if makespan > 0 && slots > 0 {
+		m.SlotUtilization.Set(busy.Seconds() / (makespan.Seconds() * float64(slots)))
+	}
+}

@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MetricType enumerates the registry's instrument kinds.
+type MetricType int
+
+// Instrument kinds, mirroring the Prometheus exposition types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds named metrics and renders them as Prometheus text
+// exposition or a JSON-friendly snapshot. All operations are safe for
+// concurrent use; instrument handles are cheap to copy and update with a
+// single short critical section. A nil *Registry hands out nil handles
+// whose methods no-op, so metrics can be disabled wholesale.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string
+}
+
+type metric struct {
+	name    string
+	help    string
+	typ     MetricType
+	label   string    // optional single label name ("" = unlabeled)
+	buckets []float64 // histogram upper bounds (ascending)
+
+	mu     sync.Mutex
+	series map[string]*series
+	keys   []string // label values in first-seen order
+}
+
+type series struct {
+	val    float64  // counter / gauge value
+	counts []uint64 // histogram per-bucket counts (cumulative on render)
+	sum    float64
+	count  uint64
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+func (r *Registry) register(name, help string, typ MetricType, label string, buckets []float64) *metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m // idempotent re-registration
+	}
+	m := &metric{name: name, help: help, typ: typ, label: label,
+		buckets: append([]float64(nil), buckets...), series: map[string]*series{}}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+func (m *metric) get(labelVal string) *series {
+	s, ok := m.series[labelVal]
+	if !ok {
+		s = &series{}
+		if m.typ == TypeHistogram {
+			s.counts = make([]uint64, len(m.buckets))
+		}
+		m.series[labelVal] = s
+		m.keys = append(m.keys, labelVal)
+	}
+	return s
+}
+
+// Counter is a monotonically increasing value, optionally labeled.
+type Counter struct{ m *metric }
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) Counter {
+	return Counter{r.register(name, help, TypeCounter, "", nil)}
+}
+
+// CounterVec registers (or returns) a counter keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) Counter {
+	return Counter{r.register(name, help, TypeCounter, label, nil)}
+}
+
+// Inc adds one to the unlabeled series.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds v to the unlabeled series.
+func (c Counter) Add(v float64) { c.AddL("", v) }
+
+// IncL adds one to the series for the given label value.
+func (c Counter) IncL(labelVal string) { c.AddL(labelVal, 1) }
+
+// AddL adds v to the series for the given label value.
+func (c Counter) AddL(labelVal string, v float64) {
+	if c.m == nil || v < 0 {
+		return
+	}
+	c.m.mu.Lock()
+	c.m.get(labelVal).val += v
+	c.m.mu.Unlock()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ m *metric }
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return Gauge{r.register(name, help, TypeGauge, "", nil)}
+}
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) {
+	if g.m == nil {
+		return
+	}
+	g.m.mu.Lock()
+	g.m.get("").val = v
+	g.m.mu.Unlock()
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct{ m *metric }
+
+// DurationBuckets are the default latency buckets (seconds of simulated
+// time): query latencies in the paper's figures span seconds to minutes.
+var DurationBuckets = []float64{0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
+// Histogram registers (or returns) an unlabeled histogram with the given
+// ascending upper bounds (DurationBuckets when nil).
+func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
+	if len(buckets) == 0 {
+		buckets = DurationBuckets
+	}
+	return Histogram{r.register(name, help, TypeHistogram, "", buckets)}
+}
+
+// Observe records one observation.
+func (h Histogram) Observe(v float64) {
+	if h.m == nil {
+		return
+	}
+	h.m.mu.Lock()
+	s := h.m.get("")
+	for i, ub := range h.m.buckets {
+		if v <= ub {
+			s.counts[i]++
+			break
+		}
+	}
+	s.sum += v
+	s.count++
+	h.m.mu.Unlock()
+}
+
+// ObserveDur records a duration in seconds.
+func (h Histogram) ObserveDur(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Value returns the current value of a counter/gauge series (labelVal ""
+// for unlabeled), or a histogram's observation count. Missing metrics or
+// series return 0.
+func (r *Registry) Value(name, labelVal string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	m, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.series[labelVal]
+	if !ok {
+		return 0
+	}
+	if m.typ == TypeHistogram {
+		return float64(s.count)
+	}
+	return s.val
+}
+
+// Total sums every series of a metric (counters/gauges).
+func (r *Registry) Total(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	m, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t float64
+	for _, s := range m.series {
+		if m.typ == TypeHistogram {
+			t += float64(s.count)
+		} else {
+			t += s.val
+		}
+	}
+	return t
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), in registration order with label values in
+// first-seen order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]*metric, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	for _, m := range metrics {
+		m.mu.Lock()
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		for _, key := range m.keys {
+			s := m.series[key]
+			label := ""
+			if m.label != "" {
+				label = fmt.Sprintf("{%s=%q}", m.label, escapeLabel(key))
+			}
+			switch m.typ {
+			case TypeHistogram:
+				cum := uint64(0)
+				for i, ub := range m.buckets {
+					cum += s.counts[i]
+					fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(ub), cum)
+				}
+				fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, s.count)
+				fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(s.sum))
+				fmt.Fprintf(w, "%s_count %d\n", m.name, s.count)
+			default:
+				fmt.Fprintf(w, "%s%s %s\n", m.name, label, formatFloat(s.val))
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// Snapshot returns a JSON-friendly view of the registry: metric name →
+// value (unlabeled) or label-value map (labeled); histograms expose
+// count, sum, and per-bucket counts.
+func (r *Registry) Snapshot() map[string]interface{} {
+	out := map[string]interface{}{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]*metric, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	for i, m := range metrics {
+		m.mu.Lock()
+		switch {
+		case m.typ == TypeHistogram:
+			s := m.get("")
+			buckets := map[string]uint64{}
+			cum := uint64(0)
+			for j, ub := range m.buckets {
+				cum += s.counts[j]
+				buckets["le_"+formatFloat(ub)] = cum
+			}
+			out[names[i]] = map[string]interface{}{
+				"count": s.count, "sum": s.sum, "buckets": buckets,
+			}
+		case m.label != "":
+			vals := map[string]float64{}
+			for _, k := range m.keys {
+				vals[k] = m.series[k].val
+			}
+			out[names[i]] = vals
+		default:
+			out[names[i]] = m.get("").val
+		}
+		m.mu.Unlock()
+	}
+	return out
+}
+
+// Names returns the registered metric names in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// LabelValues returns a metric's label values, sorted.
+func (r *Registry) LabelValues(name string) []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	m, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]string(nil), m.keys...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	r.Gauge("g", "help").Set(3)
+	r.Histogram("h", "help", nil).Observe(1)
+	if r.Value("x_total", "") != 0 || r.Total("x_total") != 0 {
+		t.Error("nil registry reported values")
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Error("nil registry rendered output")
+	}
+	if len(r.Snapshot()) != 0 || r.Names() != nil {
+		t.Error("nil registry snapshot non-empty")
+	}
+	var m *Metrics
+	m.RecordQueryOK(time.Second, time.Second, time.Second)
+	m.RecordQueryFailed()
+	m.RecordCall("t", 1, 2)
+	m.RecordSlots(time.Second, time.Second, 4)
+}
+
+// promLine matches the sample lines of the text exposition format:
+// name{label="value"} 123 or name 1.5
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? [0-9.eE+-]+(Inf|NaN)?$`)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	q := r.CounterVec("unify_queries_total", "Queries processed.", "status")
+	q.IncL("ok")
+	q.IncL("ok")
+	q.IncL("error")
+	r.Gauge("unify_slot_utilization", "Utilization.").Set(0.75)
+	h := r.Histogram("unify_query_vtime_seconds", "Latency.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	var samples, help, typ int
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			help++
+		case strings.HasPrefix(line, "# TYPE"):
+			typ++
+		default:
+			samples++
+			if !promLine.MatchString(line) {
+				t.Errorf("invalid exposition line: %q", line)
+			}
+		}
+	}
+	if help != 3 || typ != 3 {
+		t.Errorf("help=%d type=%d, want 3 each", help, typ)
+	}
+	for _, want := range []string{
+		`unify_queries_total{status="ok"} 2`,
+		`unify_queries_total{status="error"} 1`,
+		`unify_slot_utilization 0.75`,
+		`unify_query_vtime_seconds_bucket{le="1"} 1`,
+		`unify_query_vtime_seconds_bucket{le="10"} 2`,
+		`unify_query_vtime_seconds_bucket{le="+Inf"} 3`,
+		`unify_query_vtime_seconds_sum 55.5`,
+		`unify_query_vtime_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryValueAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("calls_total", "calls", "task")
+	c.AddL("filter", 4)
+	c.AddL("rerank", 2)
+	if got := r.Value("calls_total", "filter"); got != 4 {
+		t.Errorf("Value = %v", got)
+	}
+	if got := r.Total("calls_total"); got != 6 {
+		t.Errorf("Total = %v", got)
+	}
+	// Negative counter increments are dropped.
+	c.AddL("filter", -5)
+	if got := r.Value("calls_total", "filter"); got != 4 {
+		t.Errorf("counter went down: %v", got)
+	}
+	snap := r.Snapshot()
+	vals, ok := snap["calls_total"].(map[string]float64)
+	if !ok || vals["rerank"] != 2 {
+		t.Errorf("snapshot = %#v", snap)
+	}
+	if vs := r.LabelValues("calls_total"); len(vs) != 2 || vs[0] != "filter" {
+		t.Errorf("label values = %v", vs)
+	}
+	// Re-registration returns the same underlying metric.
+	c2 := r.CounterVec("calls_total", "calls", "task")
+	c2.IncL("filter")
+	if got := r.Value("calls_total", "filter"); got != 5 {
+		t.Errorf("re-registered counter detached: %v", got)
+	}
+}
+
+func TestMetricsBundleConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.RecordCall("filter_batch", 10, 5)
+				m.RecordQueryOK(2*time.Second, time.Second, time.Second)
+				m.RecordSlots(3*time.Second, time.Second, 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Reg.Value("unify_llm_calls_total", "filter_batch"); got != 1600 {
+		t.Errorf("llm calls = %v", got)
+	}
+	if got := m.Reg.Value("unify_queries_total", "ok"); got != 1600 {
+		t.Errorf("queries = %v", got)
+	}
+	if got := m.Reg.Value("unify_slot_utilization", ""); got != 0.75 {
+		t.Errorf("utilization = %v", got)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SpanJSON is the wire form of a span tree, returned by the server's
+// EXPLAIN ANALYZE variant (/v1/query?analyze=1).
+type SpanJSON struct {
+	Name      string            `json:"name"`
+	Kind      string            `json:"kind,omitempty"`
+	WallMS    float64           `json:"wall_ms"`
+	VTimeSecs float64           `json:"vtime_secs"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+	Children  []*SpanJSON       `json:"children,omitempty"`
+}
+
+// JSON converts the span tree into its wire form (nil for a nil span).
+func (s *Span) JSON() *SpanJSON {
+	if s == nil {
+		return nil
+	}
+	out := &SpanJSON{
+		Name:      s.Name,
+		Kind:      s.Kind,
+		WallMS:    float64(s.WallDur()) / float64(time.Millisecond),
+		VTimeSecs: s.VDur().Seconds(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		out.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.Children() {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}
+
+// Render draws the span tree as an indented ASCII tree — the EXPLAIN
+// ANALYZE output. Each line shows the span name, its virtual-clock
+// duration (the simulated latency the paper reports), its wall-clock
+// duration, and its attributes in insertion order.
+func Render(s *Span) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	renderSpan(&b, s, "", "")
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, selfPrefix, childPrefix string) {
+	b.WriteString(selfPrefix)
+	b.WriteString(s.Name)
+	fmt.Fprintf(b, "  vtime=%s wall=%s", fmtDur(s.VDur()), fmtDur(s.WallDur()))
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	children := s.Children()
+	for i, c := range children {
+		last := i == len(children)-1
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		renderSpan(b, c, childPrefix+branch, childPrefix+cont)
+	}
+}
+
+// fmtDur renders durations compactly with sub-second precision only
+// where it matters.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	}
+}

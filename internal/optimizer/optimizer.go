@@ -18,6 +18,7 @@ import (
 	"unify/internal/docstore"
 	"unify/internal/llm"
 	"unify/internal/nlcond"
+	"unify/internal/obs"
 	"unify/internal/ops"
 	"unify/internal/sce"
 	"unify/internal/values"
@@ -111,33 +112,54 @@ func (o *Optimizer) Optimize(ctx context.Context, plans []*core.Plan) (*core.Pla
 		return nil, nil, fmt.Errorf("optimizer: no candidate plans")
 	}
 	stats := &Stats{}
+	ospan := obs.SpanFrom(ctx)
 	var best *core.Plan
+	var bestSpan *obs.Span
 	bestCost := time.Duration(math.MaxInt64)
-	for _, logical := range plans {
+	for i, logical := range plans {
 		plan := logical.Clone()
+		cspan := ospan.StartChild(fmt.Sprintf("candidate[%d]", i), obs.KindPhase)
+		cspan.SetInt("nodes", len(plan.Nodes))
 		if o.Mode == CostBased || o.Mode == GroundTruth {
+			// Cardinality estimation (SCE) drives the filter reordering;
+			// its LLM judgments are the optimizer's only model cost.
+			espan := cspan.StartChild("estimate_cardinality", obs.KindPhase)
+			durBefore, callsBefore := stats.Duration, len(stats.Calls)
 			if err := o.reorderFilters(ctx, plan, stats); err != nil {
 				return nil, nil, err
 			}
+			espan.SetVDur(stats.Duration - durBefore)
+			espan.SetInt("llm_calls", len(stats.Calls)-callsBefore)
+			espan.End()
 		}
+		lspan := cspan.StartChild("lower_physical", obs.KindPhase)
+		durBefore, callsBefore := stats.Duration, len(stats.Calls)
 		if err := o.selectPhysical(ctx, plan, stats); err != nil {
 			return nil, nil, err
 		}
+		lspan.SetVDur(stats.Duration - durBefore)
+		lspan.SetInt("llm_calls", len(stats.Calls)-callsBefore)
+		lspan.End()
 		c, err := o.planCost(plan)
 		if err != nil {
 			return nil, nil, err
 		}
+		cspan.SetAttr("est_cost", c.String())
+		cspan.End()
 		if o.Mode == Rule {
 			// Rule mode performs no cost-based plan selection: the first
 			// candidate wins.
+			cspan.SetAttr("chosen", "true")
 			stats.EstimatedCost = c
 			return plan, stats, nil
 		}
 		if c < bestCost {
 			bestCost = c
 			best = plan
+			bestSpan = cspan
 		}
 	}
+	bestSpan.SetAttr("chosen", "true")
 	stats.EstimatedCost = bestCost
 	return best, stats, nil
 }

@@ -1,7 +1,8 @@
 // Package server exposes a Unify system over HTTP: a small JSON API for
 // submitting natural-language analytics queries, inspecting plans
-// (EXPLAIN), and browsing the operator registry — the shape a deployed
-// instance of the paper's system would take.
+// (EXPLAIN), profiling them (EXPLAIN ANALYZE via ?analyze=1), browsing
+// the operator registry, and scraping process metrics — the shape a
+// deployed instance of the paper's system would take.
 package server
 
 import (
@@ -13,6 +14,7 @@ import (
 
 	"unify"
 	"unify/internal/core"
+	"unify/internal/obs"
 	"unify/internal/ops"
 )
 
@@ -22,20 +24,28 @@ type Server struct {
 	// Timeout bounds each query's processing time.
 	Timeout time.Duration
 	mux     *http.ServeMux
+	started time.Time
 }
 
 // New returns a server over the given system.
 func New(sys *unify.System) *Server {
-	s := &Server{Sys: sys, Timeout: 5 * time.Minute, mux: http.NewServeMux()}
+	s := &Server{Sys: sys, Timeout: 5 * time.Minute, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/operators", s.handleOperators)
 	s.mux.HandleFunc("/v1/health", s.handleHealth)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.Sys.Metrics != nil {
+		s.Sys.Metrics.HTTPRequests.IncL(r.URL.Path)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // QueryRequest is the body of POST /v1/query and /v1/plan.
 type QueryRequest struct {
@@ -54,17 +64,21 @@ type PlanNode struct {
 	Desc     string            `json:"desc,omitempty"`
 }
 
-// QueryResponse is the body returned by POST /v1/query.
+// QueryResponse is the body returned by POST /v1/query. Trace and
+// TraceText are populated only for EXPLAIN ANALYZE requests
+// (POST /v1/query?analyze=1).
 type QueryResponse struct {
-	Answer        string     `json:"answer"`
-	Plan          []PlanNode `json:"plan"`
-	PlanningSecs  float64    `json:"planning_secs"`
-	EstimationSec float64    `json:"estimation_secs"`
-	ExecSecs      float64    `json:"exec_secs"`
-	TotalSecs     float64    `json:"total_secs"`
-	LLMCalls      int        `json:"llm_calls"`
-	Fallback      bool       `json:"fallback"`
-	Adjusted      bool       `json:"adjusted"`
+	Answer        string        `json:"answer"`
+	Plan          []PlanNode    `json:"plan"`
+	PlanningSecs  float64       `json:"planning_secs"`
+	EstimationSec float64       `json:"estimation_secs"`
+	ExecSecs      float64       `json:"exec_secs"`
+	TotalSecs     float64       `json:"total_secs"`
+	LLMCalls      int           `json:"llm_calls"`
+	Fallback      bool          `json:"fallback"`
+	Adjusted      bool          `json:"adjusted"`
+	Trace         *obs.SpanJSON `json:"trace,omitempty"`
+	TraceText     string        `json:"trace_text,omitempty"`
 }
 
 // PlanResponse is the body returned by POST /v1/plan.
@@ -125,6 +139,15 @@ func planNodes(p *core.Plan) []PlanNode {
 	return out
 }
 
+// analyzeRequested reports whether the request asks for EXPLAIN ANALYZE.
+func analyzeRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("analyze") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, ok := s.readQuery(w, r)
 	if !ok {
@@ -132,6 +155,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout())
 	defer cancel()
+	if analyzeRequested(r) {
+		// EXPLAIN ANALYZE: run the query with tracing enabled and
+		// return the rendered span tree alongside the answer.
+		ctx = obs.WithTracer(ctx, obs.NewTracer())
+	}
 	ans, err := s.Sys.Query(ctx, q)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
@@ -147,6 +175,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		LLMCalls:      ans.LLMCalls,
 		Fallback:      ans.Fallback,
 		Adjusted:      ans.Adjusted,
+		Trace:         ans.Trace.JSON(),
+		TraceText:     obs.Render(ans.Trace),
 	})
 }
 
@@ -186,11 +216,49 @@ func (s *Server) handleOperators(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var served, failed float64
+	if m := s.Sys.Metrics; m != nil {
+		served = m.Reg.Value("unify_queries_total", "ok")
+		failed = m.Reg.Value("unify_queries_total", "error")
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":    "ok",
-		"dataset":   s.Sys.Dataset.Name,
-		"documents": s.Sys.Store.Len(),
+		"status":         "ok",
+		"version":        unify.Version,
+		"dataset":        s.Sys.Dataset.Name,
+		"documents":      s.Sys.Store.Len(),
+		"uptime_secs":    time.Since(s.started).Seconds(),
+		"queries_served": int64(served),
+		"queries_failed": int64(failed),
 	})
+}
+
+// handleStats returns the metrics registry as JSON (a machine-friendly
+// sibling of /metrics).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var snap map[string]interface{}
+	if m := s.Sys.Metrics; m != nil {
+		snap = m.Reg.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"uptime_secs": time.Since(s.started).Seconds(),
+		"metrics":     snap,
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if m := s.Sys.Metrics; m != nil {
+		m.Reg.WritePrometheus(w)
+	}
 }
 
 func (s *Server) timeout() time.Duration {

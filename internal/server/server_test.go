@@ -102,15 +102,138 @@ func TestOperatorsEndpoint(t *testing.T) {
 func TestHealthEndpoint(t *testing.T) {
 	srv := testServer(t)
 	defer srv.Close()
+	// Serve one query so the health counters have something to report.
+	if resp, raw := post(t, srv.URL+"/v1/query", "How many questions are about tennis?"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, raw)
+	}
 	resp, err := http.Get(srv.URL + "/v1/health")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	var out struct {
+		Status        string  `json:"status"`
+		Version       string  `json:"version"`
+		UptimeSecs    float64 `json:"uptime_secs"`
+		QueriesServed int64   `json:"queries_served"`
+		QueriesFailed int64   `json:"queries_failed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || out.Version == "" || out.UptimeSecs <= 0 {
+		t.Errorf("health incomplete: %+v", out)
+	}
+	if out.QueriesServed != 1 || out.QueriesFailed != 0 {
+		t.Errorf("health counters = served %d / failed %d, want 1 / 0", out.QueriesServed, out.QueriesFailed)
+	}
+}
+
+func TestAnalyzeQuery(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	resp, raw := post(t, srv.URL+"/v1/query?analyze=1", "How many questions are about tennis?")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil || out.TraceText == "" {
+		t.Fatalf("analyze=1 returned no trace: %s", raw)
+	}
+	if out.Trace.Name != "query" || len(out.Trace.Children) < 3 {
+		t.Errorf("trace root %q with %d children", out.Trace.Name, len(out.Trace.Children))
+	}
+	// One node span per plan node, each carrying the ANALYZE accounting.
+	nodes := 0
+	for _, c := range out.Trace.Children {
+		if c.Name != "execute" {
+			continue
+		}
+		for _, n := range c.Children {
+			if n.Kind != "node" {
+				continue
+			}
+			nodes++
+			if n.VTimeSecs <= 0 || n.Attrs["llm_calls"] == "" || n.Attrs["out_tokens"] == "" ||
+				n.Attrs["in_card"] == "" || n.Attrs["out_card"] == "" {
+				t.Errorf("node span %q missing accounting: %+v", n.Name, n.Attrs)
+			}
+		}
+	}
+	if nodes != len(out.Plan) {
+		t.Errorf("trace has %d node spans, plan has %d nodes", nodes, len(out.Plan))
+	}
+	if !strings.Contains(out.TraceText, "vtime=") || !strings.Contains(out.TraceText, "planning") {
+		t.Errorf("trace text incomplete:\n%s", out.TraceText)
+	}
+	// Plain queries stay trace-free.
+	_, raw = post(t, srv.URL+"/v1/query", "How many questions are about tennis?")
+	var plain QueryResponse
+	if err := json.Unmarshal(raw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil || plain.TraceText != "" {
+		t.Error("untraced query returned a trace")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	post(t, srv.URL+"/v1/query", "How many questions are about tennis?")
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
 	var buf bytes.Buffer
 	buf.ReadFrom(resp.Body)
-	if !strings.Contains(buf.String(), "\"status\":\"ok\"") {
-		t.Errorf("health = %s", buf.String())
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE unify_queries_total counter",
+		`unify_queries_total{status="ok"} 1`,
+		"# TYPE unify_query_vtime_seconds histogram",
+		"unify_query_vtime_seconds_count 1",
+		"unify_llm_calls_total{task=",
+		`unify_http_requests_total{path="/v1/query"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	post(t, srv.URL+"/v1/query", "How many questions are about golf?")
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		UptimeSecs float64                `json:"uptime_secs"`
+		Metrics    map[string]interface{} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.UptimeSecs <= 0 {
+		t.Error("no uptime")
+	}
+	queries, ok := out.Metrics["unify_queries_total"].(map[string]interface{})
+	if !ok || queries["ok"] != 1.0 {
+		t.Errorf("stats metrics = %#v", out.Metrics["unify_queries_total"])
+	}
+	if _, ok := out.Metrics["unify_llm_calls_total"]; !ok {
+		t.Error("stats missing llm call counters")
 	}
 }
 

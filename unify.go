@@ -29,10 +29,15 @@ import (
 	"unify/internal/exec"
 	"unify/internal/lexicon"
 	"unify/internal/llm"
+	"unify/internal/obs"
 	"unify/internal/optimizer"
 	"unify/internal/sce"
 	"unify/internal/values"
 )
+
+// Version identifies this build of the reproduction (reported by
+// /v1/health and the CLI).
+const Version = "0.2.0"
 
 // Config controls system construction.
 type Config struct {
@@ -106,6 +111,11 @@ type System struct {
 	Estimator *sce.Estimator
 	Calib     *cost.Calibrator
 
+	// Metrics is the system's process-wide metrics bundle (served by the
+	// HTTP server at /metrics and /v1/stats). Always installed by the
+	// Open* constructors; a nil bundle is a valid no-op sink.
+	Metrics *obs.Metrics
+
 	// PreprocessDur is the simulated offline preprocessing time
 	// (embedding + indexing + SCE training).
 	PreprocessDur time.Duration
@@ -148,6 +158,19 @@ type Answer struct {
 	// Adjusted reports runtime plan adjustment: an operator's selected
 	// physical implementation failed and a fallback ran instead.
 	Adjusted bool
+
+	// SlotBusy is the execution's total simulated busy time across the
+	// LLM slot pool (utilization = SlotBusy / (ExecDur * slots)).
+	SlotBusy time.Duration
+
+	// Trace is the query's span tree (EXPLAIN ANALYZE), populated only
+	// when a tracer was installed in the query context via
+	// obs.WithTracer; render it with obs.Render or serialize via JSON().
+	Trace *obs.Span
+
+	// Call logs by phase, kept for metrics accounting.
+	planCalls []llm.Call
+	execCalls []llm.Call
 }
 
 // Open builds a system over a named built-in dataset.
@@ -201,6 +224,7 @@ func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client)
 		Executor:      exec.New(store, worker, calib),
 		Estimator:     est,
 		Calib:         calib,
+		Metrics:       obs.NewMetrics(),
 	}
 	s.Executor.Slots = cfg.Slots
 	s.Executor.BatchSize = cfg.BatchSize
@@ -248,30 +272,65 @@ func (s *System) Plan(ctx context.Context, q string) (*core.Plan, time.Duration,
 
 // Query answers one natural-language analytics query end to end:
 // logical plan generation, physical optimization, parallel execution.
+//
+// Installing a tracer in ctx (obs.WithTracer) additionally captures the
+// query's full span tree in Answer.Trace — one span per planning
+// iteration, optimizer phase, and executed plan node, with LLM calls as
+// leaves. Without a tracer the span plumbing is nil and costs nothing.
 func (s *System) Query(ctx context.Context, q string) (*Answer, error) {
-	plans, pstats, err := s.Planner.GeneratePlans(ctx, q)
+	qspan := obs.TracerFrom(ctx).Start("query", obs.KindQuery)
+	qspan.SetAttr("query", q)
+	defer qspan.End()
+	ans, err := s.query(ctx, q, qspan)
+	if err != nil {
+		s.Metrics.RecordQueryFailed()
+		return nil, err
+	}
+	ans.Trace = qspan
+	s.recordQueryMetrics(ans)
+	return ans, nil
+}
+
+func (s *System) query(ctx context.Context, q string, qspan *obs.Span) (*Answer, error) {
+	pspan := qspan.StartChild("planning", obs.KindPhase)
+	plans, pstats, err := s.Planner.GeneratePlans(obs.WithSpan(ctx, pspan), q)
 	if err != nil {
 		return nil, fmt.Errorf("unify: planning %q: %w", q, err)
 	}
-	plan, ostats, err := s.Optimizer.Optimize(ctx, plans)
+	pspan.SetVDur(pstats.Duration)
+	pspan.End()
+
+	ospan := qspan.StartChild("optimize", obs.KindPhase)
+	plan, ostats, err := s.Optimizer.Optimize(obs.WithSpan(ctx, ospan), plans)
 	if err != nil {
 		return nil, fmt.Errorf("unify: optimizing %q: %w", q, err)
 	}
-	res, err := s.Executor.Run(ctx, plan)
+	// SCE judgments parallelize across the slot pool.
+	estDur := ostats.Duration / time.Duration(s.Config.Slots)
+	ospan.SetVDur(estDur)
+	ospan.SetInt("llm_calls", len(ostats.Calls))
+	ospan.SetAttr("est_cost", ostats.EstimatedCost.String())
+	ospan.End()
+
+	espan := qspan.StartChild("execute", obs.KindPhase)
+	res, err := s.Executor.Run(obs.WithSpan(ctx, espan), plan)
 	if err != nil {
 		// Plan adjustment at the system level: dynamic replanning via
 		// the Generate fallback rather than a complete restart.
 		fb := fallbackPlan(q)
-		res, err = s.Executor.Run(ctx, fb)
+		espan.SetAttr("replanned", "true")
+		res, err = s.Executor.Run(obs.WithSpan(ctx, espan), fb)
 		if err != nil {
 			return nil, fmt.Errorf("unify: executing %q: %w", q, err)
 		}
 		plan = fb
 		pstats.Fallback = true
 	}
+	espan.SetVDur(res.Makespan)
+	espan.SetInt("llm_calls", res.LLMCalls)
+	espan.SetAttr("slot_busy", res.SlotBusy.Round(time.Millisecond).String())
+	espan.End()
 
-	// SCE judgments parallelize across the slot pool.
-	estDur := ostats.Duration / time.Duration(s.Config.Slots)
 	ans := &Answer{
 		Value:         res.Answer,
 		Plan:          plan,
@@ -302,7 +361,42 @@ func (s *System) Query(ctx context.Context, q string) (*Answer, error) {
 	}
 	ans.TotalDur = ans.PlanningDur + ans.EstimationDur + ans.ExecDur
 	ans.Text = s.FormatValue(res.Answer)
+	qspan.SetVDur(ans.TotalDur)
+	ans.planCalls = append(append([]llm.Call(nil), pstats.Calls...), ostats.Calls...)
+	ans.execCalls = execCalls(res)
+	ans.SlotBusy = res.SlotBusy
 	return ans, nil
+}
+
+// execCalls flattens the per-node call logs of one execution.
+func execCalls(res *exec.Result) []llm.Call {
+	var out []llm.Call
+	for _, nr := range res.Nodes {
+		out = append(out, nr.Calls...)
+	}
+	return out
+}
+
+// recordQueryMetrics charges a completed query to the metrics registry.
+func (s *System) recordQueryMetrics(ans *Answer) {
+	m := s.Metrics
+	if m == nil {
+		return
+	}
+	m.RecordQueryOK(ans.TotalDur, ans.PlanningDur+ans.EstimationDur, ans.ExecDur)
+	for _, c := range ans.planCalls {
+		m.RecordCall(c.Task, c.InTokens, c.OutTokens)
+	}
+	for _, c := range ans.execCalls {
+		m.RecordCall(c.Task, c.InTokens, c.OutTokens)
+	}
+	if ans.Fallback {
+		m.PlanFallbacks.Inc()
+	}
+	if ans.Adjusted {
+		m.PlanAdjustments.Inc()
+	}
+	m.RecordSlots(ans.SlotBusy, ans.ExecDur, s.Config.Slots)
 }
 
 // FormatValue renders a value as an answer string, resolving document ids
