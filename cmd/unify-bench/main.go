@@ -6,9 +6,11 @@
 //	unify-bench -exp fig4 -size 500 -per 2 -datasets sports
 //	unify-bench -exp table3
 //	unify-bench -exp fig5a,fig5b -size 800
+//	unify-bench -exp cache -size 400 -per 2 -datasets sports -cacheout BENCH_cache.json
 //
 // Experiments: fig4 (accuracy+latency, Fig. 4a-h), table3 (SCE q-errors,
-// Table III), fig5a (logical optimization), fig5b (physical optimization).
+// Table III), fig5a (logical optimization), fig5b (physical optimization),
+// cache (repeated-workload cold/warm latency and per-layer hit rates).
 package main
 
 import (
@@ -25,13 +27,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiments to run: fig4,table3,fig5a,fig5b,all")
+		exp      = flag.String("exp", "all", "experiments to run: fig4,table3,fig5a,fig5b,cache,all")
 		size     = flag.Int("size", 0, "corpus size override (0 = paper sizes)")
 		per      = flag.Int("per", 5, "query instances per template (paper: 5)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset")
 		methods  = flag.String("methods", "", "comma-separated method subset for fig4")
 		seed     = flag.Int64("seed", 42, "workload sampling seed")
 		jsonOut  = flag.String("json", "", "also write structured results to this JSON file")
+		cacheOut = flag.String("cacheout", "", "write the cache experiment's flat report to this JSON file")
 	)
 	flag.Parse()
 
@@ -48,7 +51,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true}
+		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true}
 	}
 
 	ctx := context.Background()
@@ -104,6 +107,28 @@ func main() {
 			}
 			bench.PrintFig5(os.Stdout, "Figure 5(b): physical optimization (avg exec latency)", rows)
 			artifacts["fig5b"] = rows
+			return nil
+		})
+	}
+
+	if want["cache"] {
+		run("Repeated workload (cache)", func() error {
+			res, err := bench.RunCacheBench(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintCacheBench(os.Stdout, res)
+			artifacts["cache"] = res
+			if *cacheOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*cacheOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("cache report written to %s\n", *cacheOut)
+			}
 			return nil
 		})
 	}

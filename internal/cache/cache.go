@@ -1,0 +1,534 @@
+// Package cache is Unify's shared reuse backbone: a sharded,
+// byte-cost-bounded LRU with in-flight coalescing (singleflight) and
+// generation-aware eviction. One LRU instance backs every caching layer in
+// the system — LLM response memoization, docstore query embeddings and
+// distance maps, SCE bucketizations, optimizer selectivities and plans —
+// so a single byte budget governs total memory and hot layers can displace
+// cold ones.
+//
+// Layers are typed, named views over the shared LRU (see Layer). Each
+// layer tracks its own hit/miss/eviction/coalesce counters, and the LRU
+// emits per-layer events through an optional hook so callers can mirror
+// the counters into a metrics registry.
+//
+// Values handed back by Get/GetOrCompute are shared between callers:
+// treat them as immutable.
+package cache
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Event identifies one cache occurrence for the event hook.
+type Event int
+
+// Cache events.
+const (
+	// EventHit: a lookup was served from the cache.
+	EventHit Event = iota
+	// EventMiss: a lookup required computing the value.
+	EventMiss
+	// EventEvict: an entry was removed to respect the byte budget or
+	// because its generation went stale.
+	EventEvict
+	// EventCoalesce: a lookup joined an identical in-flight computation
+	// instead of recomputing.
+	EventCoalesce
+)
+
+func (e Event) String() string {
+	switch e {
+	case EventHit:
+		return "hit"
+	case EventMiss:
+		return "miss"
+	case EventEvict:
+		return "evict"
+	case EventCoalesce:
+		return "coalesce"
+	}
+	return "unknown"
+}
+
+// Stats is a point-in-time snapshot of one layer (or the whole LRU).
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Coalesced uint64 `json:"coalesced"`
+	Entries   int64  `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Coalesced += o.Coalesced
+	s.Entries += o.Entries
+	s.Bytes += o.Bytes
+}
+
+// Sub returns the delta s - o (counters only; Entries/Bytes are copied
+// from s). Used to report per-phase hit rates in benchmarks.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - o.Hits,
+		Misses:    s.Misses - o.Misses,
+		Evictions: s.Evictions - o.Evictions,
+		Coalesced: s.Coalesced - o.Coalesced,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
+	}
+}
+
+// layerStats holds one layer's counters (updated with atomics so hot
+// paths never contend on a layer-wide lock).
+type layerStats struct {
+	name      string
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	coalesced atomic.Uint64
+	entries   atomic.Int64
+	bytes     atomic.Int64
+}
+
+func (ls *layerStats) snapshot() Stats {
+	return Stats{
+		Hits:      ls.hits.Load(),
+		Misses:    ls.misses.Load(),
+		Evictions: ls.evictions.Load(),
+		Coalesced: ls.coalesced.Load(),
+		Entries:   ls.entries.Load(),
+		Bytes:     ls.bytes.Load(),
+	}
+}
+
+// entry is one cached value with its accounting metadata.
+type entry struct {
+	key   string // full key (layer-prefixed)
+	val   any
+	bytes int64
+	gen   uint64
+	layer *layerStats
+}
+
+// flight is one in-progress computation that concurrent identical lookups
+// join.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// shard is one lock domain of the LRU.
+type shard struct {
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+	bytes    int64
+	budget   int64
+}
+
+// LRU is the shared cache. Construct with New; the zero value is not
+// usable. A nil *LRU is a valid "caching disabled" sink: layers over a
+// nil LRU compute every lookup.
+type LRU struct {
+	shards  []*shard
+	seed    maphash.Seed
+	gen     atomic.Uint64
+	onEvent func(layer string, ev Event, n int)
+
+	mu     sync.Mutex
+	layers map[string]*layerStats
+}
+
+// Option configures LRU construction.
+type Option func(*LRU)
+
+// WithShards overrides the shard count (rounded up to a power of two).
+func WithShards(n int) Option {
+	return func(l *LRU) {
+		if n < 1 {
+			n = 1
+		}
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		l.shards = make([]*shard, p)
+	}
+}
+
+// WithEvents installs a per-event hook (layer name, event, count). The
+// hook runs outside the shard locks on the caller's goroutine; it must be
+// safe for concurrent use.
+func WithEvents(fn func(layer string, ev Event, n int)) Option {
+	return func(l *LRU) { l.onEvent = fn }
+}
+
+// DefaultShards is the default lock-domain count.
+const DefaultShards = 8
+
+// New returns an LRU bounded by maxBytes (divided evenly across shards).
+// A non-positive maxBytes yields a cache that stores nothing but still
+// coalesces concurrent computations.
+func New(maxBytes int64, opts ...Option) *LRU {
+	l := &LRU{seed: maphash.MakeSeed(), layers: map[string]*layerStats{}}
+	l.shards = make([]*shard, DefaultShards)
+	for _, o := range opts {
+		o(l)
+	}
+	per := maxBytes / int64(len(l.shards))
+	for i := range l.shards {
+		l.shards[i] = &shard{
+			ll:       list.New(),
+			items:    map[string]*list.Element{},
+			inflight: map[string]*flight{},
+			budget:   per,
+		}
+	}
+	return l
+}
+
+// Bump advances the cache generation: every existing entry becomes stale
+// and is discarded (counted as an eviction) on next access. Call after
+// mutating the underlying data the cache derives from (e.g. reindexing
+// the document store).
+func (l *LRU) Bump() {
+	if l == nil {
+		return
+	}
+	l.gen.Add(1)
+}
+
+// Generation returns the current generation number.
+func (l *LRU) Generation() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.gen.Load()
+}
+
+const layerSep = "\x1f"
+
+func (l *LRU) shardFor(key string) *shard {
+	var h maphash.Hash
+	h.SetSeed(l.seed)
+	h.WriteString(key)
+	return l.shards[h.Sum64()&uint64(len(l.shards)-1)]
+}
+
+func (l *LRU) layer(name string) *layerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ls, ok := l.layers[name]
+	if !ok {
+		ls = &layerStats{name: name}
+		l.layers[name] = ls
+	}
+	return ls
+}
+
+func (l *LRU) emit(layer string, ev Event, n int) {
+	if l.onEvent != nil && n > 0 {
+		l.onEvent(layer, ev, n)
+	}
+}
+
+// lookupLocked returns the live value for key, discarding a stale-
+// generation entry. Caller holds sh.mu.
+func (sh *shard) lookupLocked(key string, gen uint64) (any, *layerStats, bool, bool) {
+	el, ok := sh.items[key]
+	if !ok {
+		return nil, nil, false, false
+	}
+	e := el.Value.(*entry)
+	if e.gen != gen {
+		sh.removeLocked(el)
+		return nil, e.layer, false, true // stale: report the eviction
+	}
+	sh.ll.MoveToFront(el)
+	return e.val, e.layer, true, false
+}
+
+// removeLocked unlinks an entry and updates its layer accounting. Caller
+// holds sh.mu.
+func (sh *shard) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	sh.ll.Remove(el)
+	delete(sh.items, e.key)
+	sh.bytes -= e.bytes
+	e.layer.entries.Add(-1)
+	e.layer.bytes.Add(-e.bytes)
+	e.layer.evictions.Add(1)
+}
+
+// insertLocked adds or replaces an entry, then evicts from the LRU tail
+// until the shard respects its budget. Returns the layers that lost
+// entries (for event emission outside the lock). Caller holds sh.mu.
+func (sh *shard) insertLocked(key string, val any, cost int64, gen uint64, ls *layerStats) []*layerStats {
+	if el, ok := sh.items[key]; ok {
+		sh.removeLocked(el)
+		// Replacing an entry is not an eviction; undo the count.
+		el.Value.(*entry).layer.evictions.Add(^uint64(0))
+	}
+	e := &entry{key: key, val: val, bytes: cost, gen: gen, layer: ls}
+	sh.items[key] = sh.ll.PushFront(e)
+	sh.bytes += cost
+	ls.entries.Add(1)
+	ls.bytes.Add(cost)
+	var evicted []*layerStats
+	for sh.bytes > sh.budget && sh.ll.Len() > 0 {
+		back := sh.ll.Back()
+		evicted = append(evicted, back.Value.(*entry).layer)
+		sh.removeLocked(back)
+	}
+	return evicted
+}
+
+// get returns the cached value for (layer, key).
+func (l *LRU) get(ls *layerStats, key string) (any, bool) {
+	if l == nil {
+		return nil, false
+	}
+	full := ls.name + layerSep + key
+	sh := l.shardFor(full)
+	sh.mu.Lock()
+	v, _, ok, stale := sh.lookupLocked(full, l.gen.Load())
+	sh.mu.Unlock()
+	if stale {
+		l.emit(ls.name, EventEvict, 1)
+	}
+	if ok {
+		ls.hits.Add(1)
+		l.emit(ls.name, EventHit, 1)
+		return v, true
+	}
+	ls.misses.Add(1)
+	l.emit(ls.name, EventMiss, 1)
+	return nil, false
+}
+
+// put inserts a value.
+func (l *LRU) put(ls *layerStats, key string, val any, cost int64) {
+	if l == nil {
+		return
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	full := ls.name + layerSep + key
+	sh := l.shardFor(full)
+	sh.mu.Lock()
+	evicted := sh.insertLocked(full, val, cost, l.gen.Load(), ls)
+	sh.mu.Unlock()
+	for _, el := range evicted {
+		l.emit(el.name, EventEvict, 1)
+	}
+}
+
+// do implements GetOrCompute with singleflight coalescing: the first
+// caller computes, concurrent identical callers wait for its result. The
+// boolean reports whether the caller avoided the computation (cache hit
+// or coalesced wait).
+func (l *LRU) do(ls *layerStats, key string, cost func(any) int64, compute func() (any, error)) (any, bool, error) {
+	if l == nil {
+		v, err := compute()
+		return v, false, err
+	}
+	full := ls.name + layerSep + key
+	sh := l.shardFor(full)
+	sh.mu.Lock()
+	v, _, ok, stale := sh.lookupLocked(full, l.gen.Load())
+	if ok {
+		sh.mu.Unlock()
+		ls.hits.Add(1)
+		l.emit(ls.name, EventHit, 1)
+		return v, true, nil
+	}
+	if f, exists := sh.inflight[full]; exists {
+		sh.mu.Unlock()
+		if stale {
+			l.emit(ls.name, EventEvict, 1)
+		}
+		<-f.done
+		if f.err != nil {
+			ls.misses.Add(1)
+			l.emit(ls.name, EventMiss, 1)
+			return nil, false, f.err
+		}
+		ls.hits.Add(1)
+		ls.coalesced.Add(1)
+		l.emit(ls.name, EventHit, 1)
+		l.emit(ls.name, EventCoalesce, 1)
+		return f.val, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.inflight[full] = f
+	sh.mu.Unlock()
+	if stale {
+		l.emit(ls.name, EventEvict, 1)
+	}
+	ls.misses.Add(1)
+	l.emit(ls.name, EventMiss, 1)
+
+	val, err := compute()
+	f.val, f.err = val, err
+
+	sh.mu.Lock()
+	delete(sh.inflight, full)
+	var evicted []*layerStats
+	if err == nil {
+		c := cost(val)
+		if c < 1 {
+			c = 1
+		}
+		evicted = sh.insertLocked(full, val, c, l.gen.Load(), ls)
+	}
+	sh.mu.Unlock()
+	close(f.done)
+	for _, el := range evicted {
+		l.emit(el.name, EventEvict, 1)
+	}
+	return val, false, err
+}
+
+// Stats aggregates every layer's counters.
+func (l *LRU) Stats() Stats {
+	var out Stats
+	if l == nil {
+		return out
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ls := range l.layers {
+		out.add(ls.snapshot())
+	}
+	return out
+}
+
+// LayerStats returns a per-layer snapshot keyed by layer name.
+func (l *LRU) LayerStats() map[string]Stats {
+	out := map[string]Stats{}
+	if l == nil {
+		return out
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for name, ls := range l.layers {
+		out[name] = ls.snapshot()
+	}
+	return out
+}
+
+// Bytes returns the total resident cost across shards.
+func (l *LRU) Bytes() int64 {
+	if l == nil {
+		return 0
+	}
+	var n int64
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the total entry count across shards.
+func (l *LRU) Len() int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Layer is a typed, named view over a shared LRU. The cost function
+// prices an entry in bytes for the shared budget. A nil *Layer (or a
+// layer over a nil LRU) is a valid no-op: every lookup computes.
+type Layer[V any] struct {
+	lru   *LRU
+	stats *layerStats
+	cost  func(V) int64
+}
+
+// NewLayer registers (or rejoins) the named layer on l. A nil l returns a
+// nil layer.
+func NewLayer[V any](l *LRU, name string, cost func(V) int64) *Layer[V] {
+	if l == nil {
+		return nil
+	}
+	if cost == nil {
+		cost = func(V) int64 { return 64 }
+	}
+	return &Layer[V]{lru: l, stats: l.layer(name), cost: cost}
+}
+
+// Get returns the cached value for key.
+func (l *Layer[V]) Get(key string) (V, bool) {
+	var zero V
+	if l == nil {
+		return zero, false
+	}
+	v, ok := l.lru.get(l.stats, key)
+	if !ok {
+		return zero, false
+	}
+	return v.(V), true
+}
+
+// Put inserts a value, pricing it with the layer's cost function.
+func (l *Layer[V]) Put(key string, v V) {
+	if l == nil {
+		return
+	}
+	l.lru.put(l.stats, key, v, l.cost(v)+int64(len(key)))
+}
+
+// GetOrCompute returns the cached value for key, computing and caching it
+// on a miss while coalescing concurrent identical lookups. The boolean
+// reports whether the computation was avoided (hit or coalesced).
+func (l *Layer[V]) GetOrCompute(key string, compute func() (V, error)) (V, bool, error) {
+	if l == nil {
+		v, err := compute()
+		return v, false, err
+	}
+	v, hit, err := l.lru.do(l.stats, key,
+		func(a any) int64 { return l.cost(a.(V)) + int64(len(key)) },
+		func() (any, error) { return compute() })
+	if err != nil {
+		var zero V
+		return zero, false, err
+	}
+	return v.(V), hit, nil
+}
+
+// Stats snapshots the layer's counters.
+func (l *Layer[V]) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	return l.stats.snapshot()
+}

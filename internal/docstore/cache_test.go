@@ -1,0 +1,66 @@
+package docstore
+
+import (
+	"testing"
+
+	"unify/internal/cache"
+)
+
+func TestDistancesCached(t *testing.T) {
+	docs := []Document{
+		{ID: 1, Text: "apples fall from trees"},
+		{ID: 2, Text: "planets orbit the sun"},
+		{ID: 3, Text: "rivers flow to the sea"},
+	}
+	s, err := New("t", docs, WithoutSentences())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cache.New(1 << 20)
+	s.AttachCache(c)
+
+	m1 := s.Distances("gravity")
+	if got := s.DistanceScans(); got != 1 {
+		t.Fatalf("scans = %d, want 1", got)
+	}
+	m2 := s.Distances("gravity")
+	if got := s.DistanceScans(); got != 1 {
+		t.Fatalf("repeat query scans = %d, want 1", got)
+	}
+	if len(m1) != len(docs) || len(m2) != len(docs) {
+		t.Fatalf("distance map sizes %d/%d, want %d", len(m1), len(m2), len(docs))
+	}
+	for id, d := range m1 {
+		if m2[id] != d {
+			t.Fatalf("cached distances differ at id %d", id)
+		}
+	}
+	s.Distances("oceans")
+	if got := s.DistanceScans(); got != 2 {
+		t.Fatalf("distinct query scans = %d, want 2", got)
+	}
+	st := c.LayerStats()
+	if st["distance"].Hits != 1 || st["distance"].Misses != 2 {
+		t.Fatalf("distance layer stats = %+v", st["distance"])
+	}
+	if st["embed"].Misses == 0 {
+		t.Fatal("query embeddings not routed through the cache")
+	}
+}
+
+func TestUncachedStoreStillWorks(t *testing.T) {
+	docs := []Document{{ID: 1, Text: "a b c"}, {ID: 2, Text: "d e f"}}
+	s, err := New("t", docs, WithoutSentences())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No AttachCache: every call computes, counters still advance.
+	s.Distances("q")
+	s.Distances("q")
+	if got := s.DistanceScans(); got != 2 {
+		t.Fatalf("uncached scans = %d, want 2", got)
+	}
+	if len(s.SearchDocs("q", 1)) != 1 {
+		t.Fatal("SearchDocs failed without cache")
+	}
+}

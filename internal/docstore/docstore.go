@@ -6,7 +6,9 @@ package docstore
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
+	"unify/internal/cache"
 	"unify/internal/embedding"
 	"unify/internal/vector"
 )
@@ -34,6 +36,14 @@ type Store struct {
 	// Sentence-level retrieval structures for RAG-style access.
 	sentences []Sentence
 	sentIndex *vector.Flat
+
+	// Query-text caching (see AttachCache): repeated predicates skip
+	// re-embedding and the O(N·dim) linear distance scan.
+	queryVecs *cache.Layer[[]float32]
+	distMaps  *cache.Layer[map[int]float64]
+	// distScans counts full linear distance scans actually executed
+	// (cache misses included, hits excluded).
+	distScans atomic.Int64
 }
 
 // Sentence is one retrievable sentence with its source document.
@@ -108,6 +118,32 @@ func New(name string, docs []Document, opts ...Option) (*Store, error) {
 	return s, nil
 }
 
+// AttachCache routes query embeddings and distance maps through the
+// shared cache, so the optimizer's many candidate lowerings of one
+// predicate (and repeated queries) stop paying O(N·dim) per probe. Safe
+// to skip: a nil cache leaves the store uncached.
+func (s *Store) AttachCache(c *cache.LRU) {
+	s.queryVecs = cache.NewLayer[[]float32](c, "embed", func(v []float32) int64 {
+		return int64(len(v)) * 4
+	})
+	s.distMaps = cache.NewLayer[map[int]float64](c, "distance", func(m map[int]float64) int64 {
+		return int64(len(m))*12 + 48
+	})
+}
+
+// DistanceScans reports how many full linear distance scans ran (i.e.
+// distance-map cache misses plus uncached calls).
+func (s *Store) DistanceScans() int64 { return s.distScans.Load() }
+
+// embed returns the query embedding, cached when a cache is attached.
+// Cached vectors are shared: callers must not mutate them.
+func (s *Store) embed(query string) []float32 {
+	v, _, _ := s.queryVecs.GetOrCompute(query, func() ([]float32, error) {
+		return s.embedder.Embed(query), nil
+	})
+	return v
+}
+
 // Embedder exposes the store's embedding model.
 func (s *Store) Embedder() *embedding.Embedder { return s.embedder }
 
@@ -140,18 +176,23 @@ func (s *Store) Vector(id int) []float32 {
 // SearchDocs returns the k nearest documents to the query text, using the
 // HNSW index (the IndexScan access path).
 func (s *Store) SearchDocs(query string, k int) []vector.Result {
-	return s.hnsw.Search(s.embedder.Embed(query), k)
+	return s.hnsw.Search(s.embed(query), k)
 }
 
 // SearchDocsExact is the exact (linear) variant of SearchDocs.
 func (s *Store) SearchDocsExact(query string, k int) []vector.Result {
-	return s.flat.Search(s.embedder.Embed(query), k)
+	return s.flat.Search(s.embed(query), k)
 }
 
 // Distances returns cosine distances from the query text to every
-// document, keyed by document id (used by cardinality estimation).
+// document, keyed by document id (used by cardinality estimation). The
+// returned map is shared when a cache is attached: treat it as read-only.
 func (s *Store) Distances(query string) map[int]float64 {
-	return s.flat.Distances(s.embedder.Embed(query))
+	m, _, _ := s.distMaps.GetOrCompute(query, func() (map[int]float64, error) {
+		s.distScans.Add(1)
+		return s.flat.Distances(s.embed(query)), nil
+	})
+	return m
 }
 
 // SearchSentences returns the k nearest sentences to the query text
@@ -161,7 +202,7 @@ func (s *Store) SearchSentences(query string, k int) []Sentence {
 	if s.sentIndex == nil {
 		return nil
 	}
-	res := s.sentIndex.Search(s.embedder.Embed(query), k)
+	res := s.sentIndex.Search(s.embed(query), k)
 	out := make([]Sentence, len(res))
 	for i, r := range res {
 		out[i] = s.sentences[r.ID]

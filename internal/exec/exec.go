@@ -73,6 +73,10 @@ type Result struct {
 	Serial time.Duration
 	// LLMCalls counts model invocations during execution.
 	LLMCalls int
+	// CachedLLMCalls counts invocations answered by the response cache
+	// (included in LLMCalls; they cost zero virtual time and bypass the
+	// slot pool).
+	CachedLLMCalls int
 	// OutTokens counts generated tokens during execution.
 	OutTokens int
 	// Adjusted reports that at least one operator needed a fallback
@@ -196,6 +200,9 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 		res.LLMCalls += len(nr.Calls)
 		for _, c := range nr.Calls {
 			res.OutTokens += c.OutTokens
+			if c.Cached {
+				res.CachedLLMCalls++
+			}
 		}
 	}
 	ans, ok := vars["{"+root.OutVar+"}"]
@@ -298,14 +305,31 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		if k, okk := n.Args.Int("_scanK"); okk && strings.HasPrefix(phys.Name, "IndexFilter") {
 			work = k
 		}
+		// Cache-served calls cost zero time and never reached a model:
+		// feeding them to the calibrator would drag its per-call mean
+		// toward zero. Calibrate on the live calls only, scaling the work
+		// to the fraction of items they actually covered.
+		live := make([]llm.Call, 0, len(nr.Calls))
+		for _, c := range nr.Calls {
+			if !c.Cached {
+				live = append(live, c)
+			}
+		}
 		if phys.LLMBased {
-			e.Calib.RecordLLM(phys.Name, work, nr.Calls)
+			if len(live) > 0 {
+				lw := work
+				if len(live) < len(nr.Calls) {
+					lw = work * len(live) / len(nr.Calls)
+				}
+				e.Calib.RecordLLM(phys.Name, lw, live)
+			}
 		} else {
 			nr.PreDur = e.Calib.PreDuration(phys.Name, work)
 			e.Calib.RecordPre(phys.Name, work, nr.PreDur)
 		}
 		// Annotate the node span: the virtual duration is the operator's
-		// busy time on its model instance (its calls run sequentially).
+		// busy time on its model instance (its calls run sequentially;
+		// cached calls contribute zero).
 		var busy time.Duration
 		var outTok int
 		for _, c := range nr.Calls {
@@ -317,6 +341,9 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		span.SetInt("in_card", inCard)
 		span.SetInt("out_card", v.Len())
 		span.SetInt("llm_calls", len(nr.Calls))
+		if nc := len(nr.Calls) - len(live); nc > 0 {
+			span.SetInt("cached_calls", nc)
+		}
 		span.SetInt("out_tokens", outTok)
 		if nr.Adjusted {
 			span.SetAttr("adjusted", "true")
@@ -344,6 +371,11 @@ func (e *Executor) tasks(plan *core.Plan, nodes []NodeResult) []vtime.Task {
 		nr := byID[n.ID]
 		var units []vtime.Unit
 		for _, c := range nr.Calls {
+			if c.Cached {
+				// Cache-served calls bypass the slot pool entirely: no
+				// unit, no makespan or SlotBusy contribution.
+				continue
+			}
 			units = append(units, vtime.Unit{Dur: c.Dur, Resource: vtime.ResourceLLM})
 		}
 		if nr.PreDur > 0 || len(units) == 0 {

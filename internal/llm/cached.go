@@ -1,0 +1,80 @@
+package llm
+
+import (
+	"context"
+
+	"unify/internal/cache"
+)
+
+// Cached wraps a Client with response memoization on a shared cache
+// layer, mirroring the inference/prefix caches of real LLM serving
+// stacks: identical prompts to the same model are answered once, and
+// identical concurrent prompts coalesce onto a single in-flight call.
+//
+// A cache-served response carries Cached=true and Dur=0 — it costs zero
+// virtual time and bypasses the slot pool. Downstream accounting
+// (executor vtime units, calibrator feeds) keys off that flag.
+type Cached struct {
+	inner Client
+	layer *cache.Layer[Response]
+}
+
+// ResponseCost prices a Response for the shared byte budget.
+func ResponseCost(r Response) int64 {
+	return int64(len(r.Text)) + 48
+}
+
+// NewCached wraps inner over layer. A nil layer yields a pass-through
+// wrapper (every call reaches the model).
+func NewCached(inner Client, layer *cache.Layer[Response]) *Cached {
+	return &Cached{inner: inner, layer: layer}
+}
+
+// Complete implements Client. The cache key includes the model name so
+// planner and worker models wrapped over one layer never collide.
+func (c *Cached) Complete(ctx context.Context, prompt string) (Response, error) {
+	key := c.inner.Profile().Name + "\x1f" + prompt
+	resp, hit, err := c.layer.GetOrCompute(key, func() (Response, error) {
+		return c.inner.Complete(ctx, prompt)
+	})
+	if err != nil {
+		return Response{}, err
+	}
+	if hit {
+		resp.Cached = true
+		resp.Dur = 0
+	}
+	return resp, nil
+}
+
+// Profile implements Client.
+func (c *Cached) Profile() Profile { return c.inner.Profile() }
+
+// Unwrap returns the wrapped client.
+func (c *Cached) Unwrap() Client { return c.inner }
+
+// Stats snapshots the wrapper's cache layer.
+func (c *Cached) Stats() cache.Stats { return c.layer.Stats() }
+
+var _ Client = (*Cached)(nil)
+
+// Unwrap walks one level of client wrapping (Cached, Recorder, Traced).
+func Unwrap(c Client) Client {
+	type unwrapper interface{ Unwrap() Client }
+	if u, ok := c.(unwrapper); ok {
+		return u.Unwrap()
+	}
+	return nil
+}
+
+// SimOf walks the wrapper chain and returns the underlying Sim, or nil
+// when the base client is not a Sim.
+func SimOf(c Client) *Sim {
+	for c != nil {
+		if s, ok := c.(*Sim); ok {
+			return s
+		}
+		c = Unwrap(c)
+	}
+	return nil
+}

@@ -25,6 +25,9 @@ type Response struct {
 	// Dur is the simulated wall-clock duration of the call on one model
 	// slot. Executors feed these into the vtime scheduler.
 	Dur time.Duration
+	// Cached marks a response served from the shared response cache: it
+	// cost zero virtual time and never occupied a model slot.
+	Cached bool
 }
 
 // Profile describes a served model's identity and speed.
@@ -87,6 +90,9 @@ type Call struct {
 	InTokens  int
 	OutTokens int
 	Dur       time.Duration
+	// Cached marks a call answered by the response cache (Dur is zero and
+	// the call bypassed the slot pool).
+	Cached bool
 }
 
 // Recorder wraps a Client and records every call. Operators wrap their
@@ -112,13 +118,16 @@ func (r *Recorder) Complete(ctx context.Context, prompt string) (Response, error
 	}
 	task, _, _ := ParsePrompt(prompt)
 	r.mu.Lock()
-	r.calls = append(r.calls, Call{Task: task, InTokens: resp.InTokens, OutTokens: resp.OutTokens, Dur: resp.Dur})
+	r.calls = append(r.calls, Call{Task: task, InTokens: resp.InTokens, OutTokens: resp.OutTokens, Dur: resp.Dur, Cached: resp.Cached})
 	r.mu.Unlock()
 	return resp, nil
 }
 
 // Profile implements Client.
 func (r *Recorder) Profile() Profile { return r.inner.Profile() }
+
+// Unwrap returns the wrapped client.
+func (r *Recorder) Unwrap() Client { return r.inner }
 
 // Calls returns a copy of the recorded calls.
 func (r *Recorder) Calls() []Call {

@@ -59,6 +59,9 @@ func (t *Traced) Complete(ctx context.Context, prompt string) (Response, error) 
 		s.SetInt("in_tokens", resp.InTokens)
 		s.SetInt("out_tokens", resp.OutTokens)
 		s.SetVDur(resp.Dur)
+		if resp.Cached {
+			s.SetAttr("cached", "true")
+		}
 		s.End()
 	}
 	return resp, nil
@@ -66,5 +69,8 @@ func (t *Traced) Complete(ctx context.Context, prompt string) (Response, error) 
 
 // Profile implements Client.
 func (t *Traced) Profile() Profile { return t.inner.Profile() }
+
+// Unwrap returns the wrapped client.
+func (t *Traced) Unwrap() Client { return t.inner }
 
 var _ Client = (*Traced)(nil)

@@ -15,12 +15,24 @@ type Metrics struct {
 	PlanSeconds  Histogram
 	ExecSeconds  Histogram
 
-	LLMCalls     Counter // by task
-	LLMTokensIn  Counter // by task
-	LLMTokensOut Counter // by task
+	LLMCalls       Counter // by task
+	LLMTokensIn    Counter // by task
+	LLMTokensOut   Counter // by task
+	LLMCachedCalls Counter // by task: calls answered by the response cache
+
+	CacheHits      Counter // by cache layer
+	CacheMisses    Counter // by cache layer
+	CacheEvictions Counter // by cache layer
+	CacheCoalesced Counter // by cache layer
+	CacheBytes     Gauge   // resident bytes of the shared cache
+	CacheEntries   Gauge   // resident entries of the shared cache
+
+	SimCalls  Gauge // by model: calls that reached the simulated backend
+	SimUnique Gauge // by model: distinct prompts seen by the backend
 
 	PlanFallbacks   Counter
 	PlanAdjustments Counter
+	PlanCacheHits   Counter
 
 	SlotBusySeconds Counter
 	SlotUtilization Gauge
@@ -47,10 +59,30 @@ func NewMetrics() *Metrics {
 		"Prompt tokens consumed, by task.", "task")
 	m.LLMTokensOut = r.CounterVec("unify_llm_out_tokens_total",
 		"Tokens generated, by task.", "task")
+	m.LLMCachedCalls = r.CounterVec("unify_llm_cached_calls_total",
+		"Model invocations answered by the shared response cache, by task.", "task")
+	m.CacheHits = r.CounterVec("unify_cache_hits_total",
+		"Shared-cache hits, by layer.", "layer")
+	m.CacheMisses = r.CounterVec("unify_cache_misses_total",
+		"Shared-cache misses, by layer.", "layer")
+	m.CacheEvictions = r.CounterVec("unify_cache_evictions_total",
+		"Shared-cache evictions (budget or staleness), by layer.", "layer")
+	m.CacheCoalesced = r.CounterVec("unify_cache_coalesced_total",
+		"Lookups that joined an identical in-flight computation, by layer.", "layer")
+	m.CacheBytes = r.Gauge("unify_cache_bytes",
+		"Resident byte cost of the shared cache.")
+	m.CacheEntries = r.Gauge("unify_cache_entries",
+		"Resident entry count of the shared cache.")
+	m.SimCalls = r.GaugeVec("unify_sim_calls",
+		"Prompts that reached the simulated model backend, by model.", "model")
+	m.SimUnique = r.GaugeVec("unify_sim_unique_prompts",
+		"Distinct prompts seen by the simulated model backend, by model.", "model")
 	m.PlanFallbacks = r.Counter("unify_plan_fallback_total",
 		"Queries answered via the Generate (RAG) fallback plan.")
 	m.PlanAdjustments = r.Counter("unify_exec_adjusted_total",
 		"Queries where a failing physical operator was swapped at run time.")
+	m.PlanCacheHits = r.Counter("unify_plan_cache_hits_total",
+		"Queries whose optimization was served entirely from the plan cache.")
 	m.SlotBusySeconds = r.Counter("unify_slot_busy_vtime_seconds_total",
 		"Simulated busy time accumulated across LLM slots.")
 	m.SlotUtilization = r.Gauge("unify_slot_utilization",
@@ -90,6 +122,43 @@ func (m *Metrics) RecordCall(task string, inTokens, outTokens int) {
 	m.LLMCalls.IncL(task)
 	m.LLMTokensIn.AddL(task, float64(inTokens))
 	m.LLMTokensOut.AddL(task, float64(outTokens))
+}
+
+// RecordCacheEvent charges one batch of cache-layer events to the
+// per-layer counters (the shared cache's event hook).
+func (m *Metrics) RecordCacheEvent(layer, event string, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	v := float64(n)
+	switch event {
+	case "hit":
+		m.CacheHits.AddL(layer, v)
+	case "miss":
+		m.CacheMisses.AddL(layer, v)
+	case "evict":
+		m.CacheEvictions.AddL(layer, v)
+	case "coalesce":
+		m.CacheCoalesced.AddL(layer, v)
+	}
+}
+
+// RecordCacheSize publishes the shared cache's resident footprint.
+func (m *Metrics) RecordCacheSize(bytes int64, entries int) {
+	if m == nil {
+		return
+	}
+	m.CacheBytes.Set(float64(bytes))
+	m.CacheEntries.Set(float64(entries))
+}
+
+// RecordSimStats publishes a simulated backend's memo statistics.
+func (m *Metrics) RecordSimStats(model string, calls, unique int) {
+	if m == nil {
+		return
+	}
+	m.SimCalls.SetL(model, float64(calls))
+	m.SimUnique.SetL(model, float64(unique))
 }
 
 // RecordSlots records the executor slot accounting of one query.

@@ -1,0 +1,78 @@
+package optimizer
+
+import (
+	"context"
+	"testing"
+
+	"unify/internal/cache"
+	"unify/internal/core"
+)
+
+func TestPlanCacheHitOnRepeatedOptimize(t *testing.T) {
+	o, _ := setup(t, 400)
+	c := cache.New(8 << 20)
+	o.AttachCache(c)
+	ctx := context.Background()
+
+	p1, s1, err := o.Optimize(ctx, []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.PlanCacheHit {
+		t.Fatal("cold optimize reported a plan-cache hit")
+	}
+	p2, s2, err := o.Optimize(ctx, []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.PlanCacheHit {
+		t.Fatal("repeat optimize missed the plan cache")
+	}
+	if len(s2.Calls) != 0 {
+		t.Fatalf("plan-cache hit charged %d LLM calls, want 0", len(s2.Calls))
+	}
+	if s2.EstimatedCost != s1.EstimatedCost {
+		t.Fatalf("cached cost %v != original %v", s2.EstimatedCost, s1.EstimatedCost)
+	}
+	if p2.String() != p1.String() {
+		t.Fatalf("cached plan differs:\n%s\nvs\n%s", p2, p1)
+	}
+	// The cached plan is a private clone: mutating it must not poison
+	// later hits.
+	p2.Nodes[0].Phys = "Poisoned"
+	p3, _, err := o.Optimize(ctx, []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Nodes[0].Phys == "Poisoned" {
+		t.Fatal("plan cache returned a shared mutable plan")
+	}
+	st := c.LayerStats()
+	if st["plan"].Hits < 2 || st["plan"].Misses != 1 {
+		t.Fatalf("plan layer stats = %+v", st["plan"])
+	}
+	if st["selectivity"].Misses == 0 {
+		t.Fatal("selectivity estimates not routed through the cache")
+	}
+}
+
+func TestSelectivityCacheBounded(t *testing.T) {
+	o, _ := setup(t, 200)
+	// Tiny budget: the selectivity layer must evict rather than grow.
+	c := cache.New(512, cache.WithShards(1))
+	o.AttachCache(c)
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		p := filterCountPlan()
+		p.Nodes[0].Args["Condition"] = "related to sport number " + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		if _, _, err := o.Optimize(ctx, []*core.Plan{p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Bytes(); got > 512 {
+		t.Fatalf("cache grew to %d bytes past its 512-byte budget", got)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("expected evictions under the tiny budget")
+	}
+}

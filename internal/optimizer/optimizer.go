@@ -7,12 +7,15 @@ package optimizer
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"time"
 
+	"unify/internal/cache"
 	"unify/internal/core"
 	"unify/internal/cost"
 	"unify/internal/docstore"
@@ -71,12 +74,31 @@ type Optimizer struct {
 	// Seed drives Rule-mode random selections.
 	Seed uint64
 
-	selCache map[string]selEntry
+	// sel is the bounded selectivity cache (replaces the old unbounded
+	// per-Optimizer map): estimates are shared across candidate plans and
+	// across queries, and concurrent queries coalesce onto one estimate.
+	sel *cache.Layer[float64]
+	// plans caches the chosen physical plan per normalized candidate-set
+	// signature, so repeated queries skip estimation and lowering.
+	plans *cache.Layer[planEntry]
 }
 
-type selEntry struct {
-	sel     float64
-	charged bool
+// planEntry is one cached optimization outcome.
+type planEntry struct {
+	plan *core.Plan
+	cost time.Duration
+}
+
+// planEntryCost prices a cached plan for the byte budget.
+func planEntryCost(e planEntry) int64 {
+	var n int64 = 64
+	for _, nd := range e.plan.Nodes {
+		n += 128 + int64(len(nd.Desc)+len(nd.OutVar)+len(nd.Phys))
+		for k, v := range nd.Args {
+			n += int64(len(k) + len(v))
+		}
+	}
+	return n
 }
 
 // Stats reports optimization cost (SCE judgments are LLM work and are
@@ -86,22 +108,38 @@ type Stats struct {
 	Duration time.Duration
 	// EstimatedCost is the predicted makespan of the chosen plan.
 	EstimatedCost time.Duration
+	// PlanCacheHit reports that the whole optimization was served from
+	// the plan cache (no estimation or lowering ran).
+	PlanCacheHit bool
 }
 
-// New returns an optimizer.
+// New returns an optimizer. Its caches start on a small private LRU;
+// AttachCache rebinds them to a shared, observable cache.
 func New(store *docstore.Store, est *sce.Estimator, calib *cost.Calibrator, slots int) *Optimizer {
 	if slots < 1 {
 		slots = 4
 	}
-	return &Optimizer{
+	o := &Optimizer{
 		Store:      store,
 		Estimator:  est,
 		Calib:      calib,
 		Slots:      slots,
 		SampleFrac: 0.01,
 		Seed:       11,
-		selCache:   map[string]selEntry{},
 	}
+	o.AttachCache(cache.New(4 << 20))
+	return o
+}
+
+// AttachCache rebinds the selectivity and plan caches to c (the System's
+// shared cache), making their hit/miss/eviction counters observable. A
+// nil c is ignored: the private cache from New stays in place.
+func (o *Optimizer) AttachCache(c *cache.LRU) {
+	if c == nil {
+		return
+	}
+	o.sel = cache.NewLayer[float64](c, "selectivity", func(float64) int64 { return 16 })
+	o.plans = cache.NewLayer[planEntry](c, "plan", planEntryCost)
 }
 
 // Optimize selects and returns the cheapest physical plan among the
@@ -113,6 +151,15 @@ func (o *Optimizer) Optimize(ctx context.Context, plans []*core.Plan) (*core.Pla
 	}
 	stats := &Stats{}
 	ospan := obs.SpanFrom(ctx)
+	key := o.planSignature(plans)
+	if e, ok := o.plans.Get(key); ok {
+		// Repeated workload: the whole optimization (estimation, filter
+		// reordering, physical lowering, plan selection) is skipped.
+		stats.EstimatedCost = e.cost
+		stats.PlanCacheHit = true
+		ospan.SetAttr("plan_cache", "hit")
+		return e.plan.Clone(), stats, nil
+	}
 	var best *core.Plan
 	var bestSpan *obs.Span
 	bestCost := time.Duration(math.MaxInt64)
@@ -151,6 +198,7 @@ func (o *Optimizer) Optimize(ctx context.Context, plans []*core.Plan) (*core.Pla
 			// candidate wins.
 			cspan.SetAttr("chosen", "true")
 			stats.EstimatedCost = c
+			o.plans.Put(key, planEntry{plan: plan.Clone(), cost: c})
 			return plan, stats, nil
 		}
 		if c < bestCost {
@@ -161,16 +209,74 @@ func (o *Optimizer) Optimize(ctx context.Context, plans []*core.Plan) (*core.Pla
 	}
 	bestSpan.SetAttr("chosen", "true")
 	stats.EstimatedCost = bestCost
+	o.plans.Put(key, planEntry{plan: best.Clone(), cost: bestCost})
 	return best, stats, nil
+}
+
+// planSignature produces a normalized, content-addressed key over the
+// candidate logical-plan set plus every optimizer knob that changes the
+// outcome. Node ids are renumbered to topological positions so two
+// plannings of one query hash identically. Rule mode additionally hashes
+// the query text (its pseudo-random picks depend on it).
+func (o *Optimizer) planSignature(plans []*core.Plan) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "m%d|o%d|s%d|f%g|n%d", o.Mode, o.Objective, o.Slots, o.SampleFrac, o.Store.Len())
+	if o.Mode == Rule {
+		fmt.Fprintf(h, "|seed%d", o.Seed)
+		if len(plans) > 0 {
+			fmt.Fprintf(h, "|q%s", plans[0].Query)
+		}
+	}
+	for pi, p := range plans {
+		order, err := p.Topo()
+		if err != nil {
+			// Unsortable plans hash by raw node order; Optimize will
+			// surface the error.
+			order = p.Nodes
+		}
+		pos := make(map[int]int, len(order))
+		for i, n := range order {
+			pos[n.ID] = i
+		}
+		fmt.Fprintf(h, "\x1ep%d", pi)
+		for i, n := range order {
+			fmt.Fprintf(h, "\x1d%d|%s|%s|%s", i, n.Op, n.OutVar, n.LR)
+			keys := make([]string, 0, len(n.Args))
+			for k := range n.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(h, "\x1c%s=%s", k, n.Args[k])
+			}
+			for _, ref := range n.Inputs {
+				fmt.Fprintf(h, "\x1bi%s", ref)
+			}
+			for _, d := range n.Deps {
+				fmt.Fprintf(h, "\x1bd%d", pos[d])
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // --- selectivity estimation ---
 
-// selectivity estimates the fraction of documents satisfying a condition.
+// selectivity estimates the fraction of documents satisfying a condition,
+// caching per condition text: candidate plans of one query and repeated
+// queries share one estimate, and only the computing caller is charged
+// the estimation's LLM cost (cache hits are free).
 func (o *Optimizer) selectivity(ctx context.Context, condText string, stats *Stats) (float64, error) {
-	if e, ok := o.selCache[condText]; ok {
-		return e.sel, nil
-	}
+	key := fmt.Sprintf("m%d|f%g|%s", o.Mode, o.SampleFrac, condText)
+	sel, _, err := o.sel.GetOrCompute(key, func() (float64, error) {
+		return o.estimateSelectivity(ctx, condText, stats)
+	})
+	return sel, err
+}
+
+// estimateSelectivity is the uncached estimate, charging its LLM calls to
+// stats.
+func (o *Optimizer) estimateSelectivity(ctx context.Context, condText string, stats *Stats) (float64, error) {
 	n := o.Store.Len()
 	if n == 0 {
 		return 0, nil
@@ -225,7 +331,6 @@ func (o *Optimizer) selectivity(ctx context.Context, condText string, stats *Sta
 	if sel > 1 {
 		sel = 1
 	}
-	o.selCache[condText] = selEntry{sel: sel, charged: true}
 	return sel, nil
 }
 

@@ -1,0 +1,129 @@
+package sce
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"unify/internal/cache"
+	"unify/internal/corpus"
+	"unify/internal/docstore"
+	"unify/internal/llm"
+)
+
+// cachedSetup builds an estimator with the shared cache attached to both
+// the store (distance maps) and the estimator (bucketizations).
+func cachedSetup(t *testing.T, n int) (*Estimator, *cache.LRU) {
+	t.Helper()
+	ds, err := corpus.GenerateN("sports", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docstore.New("sports", ds.Documents(), docstore.WithoutSentences())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cache.New(8 << 20)
+	store.AttachCache(c)
+	cfg := llm.DefaultSimConfig()
+	cfg.FilterNoise = 0
+	est := NewEstimator(store, llm.NewSim(cfg), 8)
+	est.AttachCache(c)
+	return est, c
+}
+
+// TestRepeatedEstimateSingleDistanceScan is the regression test for the
+// per-Estimate re-sort: two estimates of the same predicate must trigger
+// exactly one full distance scan and one bucketization.
+func TestRepeatedEstimateSingleDistanceScan(t *testing.T) {
+	est, c := cachedSetup(t, 300)
+	ctx := context.Background()
+	pred := "related to injury"
+
+	e1, _, err := est.Estimate(ctx, Unify, pred, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Store.DistanceScans(); got != 1 {
+		t.Fatalf("after first estimate: %d distance scans, want 1", got)
+	}
+	e2, _, err := est.Estimate(ctx, Unify, pred, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Store.DistanceScans(); got != 1 {
+		t.Fatalf("after repeat estimate: %d distance scans, want 1 (scan must be cached)", got)
+	}
+	if math.Abs(e1-e2) > 1e-9 {
+		t.Fatalf("repeated estimate changed: %v vs %v", e1, e2)
+	}
+	st := c.LayerStats()
+	if st["sce"].Hits == 0 {
+		t.Fatalf("bucketization cache saw no hits: %+v", st["sce"])
+	}
+	if st["distance"].Misses != 1 {
+		t.Fatalf("distance layer misses = %d, want 1", st["distance"].Misses)
+	}
+
+	// A different predicate is a fresh scan.
+	if _, _, err := est.Estimate(ctx, Unify, "related to training", 60); err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Store.DistanceScans(); got != 2 {
+		t.Fatalf("distinct predicate: %d distance scans, want 2", got)
+	}
+}
+
+// TestCachedBucketizeMatchesUncached verifies the cache changes results
+// in no way: cached and uncached estimators agree call-for-call.
+func TestCachedBucketizeMatchesUncached(t *testing.T) {
+	cached, _ := cachedSetup(t, 300)
+	ds, err := corpus.GenerateN("sports", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docstore.New("sports", ds.Documents(), docstore.WithoutSentences())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := llm.DefaultSimConfig()
+	cfg.FilterNoise = 0
+	plain := NewEstimator(store, llm.NewSim(cfg), 8)
+
+	ctx := context.Background()
+	for _, pred := range []string{"related to injury", "related to injury", "about a transfer"} {
+		a, _, err := cached.Estimate(ctx, Unify, pred, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := plain.Estimate(ctx, Unify, pred, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("pred %q: cached estimate %v != uncached %v", pred, a, b)
+		}
+	}
+}
+
+// TestTrainUsesBucketCache ensures Train also flows through the cache
+// (it bucketizes every historical predicate).
+func TestTrainUsesBucketCache(t *testing.T) {
+	est, c := cachedSetup(t, 200)
+	ctx := context.Background()
+	preds := []string{"related to injury", "related to training"}
+	if err := est.Train(ctx, preds, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Estimating a trained predicate reuses its bucketization.
+	scans := est.Store.DistanceScans()
+	if _, _, err := est.Estimate(ctx, Unify, preds[0], 40); err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Store.DistanceScans(); got != scans {
+		t.Fatalf("estimate after train rescanned: %d -> %d scans", scans, got)
+	}
+	if c.LayerStats()["sce"].Hits == 0 {
+		t.Fatal("no bucketization reuse after train")
+	}
+}

@@ -75,6 +75,8 @@ type QueryResponse struct {
 	ExecSecs      float64       `json:"exec_secs"`
 	TotalSecs     float64       `json:"total_secs"`
 	LLMCalls      int           `json:"llm_calls"`
+	CachedCalls   int           `json:"cached_llm_calls"`
+	PlanCacheHit  bool          `json:"plan_cache_hit"`
 	Fallback      bool          `json:"fallback"`
 	Adjusted      bool          `json:"adjusted"`
 	Trace         *obs.SpanJSON `json:"trace,omitempty"`
@@ -173,6 +175,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ExecSecs:      ans.ExecDur.Seconds(),
 		TotalSecs:     ans.TotalDur.Seconds(),
 		LLMCalls:      ans.LLMCalls,
+		CachedCalls:   ans.CachedLLMCalls,
+		PlanCacheHit:  ans.PlanCacheHit,
 		Fallback:      ans.Fallback,
 		Adjusted:      ans.Adjusted,
 		Trace:         ans.Trace.JSON(),
@@ -243,9 +247,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if m := s.Sys.Metrics; m != nil {
 		snap = m.Reg.Snapshot()
 	}
+	// Per-layer cache counters, read directly from the shared cache (the
+	// registry mirrors events; this is the authoritative snapshot with
+	// resident entry/byte figures included).
+	cacheStats := map[string]interface{}{}
+	for layer, st := range s.Sys.CacheStats() {
+		cacheStats[layer] = st
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"uptime_secs": time.Since(s.started).Seconds(),
 		"metrics":     snap,
+		"cache":       cacheStats,
 	})
 }
 

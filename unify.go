@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"unify/internal/cache"
 	"unify/internal/core"
 	"unify/internal/corpus"
 	"unify/internal/cost"
@@ -70,7 +71,16 @@ type Config struct {
 
 	// Sim overrides the simulated model configuration (noise, speed).
 	Sim *llm.SimConfig
+
+	// CacheBytes bounds the shared semantic cache (LLM responses, query
+	// embeddings, distance maps, SCE bucketizations, selectivities,
+	// plans). 0 selects DefaultCacheBytes; a negative value disables the
+	// shared cache entirely.
+	CacheBytes int64
 }
+
+// DefaultCacheBytes is the default shared-cache budget (64 MiB).
+const DefaultCacheBytes = 64 << 20
 
 func (c *Config) defaults() {
 	if c.Dataset == "" {
@@ -116,6 +126,10 @@ type System struct {
 	// Open* constructors; a nil bundle is a valid no-op sink.
 	Metrics *obs.Metrics
 
+	// Cache is the shared semantic cache backing every caching layer
+	// (nil when Config.CacheBytes < 0).
+	Cache *cache.LRU
+
 	// PreprocessDur is the simulated offline preprocessing time
 	// (embedding + indexing + SCE training).
 	PreprocessDur time.Duration
@@ -154,7 +168,13 @@ type Answer struct {
 	SerialExecDur time.Duration
 
 	LLMCalls int
-	Fallback bool
+	// CachedLLMCalls counts invocations (planning + execution) answered
+	// by the shared response cache at zero virtual cost.
+	CachedLLMCalls int
+	// PlanCacheHit reports that optimization was served from the plan
+	// cache (estimation and lowering were skipped entirely).
+	PlanCacheHit bool
+	Fallback     bool
 	// Adjusted reports runtime plan adjustment: an operator's selected
 	// physical implementation failed and a fallback ran instead.
 	Adjusted bool
@@ -209,10 +229,32 @@ func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client)
 	if err != nil {
 		return nil, err
 	}
+	metrics := obs.NewMetrics()
+	// The shared semantic cache: one byte budget across LLM responses,
+	// embeddings, distance maps, bucketizations, selectivities, and
+	// plans, with per-layer counters mirrored into the metrics registry.
+	var shared *cache.LRU
+	if cfg.CacheBytes >= 0 {
+		budget := cfg.CacheBytes
+		if budget == 0 {
+			budget = DefaultCacheBytes
+		}
+		shared = cache.New(budget, cache.WithEvents(func(layer string, ev cache.Event, n int) {
+			metrics.RecordCacheEvent(layer, ev.String(), n)
+		}))
+		llmLayer := cache.NewLayer[llm.Response](shared, "llm", llm.ResponseCost)
+		planner = llm.NewCached(planner, llmLayer)
+		worker = llm.NewCached(worker, llmLayer)
+		store.AttachCache(shared)
+	}
 	calib := cost.NewCalibrator(cfg.BatchSize)
 	est := sce.NewEstimator(store, worker, cfg.SCEBuckets)
 	opt := optimizer.New(store, est, calib, cfg.Slots)
 	opt.Mode = cfg.Mode
+	if shared != nil {
+		est.AttachCache(shared)
+		opt.AttachCache(shared)
+	}
 	s := &System{
 		Config:        cfg,
 		Dataset:       ds,
@@ -224,7 +266,8 @@ func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client)
 		Executor:      exec.New(store, worker, calib),
 		Estimator:     est,
 		Calib:         calib,
-		Metrics:       obs.NewMetrics(),
+		Metrics:       metrics,
+		Cache:         shared,
 	}
 	s.Executor.Slots = cfg.Slots
 	s.Executor.BatchSize = cfg.BatchSize
@@ -342,6 +385,18 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span) (*Answer,
 		Fallback:      pstats.Fallback,
 		Adjusted:      res.Adjusted,
 	}
+	ans.PlanCacheHit = ostats.PlanCacheHit
+	ans.CachedLLMCalls = res.CachedLLMCalls
+	for _, c := range pstats.Calls {
+		if c.Cached {
+			ans.CachedLLMCalls++
+		}
+	}
+	for _, c := range ostats.Calls {
+		if c.Cached {
+			ans.CachedLLMCalls++
+		}
+	}
 	ans.Unresolved = pstats.Unresolved
 	for _, nr := range res.Nodes {
 		var busy time.Duration
@@ -386,9 +441,15 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 	m.RecordQueryOK(ans.TotalDur, ans.PlanningDur+ans.EstimationDur, ans.ExecDur)
 	for _, c := range ans.planCalls {
 		m.RecordCall(c.Task, c.InTokens, c.OutTokens)
+		if c.Cached {
+			m.LLMCachedCalls.IncL(callTask(c))
+		}
 	}
 	for _, c := range ans.execCalls {
 		m.RecordCall(c.Task, c.InTokens, c.OutTokens)
+		if c.Cached {
+			m.LLMCachedCalls.IncL(callTask(c))
+		}
 	}
 	if ans.Fallback {
 		m.PlanFallbacks.Inc()
@@ -396,7 +457,31 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 	if ans.Adjusted {
 		m.PlanAdjustments.Inc()
 	}
+	if ans.PlanCacheHit {
+		m.PlanCacheHits.Inc()
+	}
 	m.RecordSlots(ans.SlotBusy, ans.ExecDur, s.Config.Slots)
+	m.RecordCacheSize(s.Cache.Bytes(), s.Cache.Len())
+	for _, cli := range []llm.Client{s.PlannerClient, s.WorkerClient} {
+		if sim := llm.SimOf(cli); sim != nil {
+			calls, unique := sim.Stats()
+			m.RecordSimStats(sim.Profile().Name, calls, unique)
+		}
+	}
+}
+
+// callTask normalizes a call's task label for metrics.
+func callTask(c llm.Call) string {
+	if c.Task == "" {
+		return "unknown"
+	}
+	return c.Task
+}
+
+// CacheStats snapshots the shared cache's per-layer counters (empty when
+// the cache is disabled).
+func (s *System) CacheStats() map[string]cache.Stats {
+	return s.Cache.LayerStats()
 }
 
 // FormatValue renders a value as an answer string, resolving document ids
