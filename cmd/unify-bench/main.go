@@ -7,10 +7,12 @@
 //	unify-bench -exp table3
 //	unify-bench -exp fig5a,fig5b -size 800
 //	unify-bench -exp cache -size 400 -per 2 -datasets sports -cacheout BENCH_cache.json
+//	unify-bench -exp faults -size 400 -per 2 -datasets sports -faultsout BENCH_faults.json
 //
 // Experiments: fig4 (accuracy+latency, Fig. 4a-h), table3 (SCE q-errors,
 // Table III), fig5a (logical optimization), fig5b (physical optimization),
-// cache (repeated-workload cold/warm latency and per-layer hit rates).
+// cache (repeated-workload cold/warm latency and per-layer hit rates),
+// faults (resilience under seeded fault injection at increasing rates).
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiments to run: fig4,table3,fig5a,fig5b,cache,all")
+		exp      = flag.String("exp", "all", "experiments to run: fig4,table3,fig5a,fig5b,cache,faults,all")
 		size     = flag.Int("size", 0, "corpus size override (0 = paper sizes)")
 		per      = flag.Int("per", 5, "query instances per template (paper: 5)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset")
@@ -35,6 +37,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload sampling seed")
 		jsonOut  = flag.String("json", "", "also write structured results to this JSON file")
 		cacheOut = flag.String("cacheout", "", "write the cache experiment's flat report to this JSON file")
+		faultOut = flag.String("faultsout", "", "write the faults experiment's report to this JSON file")
 	)
 	flag.Parse()
 
@@ -51,7 +54,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true}
+		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true, "faults": true}
 	}
 
 	ctx := context.Background()
@@ -128,6 +131,28 @@ func main() {
 					return err
 				}
 				fmt.Printf("cache report written to %s\n", *cacheOut)
+			}
+			return nil
+		})
+	}
+
+	if want["faults"] {
+		run("Fault injection (faults)", func() error {
+			res, err := bench.RunFaultBench(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintFaultBench(os.Stdout, res)
+			artifacts["faults"] = res
+			if *faultOut != "" {
+				data, err := bench.WriteFaultBench(res)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*faultOut, data, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("faults report written to %s\n", *faultOut)
 			}
 			return nil
 		})

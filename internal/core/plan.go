@@ -10,7 +10,35 @@ import (
 	"strings"
 
 	"unify/internal/ops"
+	"unify/internal/values"
 )
+
+// Known is an observed variable signature fed back to the optimizer
+// during dynamic replanning (paper §V): after part of a plan has
+// executed, the true kind and cardinality of each produced variable
+// replace the estimates for the remaining DAG suffix.
+type Known struct {
+	Kind values.Kind
+	// Card counts documents (Docs/Groups) or entries (Vec/Labels).
+	Card int
+	// Groups is the group count for Groups values.
+	Groups int
+}
+
+// KnownOf summarizes an executed value for replanning feedback.
+func KnownOf(v values.Value) Known {
+	k := Known{Kind: v.Kind}
+	switch v.Kind {
+	case values.Docs:
+		k.Card = len(v.DocIDs)
+	case values.Groups:
+		k.Card = v.TotalDocs()
+		k.Groups = len(v.GroupVal)
+	default:
+		k.Card = v.Len()
+	}
+	return k
+}
 
 // Node is one operator application in a logical (and later physical) plan.
 type Node struct {

@@ -7,6 +7,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,6 +31,14 @@ var sequentialPhys = map[string]bool{
 	"SemanticArgMin": true,
 }
 
+// Replanner re-optimizes a partially executed plan's suffix given the
+// observed signatures of already-produced variables (paper §V: dynamic
+// replanning on execution feedback). The returned duration is the
+// simulated cost of the replanning work. The optimizer implements this.
+type Replanner interface {
+	Reoptimize(ctx context.Context, plan *core.Plan, known map[string]core.Known) (time.Duration, error)
+}
+
 // Executor runs physical plans against a store.
 type Executor struct {
 	Store *docstore.Store
@@ -44,6 +53,22 @@ type Executor struct {
 	BatchSize int
 	// MaxParallel bounds concurrently executing operators.
 	MaxParallel int
+
+	// NodeErrorBudget, when positive, lets each operator absorb up to
+	// this many per-batch LLM failures by skipping the affected
+	// documents (partial results) instead of failing the node.
+	NodeErrorBudget int
+	// ReplanThreshold triggers dynamic replanning: when an executed
+	// node's observed output cardinality deviates from its SCE estimate
+	// by more than this ratio (in either direction) and downstream nodes
+	// have not run yet, the Replanner re-optimizes the remaining DAG
+	// suffix with corrected cardinalities. Values <= 1 disable
+	// replanning.
+	ReplanThreshold float64
+	// MaxReplans bounds replanning rounds per execution (default 1).
+	MaxReplans int
+	// Replanner performs the suffix re-optimization (nil disables).
+	Replanner Replanner
 }
 
 // NodeResult captures one operator execution.
@@ -57,6 +82,9 @@ type NodeResult struct {
 	InCard     int
 	Sequential bool
 	Adjusted   bool // a fallback physical implementation was used
+	// SkippedDocs counts documents dropped by the node's error budget
+	// (graceful degradation under LLM failures).
+	SkippedDocs int
 	// Span is the node's trace span (nil when tracing is off).
 	Span *obs.Span
 }
@@ -85,6 +113,14 @@ type Result struct {
 	// SlotBusy is the total simulated busy time across the LLM slot
 	// pool (slot utilization = SlotBusy / (Makespan * slots)).
 	SlotBusy time.Duration
+	// SkippedDocs counts documents dropped across all nodes by error
+	// budgets: the answer is partial when this is non-zero.
+	SkippedDocs int
+	// Replans counts dynamic replanning rounds during this execution.
+	Replans int
+	// ReplanDur is the simulated cost of replanning (already included
+	// in Makespan).
+	ReplanDur time.Duration
 }
 
 // New returns an executor with the paper's defaults.
@@ -92,7 +128,24 @@ func New(store *docstore.Store, worker llm.Client, calib *cost.Calibrator) *Exec
 	return &Executor{Store: store, Worker: worker, Calib: calib, Slots: 4, BatchSize: 16, MaxParallel: 8}
 }
 
+// errReplan is the internal sentinel that stops a pass so the remaining
+// DAG suffix can be re-optimized; it never escapes Run.
+var errReplan = errors.New("exec: replan requested")
+
+// replanTrigger records the node whose observed cardinality deviated.
+type replanTrigger struct {
+	nodeID   int
+	est, obs int
+}
+
 // Run executes the plan and returns the answer plus timing accounting.
+//
+// Execution proceeds in passes: a pass runs the DAG in parallel until it
+// completes or a node's observed output cardinality deviates from the
+// optimizer's estimate beyond ReplanThreshold. On deviation the
+// Replanner re-optimizes the un-executed suffix with corrected
+// cardinalities (paper §V dynamic replanning) and the next pass resumes
+// from the completed prefix — finished nodes are never re-executed.
 func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 	order, err := plan.Topo()
 	if err != nil {
@@ -104,12 +157,105 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 	}
 
 	espan := obs.SpanFrom(ctx)
+	completed := map[int]*NodeResult{}
+	vars := map[string]values.Value{"dataset": values.NewDocs(e.Store.IDs())}
+	replans := 0
+	var replanDur time.Duration
+	for {
+		allow := e.ReplanThreshold > 1 && e.Replanner != nil && replans < e.maxReplans()
+		trig, err := e.runPass(ctx, plan, order, completed, vars, allow)
+		if err != nil {
+			return nil, err
+		}
+		if trig == nil {
+			break
+		}
+		replans++
+		known := make(map[string]core.Known, len(completed))
+		for id, nr := range completed {
+			if n := plan.Node(id); n != nil {
+				known["{"+n.OutVar+"}"] = core.KnownOf(nr.Value)
+			}
+		}
+		rspan := espan.StartChild("replan", obs.KindPhase)
+		rspan.SetInt("node", trig.nodeID)
+		rspan.SetInt("est_card", trig.est)
+		rspan.SetInt("obs_card", trig.obs)
+		d, rerr := e.Replanner.Reoptimize(ctx, plan, known)
+		// Replanning's SCE judgments parallelize across the slot pool,
+		// like the initial optimization.
+		d /= time.Duration(e.slots())
+		rspan.SetVDur(d)
+		replanDur += d
+		if rerr != nil {
+			// The replan failed: finish the suffix on the stale plan
+			// rather than losing the query.
+			rspan.SetAttr("error", rerr.Error())
+			replans = e.maxReplans()
+		}
+		rspan.End()
+	}
 
+	res := &Result{Replans: replans, ReplanDur: replanDur}
+	for _, n := range order {
+		nr := completed[n.ID]
+		if nr == nil {
+			return nil, fmt.Errorf("exec: node %d produced no result", n.ID)
+		}
+		// Adopt node spans in plan order so EXPLAIN ANALYZE output is
+		// deterministic regardless of goroutine completion order.
+		espan.Adopt(nr.Span)
+		res.Nodes = append(res.Nodes, *nr)
+		if nr.Adjusted {
+			res.Adjusted = true
+		}
+		res.SkippedDocs += nr.SkippedDocs
+		res.LLMCalls += len(nr.Calls)
+		for _, c := range nr.Calls {
+			res.OutTokens += c.OutTokens
+			if c.Cached {
+				res.CachedLLMCalls++
+			}
+		}
+	}
+	ans, ok := vars["{"+root.OutVar+"}"]
+	if !ok {
+		return nil, fmt.Errorf("exec: plan root variable %s missing", root.OutVar)
+	}
+	res.Answer = ans
+
+	tasks := e.tasks(plan, res.Nodes)
+	sched, err := vtime.NewSchedule(e.slots()).Run(tasks)
+	if err != nil {
+		return nil, err
+	}
+	res.Makespan = sched.Makespan + replanDur
+	res.SlotBusy = sched.Busy[vtime.ResourceLLM]
+	for _, nr := range res.Nodes {
+		if f, ok := sched.Finish[fmt.Sprintf("n%d", nr.NodeID)]; ok {
+			nr.Span.SetAttr("finish_vtime", f.Round(time.Millisecond).String())
+		}
+	}
+	ser, err := vtime.NewSchedule(e.slots()).SerialOperators(tasks)
+	if err != nil {
+		return nil, err
+	}
+	res.Serial = ser + replanDur
+	return res, nil
+}
+
+// runPass executes every not-yet-completed node of the plan in parallel
+// bottom-up topological order, recording results into completed/vars. It
+// returns a non-nil trigger when replanning was requested (the pass
+// stops early; in-flight nodes still finish and are kept).
+func (e *Executor) runPass(ctx context.Context, plan *core.Plan, order []*core.Node,
+	completed map[int]*NodeResult, vars map[string]values.Value, allowReplan bool) (*replanTrigger, error) {
+
+	espan := obs.SpanFrom(ctx)
 	var (
-		mu      sync.Mutex
-		vars    = map[string]values.Value{"dataset": values.NewDocs(e.Store.IDs())}
-		results = map[int]*NodeResult{}
-		firstE  error
+		mu     sync.Mutex
+		firstE error
+		trig   *replanTrigger
 	)
 	setErr := func(err error) {
 		mu.Lock()
@@ -118,14 +264,26 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 		}
 		mu.Unlock()
 	}
+	// Snapshot the completed set before spawning: this pass's goroutines
+	// append to completed concurrently with the spawn loop.
+	already := make(map[int]bool, len(completed))
+	for id := range completed {
+		already[id] = true
+	}
 	done := make(map[int]chan struct{}, len(order))
 	for _, n := range order {
 		done[n.ID] = make(chan struct{})
+		if already[n.ID] {
+			close(done[n.ID]) // finished in a previous pass
+		}
 	}
 	sem := make(chan struct{}, e.maxParallel())
 
 	var wg sync.WaitGroup
 	for _, n := range order {
+		if already[n.ID] {
+			continue
+		}
 		n := n
 		wg.Add(1)
 		go func() {
@@ -173,62 +331,63 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			vars["{"+n.OutVar+"}"] = nr.Value
-			results[n.ID] = nr
+			completed[n.ID] = nr
+			if allowReplan && trig == nil && firstE == nil {
+				if t := e.replanCheck(plan, n, nr, completed); t != nil {
+					trig = t
+					nr.Span.SetAttr("replan_trigger", "true")
+					firstE = errReplan
+				}
+			}
 		}()
 	}
 	wg.Wait()
-	if firstE != nil {
+	if firstE != nil && firstE != errReplan {
 		return nil, firstE
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	return trig, nil
+}
 
-	res := &Result{}
-	for _, n := range order {
-		nr := results[n.ID]
-		if nr == nil {
-			return nil, fmt.Errorf("exec: node %d produced no result", n.ID)
+// replanCheck reports whether a finished node's observed cardinality
+// deviates from its estimate enough to warrant replanning the remaining
+// suffix. It only fires when a direct dependent has not executed yet —
+// otherwise the corrected estimate could no longer change anything.
+func (e *Executor) replanCheck(plan *core.Plan, n *core.Node, nr *NodeResult, completed map[int]*NodeResult) *replanTrigger {
+	est, obsd := n.EstCard, nr.Value.Len()
+	if est <= 0 {
+		return nil
+	}
+	if obsd < 1 {
+		obsd = 1
+	}
+	ratio := float64(est) / float64(obsd)
+	if obsd > est {
+		ratio = float64(obsd) / float64(est)
+	}
+	if ratio < e.ReplanThreshold {
+		return nil
+	}
+	for _, m := range plan.Nodes {
+		if _, did := completed[m.ID]; did {
+			continue
 		}
-		// Adopt node spans in plan order so EXPLAIN ANALYZE output is
-		// deterministic regardless of goroutine completion order.
-		espan.Adopt(nr.Span)
-		res.Nodes = append(res.Nodes, *nr)
-		if nr.Adjusted {
-			res.Adjusted = true
-		}
-		res.LLMCalls += len(nr.Calls)
-		for _, c := range nr.Calls {
-			res.OutTokens += c.OutTokens
-			if c.Cached {
-				res.CachedLLMCalls++
+		for _, d := range m.Deps {
+			if d == n.ID {
+				return &replanTrigger{nodeID: n.ID, est: est, obs: obsd}
 			}
 		}
 	}
-	ans, ok := vars["{"+root.OutVar+"}"]
-	if !ok {
-		return nil, fmt.Errorf("exec: plan root variable %s missing", root.OutVar)
-	}
-	res.Answer = ans
+	return nil
+}
 
-	tasks := e.tasks(plan, res.Nodes)
-	sched, err := vtime.NewSchedule(e.slots()).Run(tasks)
-	if err != nil {
-		return nil, err
+func (e *Executor) maxReplans() int {
+	if e.MaxReplans < 1 {
+		return 1
 	}
-	res.Makespan = sched.Makespan
-	res.SlotBusy = sched.Busy[vtime.ResourceLLM]
-	for _, nr := range res.Nodes {
-		if f, ok := sched.Finish[fmt.Sprintf("n%d", nr.NodeID)]; ok {
-			nr.Span.SetAttr("finish_vtime", f.Round(time.Millisecond).String())
-		}
-	}
-	ser, err := vtime.NewSchedule(e.slots()).SerialOperators(tasks)
-	if err != nil {
-		return nil, err
-	}
-	res.Serial = ser
-	return res, nil
+	return e.MaxReplans
 }
 
 func (e *Executor) slots() int {
@@ -280,7 +439,10 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		if span != nil {
 			cli = llm.NewTraced(rec, span)
 		}
-		env := &ops.Env{Store: e.Store, Client: cli, BatchSize: e.batch()}
+		// A fresh budget per candidate: a fallback implementation starts
+		// with full headroom, and skips from failed attempts don't leak.
+		fb := ops.NewFaultBudget(e.NodeErrorBudget)
+		env := &ops.Env{Store: e.Store, Client: cli, BatchSize: e.batch(), Budget: fb}
 		v, err := phys.Run(ctx, env, n.Args, inputs)
 		if err != nil {
 			lastErr = err
@@ -291,15 +453,16 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 			continue
 		}
 		nr := &NodeResult{
-			NodeID:     n.ID,
-			Op:         n.Op,
-			Phys:       phys.Name,
-			Value:      v,
-			Calls:      rec.Calls(),
-			InCard:     inCard,
-			Sequential: sequentialPhys[phys.Name],
-			Adjusted:   i > 0,
-			Span:       span,
+			NodeID:      n.ID,
+			Op:          n.Op,
+			Phys:        phys.Name,
+			Value:       v,
+			Calls:       rec.Calls(),
+			InCard:      inCard,
+			Sequential:  sequentialPhys[phys.Name],
+			Adjusted:    i > 0,
+			SkippedDocs: fb.Skipped(),
+			Span:        span,
 		}
 		work := inCard
 		if k, okk := n.Args.Int("_scanK"); okk && strings.HasPrefix(phys.Name, "IndexFilter") {
@@ -347,6 +510,9 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		span.SetInt("out_tokens", outTok)
 		if nr.Adjusted {
 			span.SetAttr("adjusted", "true")
+		}
+		if nr.SkippedDocs > 0 {
+			span.SetInt("skipped_docs", nr.SkippedDocs)
 		}
 		return nr, nil
 	}

@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"unify/internal/core"
+	"unify/internal/corpus"
+	"unify/internal/cost"
+	"unify/internal/docstore"
+	"unify/internal/llm"
+	"unify/internal/obs"
+	"unify/internal/ops"
+	"unify/internal/optimizer"
+	"unify/internal/sce"
+)
+
+// replanSetup builds an executor wired to a real optimizer as Replanner.
+func replanSetup(t *testing.T, n int) (*Executor, *optimizer.Optimizer) {
+	t.Helper()
+	ds, err := corpus.GenerateN("sports", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := docstore.New("sports", ds.Documents(), docstore.WithoutSentences())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := llm.DefaultSimConfig()
+	cfg.FilterNoise = 0
+	worker := llm.NewSim(cfg)
+	calib := cost.NewCalibrator(16)
+	est := sce.NewEstimator(store, worker, 8)
+	opt := optimizer.New(store, est, calib, 4)
+	e := New(store, worker, calib)
+	e.ReplanThreshold = 3
+	e.Replanner = opt
+	return e, opt
+}
+
+// misEstimatedPlan is the golden fixture: the first filter's estimated
+// cardinality is wildly wrong (1 instead of the real ~10% match rate),
+// and the dependent second filter's estimate inherits the error.
+func misEstimatedPlan() *core.Plan {
+	return &core.Plan{Query: "replan-golden", Nodes: []*core.Node{
+		{ID: 0, Op: "Filter", Phys: "SemanticFilter", EstCard: 1,
+			Args:   ops.Args{"Entity": "questions", "Condition": "related to injury"},
+			Inputs: []string{"dataset"}, OutVar: "v1"},
+		{ID: 1, Op: "Filter", Phys: "SemanticFilter", EstCard: 1,
+			Args:   ops.Args{"Entity": "{v1}", "Condition": "related to football"},
+			Inputs: []string{"{v1}"}, OutVar: "v2", Deps: []int{0}},
+		{ID: 2, Op: "Count", Phys: "PreCount",
+			Args:   ops.Args{"Entity": "{v2}"},
+			Inputs: []string{"{v2}"}, OutVar: "v3", Deps: []int{1}},
+	}}
+}
+
+// countReplanSpans walks a span tree counting "replan" phases.
+func countReplanSpans(s *obs.Span) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	if s.Name == "replan" {
+		n++
+	}
+	for _, c := range s.Children() {
+		n += countReplanSpans(c)
+	}
+	return n
+}
+
+func TestGoldenReplan(t *testing.T) {
+	e, _ := replanSetup(t, 300)
+	plan := misEstimatedPlan()
+
+	tr := obs.NewTracer()
+	span := tr.Start("execute", obs.KindPhase)
+	ctx := obs.WithSpan(context.Background(), span)
+	res, err := e.Run(ctx, plan)
+	span.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Replans != 1 {
+		t.Fatalf("replans = %d, want exactly 1", res.Replans)
+	}
+	if got := countReplanSpans(span); got != 1 {
+		t.Errorf("replan spans = %d, want exactly 1", got)
+	}
+	rs := span.Find("replan")
+	if rs == nil {
+		t.Fatal("no replan span")
+	}
+	obsCard := res.Nodes[0].Value.Len()
+	if rs.Attr("node") != "0" {
+		t.Errorf("replan trigger node = %q, want 0", rs.Attr("node"))
+	}
+	if rs.Attr("est_card") != "1" {
+		t.Errorf("est_card attr = %q, want 1", rs.Attr("est_card"))
+	}
+	if rs.Attr("obs_card") != strconv.Itoa(obsCard) {
+		t.Errorf("obs_card attr = %q, want %d", rs.Attr("obs_card"), obsCard)
+	}
+	if res.ReplanDur <= 0 {
+		t.Error("replanning must cost simulated time")
+	}
+
+	// The replanned suffix saw the corrected cardinality: node 1's
+	// estimate was re-derived from the observed ~30 inputs, not from the
+	// bogus estimate of 1.
+	if n1 := plan.Node(1); n1.EstCard <= 1 || n1.EstCard > obsCard {
+		t.Errorf("suffix EstCard = %d after replan, want in (1, %d]", n1.EstCard, obsCard)
+	}
+	// The executed prefix keeps its original (wrong) estimate: replanning
+	// only touches the un-executed suffix.
+	if n0 := plan.Node(0); n0.EstCard != 1 {
+		t.Errorf("executed prefix EstCard changed to %d", n0.EstCard)
+	}
+	// The answer is still correct.
+	if _, err := strconv.Atoi(res.Answer.String()); err != nil {
+		t.Errorf("answer %q is not a count", res.Answer.String())
+	}
+}
+
+// TestReplanDisabledByDefault: a zero-valued executor never replans, and
+// execution over the same mis-estimated plan is unchanged.
+func TestReplanDisabledByDefault(t *testing.T) {
+	e, _ := replanSetup(t, 300)
+	e.ReplanThreshold = 0
+	e.Replanner = nil
+	plan := misEstimatedPlan()
+	res, err := e.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replans != 0 || res.ReplanDur != 0 {
+		t.Errorf("replans = %d dur = %v with replanning disabled", res.Replans, res.ReplanDur)
+	}
+	if n1 := plan.Node(1); n1.EstCard != 1 {
+		t.Errorf("EstCard mutated to %d without replanning", n1.EstCard)
+	}
+}
+
+// TestReplanRespectsBound: MaxReplans caps rounds even when every node
+// deviates.
+func TestReplanRespectsBound(t *testing.T) {
+	e, _ := replanSetup(t, 300)
+	e.MaxReplans = 1
+	plan := misEstimatedPlan()
+	res, err := e.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replans > 1 {
+		t.Errorf("replans = %d, want <= 1", res.Replans)
+	}
+}

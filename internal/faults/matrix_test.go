@@ -1,0 +1,171 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"unify"
+	"unify/internal/corpus"
+	"unify/internal/faults"
+	"unify/internal/llm"
+	"unify/internal/ops"
+	"unify/internal/workload"
+)
+
+// typedError reports whether a query failure is one of the system's
+// typed error classes — every failure under injection must be explained,
+// never a bare string invented at the failure site.
+func typedError(err error) bool {
+	var fe *faults.Error
+	var te *llm.TaskError
+	return llm.IsTransient(err) ||
+		errors.Is(err, llm.ErrMalformed) ||
+		errors.Is(err, llm.ErrUnknownTask) ||
+		errors.Is(err, ops.ErrBadOutput) ||
+		errors.Is(err, context.Canceled) ||
+		errors.As(err, &fe) ||
+		errors.As(err, &te)
+}
+
+// TestFaultMatrix sweeps fault kind x rate x seed over a slice of the
+// example workload. Under every configuration each query must either
+// complete or fail with a typed error within its deadline — no hangs, no
+// panics, no mystery strings (run under -race in CI).
+func TestFaultMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep is slow")
+	}
+	ds, err := corpus.GenerateN("sports", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.Generate(ds, 1, 42)
+	if len(queries) > 6 {
+		queries = queries[:6]
+	}
+
+	for _, kind := range faults.Kinds() {
+		for _, rate := range []float64{0.1, 0.5} {
+			for _, seed := range []uint64{1, 2} {
+				kind, rate, seed := kind, rate, seed
+				t.Run(fmt.Sprintf("%s_r%.1f_s%d", kind, rate, seed), func(t *testing.T) {
+					t.Parallel()
+					sys, err := unify.OpenDataset(ds, unify.Config{
+						Dataset:         ds.Name,
+						FaultPlan:       faults.Uniform(kind, rate, seed, faults.OperatorTasks...),
+						MaxRetries:      3,
+						NodeErrorBudget: 2,
+						ReplanThreshold: 3,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, q := range queries {
+						ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+						ans, err := sys.Query(ctx, q.Text)
+						cancel()
+						if err != nil {
+							if !typedError(err) {
+								t.Errorf("%q: untyped failure: %v", q.Text, err)
+							}
+							continue
+						}
+						if ans.Text == "" && ans.Value.Len() == 0 && !ans.Partial {
+							// Empty answers are fine; the point is the
+							// query terminated with a well-formed Answer.
+							_ = ans
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFaultMatrixDeterministic re-runs one faulty configuration and
+// requires identical answers and identical injection counts.
+func TestFaultMatrixDeterministic(t *testing.T) {
+	ds, err := corpus.GenerateN("sports", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.Generate(ds, 1, 42)[:3]
+	run := func() ([]string, int64) {
+		sys, err := unify.OpenDataset(ds, unify.Config{
+			Dataset:         ds.Name,
+			FaultPlan:       faults.Uniform(faults.Transient, 0.2, 7, faults.OperatorTasks...),
+			MaxRetries:      3,
+			NodeErrorBudget: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var texts []string
+		for _, q := range queries {
+			ans, err := sys.Query(context.Background(), q.Text)
+			if err != nil {
+				texts = append(texts, "error:"+fmt.Sprint(typedError(err)))
+				continue
+			}
+			texts = append(texts, ans.Text)
+		}
+		return texts, sys.Injector.Injected()
+	}
+	texts1, inj1 := run()
+	texts2, inj2 := run()
+	if inj1 != inj2 {
+		t.Errorf("injection counts differ: %d vs %d", inj1, inj2)
+	}
+	for i := range texts1 {
+		if texts1[i] != texts2[i] {
+			t.Errorf("query %d: %q vs %q", i, texts1[i], texts2[i])
+		}
+	}
+}
+
+// TestFaultToleranceAccuracy is the acceptance bar: at a 10% transient
+// rate on operator calls with retries and budgets enabled, workload
+// accuracy stays within 5 points of the fault-free run.
+func TestFaultToleranceAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy sweep is slow")
+	}
+	ds, err := corpus.GenerateN("sports", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.Generate(ds, 1, 42)
+	score := func(plan *faults.Plan) float64 {
+		sys, err := unify.OpenDataset(ds, unify.Config{
+			Dataset:         ds.Name,
+			TrainSCE:        true,
+			FaultPlan:       plan,
+			MaxRetries:      3,
+			NodeErrorBudget: 2,
+			ReplanThreshold: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for _, q := range queries {
+			ans, err := sys.Query(context.Background(), q.Text)
+			if err != nil {
+				continue
+			}
+			if workload.Score(q, ans.Text) {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(queries))
+	}
+	clean := score(nil)
+	faulty := score(faults.Uniform(faults.Transient, 0.10, 1109, faults.OperatorTasks...))
+	if drop := clean - faulty; drop > 0.05 {
+		t.Errorf("accuracy dropped %.1f points under 10%% transient faults (clean %.2f, faulty %.2f)",
+			100*drop, clean, faulty)
+	}
+}

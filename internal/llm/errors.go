@@ -1,0 +1,63 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors returned by clients. Retry logic distinguishes transient
+// failures (worth retrying) from permanent ones (malformed requests,
+// unknown tasks) via errors.Is, so every client implementation should wrap
+// these sentinels rather than invent bare strings.
+var (
+	// ErrMalformed marks a prompt that does not follow the directive
+	// format; retrying cannot help.
+	ErrMalformed = errors.New("llm: malformed prompt")
+	// ErrUnknownTask marks a prompt whose #TASK directive names no
+	// registered handler; retrying cannot help.
+	ErrUnknownTask = errors.New("llm: unknown task")
+	// ErrTransient marks a failure expected to clear on retry (dropped
+	// request, overloaded slot, injected fault).
+	ErrTransient = errors.New("llm: transient failure")
+)
+
+// TaskError wraps a handler failure with the task that produced it, so
+// callers can both match the underlying cause with errors.Is and report
+// which task family failed.
+type TaskError struct {
+	Task string
+	Err  error
+}
+
+// Error implements error.
+func (e *TaskError) Error() string { return fmt.Sprintf("llm: task %s: %v", e.Task, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is worth retrying: transient failures
+// and per-call deadline expiries qualify; malformed prompts, unknown
+// tasks, and other permanent conditions do not.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// DurationCarrier is implemented by errors that carry a simulated
+// duration: the virtual time the failed attempt occupied before erroring
+// (a timed-out call costs its full deadline; a dropped request costs a
+// round trip). Retry wrappers charge this to the latency model.
+type DurationCarrier interface{ FaultDur() time.Duration }
+
+// FaultDurOf extracts the simulated cost of a failed attempt, falling
+// back to one base round trip on the given profile.
+func FaultDurOf(err error, p Profile) time.Duration {
+	var dc DurationCarrier
+	if errors.As(err, &dc) {
+		if d := dc.FaultDur(); d > 0 {
+			return d
+		}
+	}
+	return p.Base
+}

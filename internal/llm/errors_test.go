@@ -1,0 +1,89 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSimMalformedPromptError(t *testing.T) {
+	s := testSim()
+	_, err := s.Complete(context.Background(), "not a structured prompt")
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+	if IsTransient(err) {
+		t.Error("malformed prompts must not be retryable")
+	}
+}
+
+func TestSimUnknownTaskError(t *testing.T) {
+	s := testSim()
+	_, err := s.Complete(context.Background(), BuildPrompt("no_such_task", nil))
+	if !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("err = %v, want ErrUnknownTask", err)
+	}
+	if IsTransient(err) {
+		t.Error("unknown tasks must not be retryable")
+	}
+}
+
+func TestSimTaskErrorWrapsHandlerFailure(t *testing.T) {
+	s := testSim()
+	// compute with a malformed expression makes the handler fail.
+	_, err := s.Complete(context.Background(), BuildPrompt("compute", map[string]string{
+		"expression": "1 +", "bindings": "x=1",
+	}))
+	if err == nil {
+		t.Fatal("want handler error")
+	}
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T %v, want *TaskError", err, err)
+	}
+	if te.Task != "compute" {
+		t.Errorf("task = %q", te.Task)
+	}
+	if te.Unwrap() == nil {
+		t.Error("TaskError must unwrap to the handler error")
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrTransient, true},
+		{fmt.Errorf("wrap: %w", ErrTransient), true},
+		{context.DeadlineExceeded, true},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), true},
+		{ErrMalformed, false},
+		{ErrUnknownTask, false},
+		{&TaskError{Task: "x", Err: fmt.Errorf("boom")}, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+type carrierErr struct{ d time.Duration }
+
+func (e *carrierErr) Error() string           { return "carrier" }
+func (e *carrierErr) FaultDur() time.Duration { return e.d }
+func (e *carrierErr) Unwrap() error           { return ErrTransient }
+
+func TestFaultDurOf(t *testing.T) {
+	p := Profile{Base: 100 * time.Millisecond}
+	if got := FaultDurOf(&carrierErr{d: time.Second}, p); got != time.Second {
+		t.Errorf("carrier dur = %v", got)
+	}
+	if got := FaultDurOf(fmt.Errorf("plain: %w", ErrTransient), p); got != p.Base {
+		t.Errorf("fallback dur = %v, want profile base", got)
+	}
+}

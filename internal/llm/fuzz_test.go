@@ -1,0 +1,74 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParsePrompt checks the prompt wire format: parsing arbitrary bytes
+// must never panic, and every successfully parsed prompt must round-trip
+// through BuildPrompt unchanged.
+func FuzzParsePrompt(f *testing.F) {
+	f.Add(BuildPrompt("filter_doc", map[string]string{"condition": "related to injury", "doc": "text"}))
+	f.Add(BuildPrompt("generate", map[string]string{"q": "multi\nline\nvalue"}))
+	f.Add(BuildPrompt("t", map[string]string{"": ""}))
+	f.Add("#TASK demo")
+	f.Add("#TASK ")
+	f.Add("plain text")
+	f.Add("")
+	f.Add("#FIELD a\nvalue\n#TASK late")
+	f.Fuzz(func(t *testing.T, prompt string) {
+		task, fields, ok := ParsePrompt(prompt)
+		if !ok {
+			return
+		}
+		if task == "" {
+			t.Fatal("ok parse with empty task")
+		}
+		rebuilt := BuildPrompt(task, fields)
+		task2, fields2, ok2 := ParsePrompt(rebuilt)
+		if !ok2 || task2 != task {
+			t.Fatalf("round trip lost task: %q -> %q (ok=%v)", task, task2, ok2)
+		}
+		if len(fields2) != len(fields) {
+			t.Fatalf("round trip changed field count: %d -> %d", len(fields), len(fields2))
+		}
+		for k, v := range fields {
+			if fields2[k] != v {
+				t.Fatalf("round trip changed field %q: %q -> %q", k, v, fields2[k])
+			}
+		}
+	})
+}
+
+// FuzzSimComplete feeds arbitrary prompts to the simulated backend: it
+// must never panic or hang, and every failure must be one of the typed
+// error classes.
+func FuzzSimComplete(f *testing.F) {
+	f.Add(BuildPrompt("filter_doc", map[string]string{"condition": "related to injury", "doc": sampleDoc}))
+	f.Add(BuildPrompt("agg_list", map[string]string{"kind": "Sum", "values": "1,2,3"}))
+	f.Add(BuildPrompt("compute", map[string]string{"expression": "a+b", "bindings": "a=1\nb=2"}))
+	f.Add(BuildPrompt("no_such_task", nil))
+	f.Add(BuildPrompt("classify_batch", map[string]string{"class": "sport", "docs": "a"}))
+	f.Add("unstructured")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, prompt string) {
+		if !utf8.ValidString(prompt) {
+			t.Skip()
+		}
+		s := testSim()
+		resp, err := s.Complete(context.Background(), prompt)
+		if err == nil {
+			if resp.Dur < 0 || resp.OutTokens < 0 {
+				t.Fatalf("negative accounting: %+v", resp)
+			}
+			return
+		}
+		var te *TaskError
+		if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrUnknownTask) && !errors.As(err, &te) {
+			t.Fatalf("untyped sim error: %T %v", err, err)
+		}
+	})
+}

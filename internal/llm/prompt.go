@@ -44,6 +44,9 @@ func ParsePrompt(prompt string) (task string, fields map[string]string, ok bool)
 		return "", nil, false
 	}
 	task = strings.TrimSpace(strings.TrimPrefix(lines[0], "#TASK "))
+	if task == "" {
+		return "", nil, false
+	}
 	fields = make(map[string]string)
 	var key string
 	var val []string

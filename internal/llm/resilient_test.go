@@ -1,0 +1,191 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flaky is a scripted client: it fails the first failures calls to each
+// prompt with the given error, then succeeds with a fixed response.
+type flaky struct {
+	mu       sync.Mutex
+	failures int
+	err      error
+	resp     Response
+	seen     map[string]int
+	calls    int
+}
+
+func (f *flaky) Complete(ctx context.Context, prompt string) (Response, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seen == nil {
+		f.seen = map[string]int{}
+	}
+	f.calls++
+	n := f.seen[prompt]
+	f.seen[prompt] = n + 1
+	if n < f.failures {
+		return Response{}, f.err
+	}
+	return f.resp, nil
+}
+
+func (f *flaky) Profile() Profile { return Profile{Name: "flaky", Base: 100 * time.Millisecond} }
+
+func TestResilientRetriesTransient(t *testing.T) {
+	inner := &flaky{failures: 2, err: fmt.Errorf("drop: %w", ErrTransient),
+		resp: Response{Text: "ok", Dur: time.Second}}
+	var events []string
+	r := NewResilient(inner, DefaultRetryPolicy(), func(ev, task string) {
+		events = append(events, ev)
+	})
+	resp, err := r.Complete(context.Background(), BuildPrompt("generate", map[string]string{"q": "x"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "ok" {
+		t.Errorf("text = %q", resp.Text)
+	}
+	// The two failed attempts and their backoffs are folded into Dur.
+	if resp.Dur <= time.Second {
+		t.Errorf("penalty not folded: dur = %v", resp.Dur)
+	}
+	if len(events) != 2 || events[0] != "retry" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestResilientExhaustsBudget(t *testing.T) {
+	inner := &flaky{failures: 100, err: fmt.Errorf("drop: %w", ErrTransient)}
+	var exhausted bool
+	pol := DefaultRetryPolicy()
+	pol.MaxAttempts = 3
+	r := NewResilient(inner, pol, func(ev, task string) {
+		if ev == "exhausted" {
+			exhausted = true
+		}
+	})
+	_, err := r.Complete(context.Background(), BuildPrompt("generate", nil))
+	if err == nil || !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want wrapped ErrTransient", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Errorf("err = %v", err)
+	}
+	if inner.calls != 3 {
+		t.Errorf("attempts = %d, want 3", inner.calls)
+	}
+	if !exhausted {
+		t.Error("no exhausted event")
+	}
+}
+
+func TestResilientPermanentErrorsSurfaceImmediately(t *testing.T) {
+	inner := &flaky{failures: 100, err: ErrMalformed}
+	r := NewResilient(inner, DefaultRetryPolicy(), nil)
+	_, err := r.Complete(context.Background(), BuildPrompt("generate", nil))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on permanent errors)", inner.calls)
+	}
+}
+
+func TestResilientBackoffDeterministic(t *testing.T) {
+	mk := func() time.Duration {
+		inner := &flaky{failures: 3, err: fmt.Errorf("drop: %w", ErrTransient),
+			resp: Response{Text: "ok", Dur: time.Second}}
+		r := NewResilient(inner, DefaultRetryPolicy(), nil)
+		resp, err := r.Complete(context.Background(), BuildPrompt("generate", map[string]string{"q": "det"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Dur
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("non-deterministic penalty: %v vs %v", a, b)
+	}
+}
+
+func TestResilientCachedResponseSkipsPenalty(t *testing.T) {
+	inner := &flaky{failures: 1, err: fmt.Errorf("drop: %w", ErrTransient),
+		resp: Response{Text: "ok", Cached: true}}
+	r := NewResilient(inner, DefaultRetryPolicy(), nil)
+	resp, err := r.Complete(context.Background(), BuildPrompt("generate", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dur != 0 {
+		t.Errorf("cached response must stay zero-cost, dur = %v", resp.Dur)
+	}
+}
+
+// hedgeable returns a slow primary then a fast backup.
+type hedgeable struct {
+	mu    sync.Mutex
+	calls int
+	durs  []time.Duration
+}
+
+func (h *hedgeable) Complete(ctx context.Context, prompt string) (Response, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d := h.durs[h.calls%len(h.durs)]
+	h.calls++
+	return Response{Text: fmt.Sprintf("r%d", h.calls), Dur: d}, nil
+}
+
+func (h *hedgeable) Profile() Profile { return Profile{Name: "hedge", Base: 100 * time.Millisecond} }
+
+func TestResilientHedgesSlowCalls(t *testing.T) {
+	inner := &hedgeable{durs: []time.Duration{10 * time.Second, 1 * time.Second}}
+	pol := DefaultRetryPolicy()
+	pol.HedgeAfter = 2 * time.Second
+	var hedges int
+	r := NewResilient(inner, pol, func(ev, task string) {
+		if ev == "hedge" {
+			hedges++
+		}
+	})
+	resp, err := r.Complete(context.Background(), BuildPrompt("generate", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedges != 1 {
+		t.Errorf("hedges = %d", hedges)
+	}
+	// Winner is the backup: HedgeAfter (2s) + backup dur (1s) = 3s < 10s.
+	if resp.Dur != 3*time.Second {
+		t.Errorf("hedged dur = %v, want 3s", resp.Dur)
+	}
+	if resp.Cached {
+		t.Error("hedged winner must not be marked cached")
+	}
+	// Fast primaries are not hedged.
+	inner.durs = []time.Duration{time.Second}
+	resp, err = r.Complete(context.Background(), BuildPrompt("generate", map[string]string{"q": "2"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedges != 1 || resp.Dur != time.Second {
+		t.Errorf("fast primary was hedged: hedges=%d dur=%v", hedges, resp.Dur)
+	}
+}
+
+func TestResilientUnwrap(t *testing.T) {
+	inner := &flaky{}
+	r := NewResilient(inner, DefaultRetryPolicy(), nil)
+	if r.Unwrap() != Client(inner) {
+		t.Error("Unwrap lost the inner client")
+	}
+	if r.Profile().Name != "flaky" {
+		t.Error("Profile not delegated")
+	}
+}

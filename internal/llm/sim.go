@@ -102,15 +102,15 @@ func (s *Sim) Complete(ctx context.Context, prompt string) (Response, error) {
 
 	task, fields, ok := ParsePrompt(prompt)
 	if !ok {
-		return Response{}, fmt.Errorf("llm: malformed prompt")
+		return Response{}, ErrMalformed
 	}
 	h, ok := s.handlers[task]
 	if !ok {
-		return Response{}, fmt.Errorf("llm: unknown task %q", task)
+		return Response{}, fmt.Errorf("%w: %q", ErrUnknownTask, task)
 	}
 	text, err := h(s, fields)
 	if err != nil {
-		return Response{}, fmt.Errorf("llm: task %s: %w", task, err)
+		return Response{}, &TaskError{Task: task, Err: err}
 	}
 	out := CountTokens(text)
 	in := CountTokens(prompt)

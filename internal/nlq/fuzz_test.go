@@ -1,0 +1,46 @@
+package nlq
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse hammers the natural-language query parser with arbitrary
+// input: it must never panic, and a successfully parsed query must
+// survive the downstream operations the planner performs on it (clone,
+// walk, render, logical representation).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"How many questions about football have more than 500 views?",
+		"Among questions with over 500 views, which sport has the highest ratio of number of questions related to injury to number of questions related to training?",
+		"Among sports involving a ball, which one has the most questions related to injury?",
+		"What is the average score of questions related to training?",
+		"List the top 5 questions about swimming by views",
+		"questions about ((nested)) parens?",
+		"",
+		"   ",
+		"???",
+		"How many\nquestions\tabout golf",
+		"Which sport has the most questions, and the fewest answers, and the best score?",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		if !utf8.ValidString(text) {
+			t.Skip()
+		}
+		q, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("nil query with nil error")
+		}
+		// Planner operations over the parsed tree must not panic.
+		c := q.Clone()
+		c.Walk(func(slot **Node) {})
+		_ = c.Render()
+		_ = c.LogicalRep()
+		_ = c.Solved()
+	})
+}

@@ -34,6 +34,13 @@ type Metrics struct {
 	PlanAdjustments Counter
 	PlanCacheHits   Counter
 
+	FaultsInjected    Counter // by fault kind
+	LLMRetries        Counter // by task
+	LLMHedges         Counter // by task
+	LLMRetryExhausted Counter // by task
+	ExecReplans       Counter
+	ExecSkippedDocs   Counter
+
 	SlotBusySeconds Counter
 	SlotUtilization Gauge
 
@@ -83,6 +90,18 @@ func NewMetrics() *Metrics {
 		"Queries where a failing physical operator was swapped at run time.")
 	m.PlanCacheHits = r.Counter("unify_plan_cache_hits_total",
 		"Queries whose optimization was served entirely from the plan cache.")
+	m.FaultsInjected = r.CounterVec("unify_faults_injected_total",
+		"Faults injected into model calls, by kind.", "kind")
+	m.LLMRetries = r.CounterVec("unify_llm_retries_total",
+		"Model call retry attempts after transient failures, by task.", "task")
+	m.LLMHedges = r.CounterVec("unify_llm_hedges_total",
+		"Hedged (backup) model calls issued against slow primaries, by task.", "task")
+	m.LLMRetryExhausted = r.CounterVec("unify_llm_retry_exhausted_total",
+		"Model calls that failed after exhausting their retry budget, by task.", "task")
+	m.ExecReplans = r.Counter("unify_exec_replans_total",
+		"Dynamic replanning rounds triggered by cardinality deviations.")
+	m.ExecSkippedDocs = r.Counter("unify_exec_skipped_docs_total",
+		"Documents dropped by node error budgets (partial results).")
 	m.SlotBusySeconds = r.Counter("unify_slot_busy_vtime_seconds_total",
 		"Simulated busy time accumulated across LLM slots.")
 	m.SlotUtilization = r.Gauge("unify_slot_utilization",
@@ -159,6 +178,46 @@ func (m *Metrics) RecordSimStats(model string, calls, unique int) {
 	}
 	m.SimCalls.SetL(model, float64(calls))
 	m.SimUnique.SetL(model, float64(unique))
+}
+
+// RecordFault charges one injected fault to the per-kind counter.
+func (m *Metrics) RecordFault(kind string) {
+	if m == nil {
+		return
+	}
+	m.FaultsInjected.IncL(kind)
+}
+
+// RecordResilience charges one retry-layer event ("retry", "hedge",
+// "exhausted") for a task.
+func (m *Metrics) RecordResilience(event, task string) {
+	if m == nil {
+		return
+	}
+	if task == "" {
+		task = "unknown"
+	}
+	switch event {
+	case "retry":
+		m.LLMRetries.IncL(task)
+	case "hedge":
+		m.LLMHedges.IncL(task)
+	case "exhausted":
+		m.LLMRetryExhausted.IncL(task)
+	}
+}
+
+// RecordDegradation records one query's graceful-degradation accounting.
+func (m *Metrics) RecordDegradation(replans, skippedDocs int) {
+	if m == nil {
+		return
+	}
+	if replans > 0 {
+		m.ExecReplans.Add(float64(replans))
+	}
+	if skippedDocs > 0 {
+		m.ExecSkippedDocs.Add(float64(skippedDocs))
+	}
 }
 
 // RecordSlots records the executor slot accounting of one query.

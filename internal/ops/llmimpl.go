@@ -45,11 +45,18 @@ func batchJudge(ctx context.Context, env *Env, cond string, ids []int) ([]int, e
 			"docs":      llm.JoinDocs(texts),
 		})
 		if err != nil {
+			if ctx.Err() == nil && env.Budget.Absorb(len(chunk), err) {
+				continue // degrade: drop the chunk, keep filtering
+			}
 			return nil, err
 		}
 		verdicts := strings.Split(resp.Text, ",")
 		if len(verdicts) != len(chunk) {
-			return nil, fmt.Errorf("ops: filter_batch returned %d verdicts for %d documents", len(verdicts), len(chunk))
+			err := fmt.Errorf("%w: filter_batch returned %d verdicts for %d documents", ErrBadOutput, len(verdicts), len(chunk))
+			if ctx.Err() == nil && env.Budget.Absorb(len(chunk), err) {
+				continue
+			}
+			return nil, err
 		}
 		for i, v := range verdicts {
 			if strings.TrimSpace(v) == "yes" {
@@ -194,11 +201,18 @@ func batchClassify(ctx context.Context, env *Env, classWord string, ids []int) (
 			"docs":  llm.JoinDocs(texts),
 		})
 		if err != nil {
+			if ctx.Err() == nil && env.Budget.Absorb(len(chunk), err) {
+				continue // degrade: the chunk's documents stay unlabeled
+			}
 			return nil, err
 		}
 		labels := strings.Split(resp.Text, ",")
 		if len(labels) != len(chunk) {
-			return nil, fmt.Errorf("ops: classify_batch returned %d labels for %d documents", len(labels), len(chunk))
+			err := fmt.Errorf("%w: classify_batch returned %d labels for %d documents", ErrBadOutput, len(labels), len(chunk))
+			if ctx.Err() == nil && env.Budget.Absorb(len(chunk), err) {
+				continue
+			}
+			return nil, err
 		}
 		for i, l := range labels {
 			out[chunk[i]] = strings.TrimSpace(l)
@@ -259,6 +273,9 @@ func llmFieldValues(ctx context.Context, env *Env, field string, ids []int) ([]f
 			"docs":   llm.JoinDocs(texts),
 		})
 		if err != nil {
+			if ctx.Err() == nil && env.Budget.Absorb(len(chunk), err) {
+				continue // degrade: aggregate over the surviving chunks
+			}
 			return nil, err
 		}
 		for _, part := range strings.Split(resp.Text, ",") {
@@ -381,7 +398,7 @@ func physLLMOrderBy() *Physical {
 				return values.Value{}, err
 			}
 			if len(vals) != len(ids) {
-				return values.Value{}, fmt.Errorf("ops: semantic sort extracted %d keys for %d documents", len(vals), len(ids))
+				return values.Value{}, fmt.Errorf("%w: semantic sort extracted %d keys for %d documents", ErrBadOutput, len(vals), len(ids))
 			}
 			type kv struct {
 				id int
@@ -523,7 +540,7 @@ func physLLMTopK() *Physical {
 				return values.Value{}, err
 			}
 			if len(vals) != len(ids) {
-				return values.Value{}, fmt.Errorf("ops: semantic ranking extracted %d keys for %d documents", len(vals), len(ids))
+				return values.Value{}, fmt.Errorf("%w: semantic ranking extracted %d keys for %d documents", ErrBadOutput, len(vals), len(ids))
 			}
 			type kv struct {
 				id int
@@ -688,7 +705,7 @@ func physLLMCompute() *Physical {
 			}
 			v, err := strconv.ParseFloat(strings.TrimSpace(resp.Text), 64)
 			if err != nil {
-				return values.Value{}, fmt.Errorf("ops: SemanticCompute returned %q", resp.Text)
+				return values.Value{}, fmt.Errorf("%w: SemanticCompute returned %q", ErrBadOutput, resp.Text)
 			}
 			return values.NewNum(v), nil
 		},

@@ -48,6 +48,9 @@ type Env struct {
 	// BatchSize bounds how many documents one LLM invocation covers
 	// ("LLM invocation is batched when possible").
 	BatchSize int
+	// Budget, when non-nil, lets per-batch LLM failures be absorbed by
+	// skipping the affected documents instead of failing the node.
+	Budget *FaultBudget
 }
 
 func (e *Env) batch() int {

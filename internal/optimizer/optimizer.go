@@ -260,6 +260,48 @@ func (o *Optimizer) planSignature(plans []*core.Plan) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// Reoptimize re-invokes physical lowering on the un-executed suffix of a
+// partially executed plan (the paper's §V dynamic replanning): known maps
+// variable tokens ("{v1}") to their OBSERVED signatures, which replace
+// the SCE estimates for everything downstream. Nodes whose output is
+// already known are left untouched; every other node gets a fresh
+// physical selection and EstCard under the corrected cardinalities. The
+// returned duration is the simulated cost of any estimation the replan
+// performed (charged to the execution clock by the caller). The plan
+// cache is bypassed: replanned plans are query-state-specific.
+func (o *Optimizer) Reoptimize(ctx context.Context, plan *core.Plan, known map[string]core.Known) (time.Duration, error) {
+	order, err := plan.Topo()
+	if err != nil {
+		return 0, err
+	}
+	stats := &Stats{}
+	vars := map[string]sig{
+		"dataset": {kind: values.Docs, card: o.Store.Len()},
+	}
+	for tok, k := range known {
+		vars[tok] = sig{kind: k.Kind, card: k.Card, groups: k.Groups}
+	}
+	for _, n := range order {
+		if _, done := known["{"+n.OutVar+"}"]; done {
+			continue
+		}
+		ins := make([]sig, len(n.Inputs))
+		for i, ref := range n.Inputs {
+			s, ok := vars[ref]
+			if !ok {
+				s = vars["dataset"]
+			}
+			ins[i] = s
+		}
+		out, err := o.lowerNode(ctx, plan, n, ins, stats)
+		if err != nil {
+			return stats.Duration, err
+		}
+		vars["{"+n.OutVar+"}"] = out
+	}
+	return stats.Duration, nil
+}
+
 // --- selectivity estimation ---
 
 // selectivity estimates the fraction of documents satisfying a condition,

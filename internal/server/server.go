@@ -79,6 +79,9 @@ type QueryResponse struct {
 	PlanCacheHit  bool          `json:"plan_cache_hit"`
 	Fallback      bool          `json:"fallback"`
 	Adjusted      bool          `json:"adjusted"`
+	SkippedDocs   int           `json:"skipped_docs,omitempty"`
+	Partial       bool          `json:"partial,omitempty"`
+	Replans       int           `json:"replans,omitempty"`
 	Trace         *obs.SpanJSON `json:"trace,omitempty"`
 	TraceText     string        `json:"trace_text,omitempty"`
 }
@@ -179,6 +182,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PlanCacheHit:  ans.PlanCacheHit,
 		Fallback:      ans.Fallback,
 		Adjusted:      ans.Adjusted,
+		SkippedDocs:   ans.SkippedDocs,
+		Partial:       ans.Partial,
+		Replans:       ans.Replans,
 		Trace:         ans.Trace.JSON(),
 		TraceText:     obs.Render(ans.Trace),
 	})
@@ -254,10 +260,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for layer, st := range s.Sys.CacheStats() {
 		cacheStats[layer] = st
 	}
+	// Failure-handling counters: resilience events, injected faults, and
+	// graceful-degradation totals, summarized for operators.
+	failures := map[string]interface{}{}
+	if m := s.Sys.Metrics; m != nil {
+		reg := m.Reg
+		failures["retries"] = int64(reg.Total("unify_llm_retries_total"))
+		failures["retry_exhausted"] = int64(reg.Total("unify_llm_retry_exhausted_total"))
+		failures["hedges"] = int64(reg.Total("unify_llm_hedges_total"))
+		failures["replans"] = int64(reg.Total("unify_exec_replans_total"))
+		failures["skipped_docs"] = int64(reg.Total("unify_exec_skipped_docs_total"))
+		failures["plan_fallbacks"] = int64(reg.Total("unify_plan_fallback_total"))
+		failures["query_errors"] = int64(reg.Value("unify_queries_total", "error"))
+	}
+	if inj := s.Sys.Injector; inj != nil {
+		byKind := map[string]int64{}
+		for k, v := range inj.Stats() {
+			byKind[string(k)] = v
+		}
+		failures["faults_injected"] = inj.Injected()
+		failures["faults_by_kind"] = byKind
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"uptime_secs": time.Since(s.started).Seconds(),
 		"metrics":     snap,
 		"cache":       cacheStats,
+		"failures":    failures,
 	})
 }
 

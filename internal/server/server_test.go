@@ -221,6 +221,7 @@ func TestStatsEndpoint(t *testing.T) {
 	var out struct {
 		UptimeSecs float64                `json:"uptime_secs"`
 		Metrics    map[string]interface{} `json:"metrics"`
+		Failures   map[string]interface{} `json:"failures"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
@@ -234,6 +235,11 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if _, ok := out.Metrics["unify_llm_calls_total"]; !ok {
 		t.Error("stats missing llm call counters")
+	}
+	for _, key := range []string{"retries", "retry_exhausted", "hedges", "replans", "skipped_docs", "plan_fallbacks", "query_errors"} {
+		if _, ok := out.Failures[key]; !ok {
+			t.Errorf("stats failures block missing %q", key)
+		}
 	}
 }
 

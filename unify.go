@@ -28,6 +28,7 @@ import (
 	"unify/internal/cost"
 	"unify/internal/docstore"
 	"unify/internal/exec"
+	"unify/internal/faults"
 	"unify/internal/lexicon"
 	"unify/internal/llm"
 	"unify/internal/obs"
@@ -77,6 +78,27 @@ type Config struct {
 	// plans). 0 selects DefaultCacheBytes; a negative value disables the
 	// shared cache entirely.
 	CacheBytes int64
+
+	// FaultPlan, when non-nil, injects seeded deterministic faults into
+	// the worker client (the failure-testing harness). Enabling it also
+	// installs the retry layer with defaults unless MaxRetries is set.
+	FaultPlan *faults.Plan
+	// MaxRetries bounds retries per worker call after transient failures
+	// (0 leaves the retry layer uninstalled unless FaultPlan is set).
+	MaxRetries int
+	// HedgeAfter, when positive, hedges slow worker calls: a response
+	// slower than this threshold triggers one backup request and the
+	// faster outcome wins.
+	HedgeAfter time.Duration
+	// NodeErrorBudget lets each operator absorb up to this many per-batch
+	// LLM failures by skipping the affected documents (partial results)
+	// instead of failing the node.
+	NodeErrorBudget int
+	// ReplanThreshold enables dynamic replanning (paper §V): when an
+	// executed node's observed cardinality deviates from its estimate by
+	// more than this ratio, the remaining DAG suffix is re-optimized with
+	// corrected cardinalities. Values <= 1 disable replanning.
+	ReplanThreshold float64
 }
 
 // DefaultCacheBytes is the default shared-cache budget (64 MiB).
@@ -130,6 +152,10 @@ type System struct {
 	// (nil when Config.CacheBytes < 0).
 	Cache *cache.LRU
 
+	// Injector is the fault-injecting wrapper around the worker client
+	// (nil unless Config.FaultPlan was set).
+	Injector *faults.Client
+
 	// PreprocessDur is the simulated offline preprocessing time
 	// (embedding + indexing + SCE training).
 	PreprocessDur time.Duration
@@ -178,6 +204,13 @@ type Answer struct {
 	// Adjusted reports runtime plan adjustment: an operator's selected
 	// physical implementation failed and a fallback ran instead.
 	Adjusted bool
+
+	// SkippedDocs counts documents dropped by node error budgets under
+	// LLM failures; Partial is true when any were dropped.
+	SkippedDocs int
+	Partial     bool
+	// Replans counts dynamic replanning rounds during execution.
+	Replans int
 
 	// SlotBusy is the execution's total simulated busy time across the
 	// LLM slot pool (utilization = SlotBusy / (ExecDur * slots)).
@@ -247,6 +280,25 @@ func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client)
 		worker = llm.NewCached(worker, llmLayer)
 		store.AttachCache(shared)
 	}
+	// Failure harness: the injector sits above the cache (garbage never
+	// poisons cached entries) and below the retry layer, so every logical
+	// call — hit or miss — is exposed to serving-path faults and the
+	// Resilient wrapper sees them first.
+	var injector *faults.Client
+	if cfg.FaultPlan != nil {
+		injector = faults.New(worker, cfg.FaultPlan, func(kind faults.Kind, task string) {
+			metrics.RecordFault(string(kind))
+		})
+		worker = injector
+	}
+	if cfg.FaultPlan != nil || cfg.MaxRetries > 0 || cfg.HedgeAfter > 0 {
+		pol := llm.DefaultRetryPolicy()
+		if cfg.MaxRetries > 0 {
+			pol.MaxAttempts = cfg.MaxRetries + 1
+		}
+		pol.HedgeAfter = cfg.HedgeAfter
+		worker = llm.NewResilient(worker, pol, metrics.RecordResilience)
+	}
 	calib := cost.NewCalibrator(cfg.BatchSize)
 	est := sce.NewEstimator(store, worker, cfg.SCEBuckets)
 	opt := optimizer.New(store, est, calib, cfg.Slots)
@@ -268,15 +320,29 @@ func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client)
 		Calib:         calib,
 		Metrics:       metrics,
 		Cache:         shared,
+		Injector:      injector,
 	}
 	s.Executor.Slots = cfg.Slots
 	s.Executor.BatchSize = cfg.BatchSize
+	s.Executor.NodeErrorBudget = cfg.NodeErrorBudget
+	if cfg.ReplanThreshold > 1 {
+		s.Executor.ReplanThreshold = cfg.ReplanThreshold
+		s.Executor.Replanner = opt
+	}
 	if cfg.TrainSCE {
+		// Training is the paper's offline phase: the failure harness
+		// targets query serving, so injection pauses while it runs.
+		if injector != nil {
+			injector.SetEnabled(false)
+		}
 		start := time.Now()
 		if err := s.TrainSCE(context.Background()); err != nil {
 			return nil, err
 		}
 		s.PreprocessDur += time.Since(start)
+		if injector != nil {
+			injector.SetEnabled(true)
+		}
 	}
 	return s, nil
 }
@@ -384,6 +450,9 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span) (*Answer,
 		LLMCalls:      len(pstats.Calls) + len(ostats.Calls) + res.LLMCalls,
 		Fallback:      pstats.Fallback,
 		Adjusted:      res.Adjusted,
+		SkippedDocs:   res.SkippedDocs,
+		Partial:       res.SkippedDocs > 0,
+		Replans:       res.Replans,
 	}
 	ans.PlanCacheHit = ostats.PlanCacheHit
 	ans.CachedLLMCalls = res.CachedLLMCalls
@@ -460,6 +529,7 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 	if ans.PlanCacheHit {
 		m.PlanCacheHits.Inc()
 	}
+	m.RecordDegradation(ans.Replans, ans.SkippedDocs)
 	m.RecordSlots(ans.SlotBusy, ans.ExecDur, s.Config.Slots)
 	m.RecordCacheSize(s.Cache.Bytes(), s.Cache.Len())
 	for _, cli := range []llm.Client{s.PlannerClient, s.WorkerClient} {
