@@ -8,11 +8,13 @@
 //	unify-bench -exp fig5a,fig5b -size 800
 //	unify-bench -exp cache -size 400 -per 2 -datasets sports -cacheout BENCH_cache.json
 //	unify-bench -exp faults -size 400 -per 2 -datasets sports -faultsout BENCH_faults.json
+//	unify-bench -exp serve -size 300 -per 2 -datasets sports -serveout BENCH_serve.json
 //
 // Experiments: fig4 (accuracy+latency, Fig. 4a-h), table3 (SCE q-errors,
 // Table III), fig5a (logical optimization), fig5b (physical optimization),
 // cache (repeated-workload cold/warm latency and per-layer hit rates),
-// faults (resilience under seeded fault injection at increasing rates).
+// faults (resilience under seeded fault injection at increasing rates),
+// serve (concurrent serving sweep over the shared slot pool).
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiments to run: fig4,table3,fig5a,fig5b,cache,faults,all")
+		exp      = flag.String("exp", "all", "experiments to run: fig4,table3,fig5a,fig5b,cache,faults,serve,all")
 		size     = flag.Int("size", 0, "corpus size override (0 = paper sizes)")
 		per      = flag.Int("per", 5, "query instances per template (paper: 5)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset")
@@ -38,6 +40,7 @@ func main() {
 		jsonOut  = flag.String("json", "", "also write structured results to this JSON file")
 		cacheOut = flag.String("cacheout", "", "write the cache experiment's flat report to this JSON file")
 		faultOut = flag.String("faultsout", "", "write the faults experiment's report to this JSON file")
+		serveOut = flag.String("serveout", "", "write the serve experiment's report to this JSON file")
 	)
 	flag.Parse()
 
@@ -54,7 +57,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true, "faults": true}
+		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true, "faults": true, "serve": true}
 	}
 
 	ctx := context.Background()
@@ -153,6 +156,28 @@ func main() {
 					return err
 				}
 				fmt.Printf("faults report written to %s\n", *faultOut)
+			}
+			return nil
+		})
+	}
+
+	if want["serve"] {
+		run("Concurrent serving (serve)", func() error {
+			res, err := bench.RunServeBench(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintServeBench(os.Stdout, res)
+			artifacts["serve"] = res
+			if *serveOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*serveOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("serve report written to %s\n", *serveOut)
 			}
 			return nil
 		})

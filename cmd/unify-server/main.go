@@ -21,17 +21,32 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "sports", "dataset: sports, ai, law, wiki")
-		size    = flag.Int("size", 0, "corpus size (0 = paper size)")
-		addr    = flag.String("addr", ":8080", "listen address")
+		dataset       = flag.String("dataset", "sports", "dataset: sports, ai, law, wiki")
+		size          = flag.Int("size", 0, "corpus size (0 = paper size)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxConcurrent = flag.Int("max-concurrent", server.DefaultMaxConcurrent,
+			"queries executing at once (admission control)")
+		maxQueue = flag.Int("max-queue", server.DefaultMaxQueue,
+			"queries waiting in the admission queue before 429s")
+		timeout = flag.Duration("timeout", 0, "per-query wall-clock bound, queue wait included (0 = server default)")
 	)
 	flag.Parse()
 
 	fmt.Printf("opening %s corpus...\n", *dataset)
-	sys, err := unify.Open(unify.Config{Dataset: *dataset, Size: *size, TrainSCE: true})
+	sys, err := unify.New(
+		unify.WithDataset(*dataset),
+		unify.WithSize(*size),
+		unify.WithTrainSCE(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %d documents on %s\n", sys.Store.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+	srv := server.New(sys)
+	srv.SetLimits(*maxConcurrent, *maxQueue)
+	if *timeout > 0 {
+		srv.Timeout = *timeout
+	}
+	fmt.Printf("serving %d documents on %s (max %d concurrent, %d queued)\n",
+		sys.Store.Len(), *addr, *maxConcurrent, *maxQueue)
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -33,6 +33,7 @@ func main() {
 		analyze     = flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute with tracing and print the span tree")
 		interactive = flag.Bool("i", false, "interactive mode: read queries from stdin")
 		dotOut      = flag.Bool("dot", false, "print the plan as Graphviz DOT and exit")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := unify.Open(unify.Config{Dataset: *dataset, Size: *size, TrainSCE: true})
+	sys, err := unify.New(
+		unify.WithDataset(*dataset),
+		unify.WithSize(*size),
+		unify.WithTrainSCE(),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
@@ -70,10 +75,14 @@ func main() {
 		return
 	}
 	ctx := context.Background()
+	var opts []unify.QueryOption
 	if *analyze {
 		ctx = obs.WithTracer(ctx, obs.NewTracer())
 	}
-	ans, err := sys.Query(ctx, query)
+	if *timeout > 0 {
+		opts = append(opts, unify.WithTimeout(*timeout))
+	}
+	ans, err := sys.Query(ctx, query, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "query:", err)
 		os.Exit(1)

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunServeBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve bench smoke is slow")
+	}
+	old := ServeLevels
+	ServeLevels = []int{1, 4}
+	defer func() { ServeLevels = old }()
+
+	cfg := Config{Datasets: []string{"sports"}, Size: 200, PerTemplate: 1, Seed: 7}
+	res, err := RunServeBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	if res.Slots <= 0 {
+		t.Fatalf("slots = %d, want > 0", res.Slots)
+	}
+	for _, p := range res.Points {
+		if p.Errors > 0 {
+			t.Errorf("concurrency %d: %d errors", p.Concurrency, p.Errors)
+		}
+		if p.Utilization <= 0 || p.Utilization > 1.0000001 {
+			t.Errorf("concurrency %d: utilization %f out of (0, 1]", p.Concurrency, p.Utilization)
+		}
+		if p.MeanSlowdown < 0.999999 {
+			t.Errorf("concurrency %d: mean slowdown %f < 1", p.Concurrency, p.MeanSlowdown)
+		}
+		if p.P95Secs < p.P50Secs {
+			t.Errorf("concurrency %d: p95 %f < p50 %f", p.Concurrency, p.P95Secs, p.P50Secs)
+		}
+	}
+	solo, loaded := res.Points[0], res.Points[1]
+	if loaded.MeanSlowdown < solo.MeanSlowdown {
+		t.Errorf("slowdown should not shrink under load: solo %f, loaded %f",
+			solo.MeanSlowdown, loaded.MeanSlowdown)
+	}
+	var sb strings.Builder
+	PrintServeBench(&sb, res)
+	if !strings.Contains(sb.String(), "Serving sweep") {
+		t.Errorf("PrintServeBench output missing header:\n%s", sb.String())
+	}
+}
+
+// TestServeArtifactParses keeps the checked-in BENCH_serve.json honest:
+// it must stay parseable and cover the 1..16 sweep.
+func TestServeArtifactParses(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Skipf("BENCH_serve.json not present: %v", err)
+	}
+	var res ServeResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_serve.json does not parse: %v", err)
+	}
+	if res.Dataset == "" || res.Slots <= 0 || res.Queries <= 0 {
+		t.Fatalf("BENCH_serve.json missing header fields: %+v", res)
+	}
+	if len(res.Points) < 5 {
+		t.Fatalf("BENCH_serve.json has %d points, want the 1..16 sweep", len(res.Points))
+	}
+	want := []int{1, 2, 4, 8, 16}
+	for i, p := range res.Points {
+		if p.Concurrency != want[i] {
+			t.Errorf("point %d: concurrency = %d, want %d", i, p.Concurrency, want[i])
+		}
+		if p.Utilization <= 0 || p.Utilization > 1.0000001 {
+			t.Errorf("concurrency %d: utilization %f out of (0, 1]", p.Concurrency, p.Utilization)
+		}
+		if p.MeanSlowdown < 0.999999 {
+			t.Errorf("concurrency %d: mean slowdown %f < 1", p.Concurrency, p.MeanSlowdown)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"unify/internal/llm"
 	"unify/internal/obs"
 	"unify/internal/ops"
+	"unify/internal/sched"
 	"unify/internal/values"
 	"unify/internal/vtime"
 )
@@ -53,6 +54,11 @@ type Executor struct {
 	BatchSize int
 	// MaxParallel bounds concurrently executing operators.
 	MaxParallel int
+
+	// Pool is the process-global slot pool shared by all concurrent
+	// queries. When nil the executor schedules on a private single-query
+	// pool (identical to the shared pool with no contention).
+	Pool *sched.Pool
 
 	// NodeErrorBudget, when positive, lets each operator absorb up to
 	// this many per-batch LLM failures by skipping the affected
@@ -113,6 +119,19 @@ type Result struct {
 	// SlotBusy is the total simulated busy time across the LLM slot
 	// pool (slot utilization = SlotBusy / (Makespan * slots)).
 	SlotBusy time.Duration
+	// GrantWait is the total simulated delay between units becoming
+	// ready and receiving a slot grant — non-zero under cross-query
+	// contention on the shared pool.
+	GrantWait time.Duration
+	// SoloMakespan is the simulated latency the same execution would
+	// have on an idle machine; Makespan == SoloMakespan for a query
+	// that ran alone, and Makespan >= SoloMakespan under contention.
+	SoloMakespan time.Duration
+	// PoolStart is the query's virtual admission time on the shared
+	// clock (0 for a private pool).
+	PoolStart time.Duration
+	// Contended reports the execution shared slots with other queries.
+	Contended bool
 	// SkippedDocs counts documents dropped across all nodes by error
 	// budgets: the answer is partial when this is non-zero.
 	SkippedDocs int
@@ -225,14 +244,41 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 	res.Answer = ans
 
 	tasks := e.tasks(plan, res.Nodes)
-	sched, err := vtime.NewSchedule(e.slots()).Run(tasks)
+	// Submit the recorded work to the shared slot pool: the makespan
+	// reflects slot grants actually received against concurrent queries.
+	// A query admitted upstream carries its ticket in the context; an
+	// unticketed caller gets a self-contained admit/release.
+	pool := e.Pool
+	tk := sched.TicketFrom(ctx)
+	if pool == nil {
+		pool, tk = sched.NewPool(e.slots()), nil
+	}
+	owned := tk == nil
+	if owned {
+		tk = pool.Admit(0)
+	}
+	jr, err := pool.Run(ctx, tk, tasks)
+	if errors.Is(err, sched.ErrTicketUsed) {
+		// The query's ticket was consumed by an earlier execution (the
+		// system-level fallback re-runs on the same context): re-admit.
+		tk = pool.Admit(tk.Priority)
+		owned = true
+		jr, err = pool.Run(ctx, tk, tasks)
+	}
+	if owned {
+		pool.Release(tk)
+	}
 	if err != nil {
 		return nil, err
 	}
-	res.Makespan = sched.Makespan + replanDur
-	res.SlotBusy = sched.Busy[vtime.ResourceLLM]
+	res.Makespan = jr.Makespan + replanDur
+	res.SlotBusy = jr.Busy
+	res.GrantWait = jr.GrantWait
+	res.SoloMakespan = jr.Solo + replanDur
+	res.PoolStart = jr.Start
+	res.Contended = jr.Contended
 	for _, nr := range res.Nodes {
-		if f, ok := sched.Finish[fmt.Sprintf("n%d", nr.NodeID)]; ok {
+		if f, ok := jr.Finish[fmt.Sprintf("n%d", nr.NodeID)]; ok {
 			nr.Span.SetAttr("finish_vtime", f.Round(time.Millisecond).String())
 		}
 	}

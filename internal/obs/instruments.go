@@ -44,6 +44,16 @@ type Metrics struct {
 	SlotBusySeconds Counter
 	SlotUtilization Gauge
 
+	// Serving-layer instruments: the shared slot pool and the HTTP
+	// admission queue.
+	GrantWaitSeconds Histogram // per-query slot-grant wait on the pool
+	PoolActive       Gauge     // queries currently admitted to the pool
+	PoolUtilization  Gauge     // aggregate epoch slot utilization
+	ServeQueueDepth  Gauge     // requests waiting in the admission queue
+	ServeInflight    Gauge     // requests holding an admission slot
+	ServeQueueWait   Histogram // wall-clock admission-queue wait
+	ServeRejected    Counter   // by reason: "queue_full" / "deadline"
+
 	HTTPRequests Counter // by path
 }
 
@@ -106,6 +116,20 @@ func NewMetrics() *Metrics {
 		"Simulated busy time accumulated across LLM slots.")
 	m.SlotUtilization = r.Gauge("unify_slot_utilization",
 		"Slot-pool utilization of the most recent query (busy / (makespan*slots)).")
+	m.GrantWaitSeconds = r.Histogram("unify_slot_grant_wait_vtime_seconds",
+		"Per-query simulated wait for slot grants on the shared pool.", nil)
+	m.PoolActive = r.Gauge("unify_pool_active_queries",
+		"Queries currently admitted to the shared slot pool.")
+	m.PoolUtilization = r.Gauge("unify_pool_utilization",
+		"Aggregate slot utilization of the pool's current scheduling epoch.")
+	m.ServeQueueDepth = r.Gauge("unify_serve_queue_depth",
+		"Requests waiting in the server admission queue.")
+	m.ServeInflight = r.Gauge("unify_serve_inflight",
+		"Requests holding a server admission slot.")
+	m.ServeQueueWait = r.Histogram("unify_serve_queue_wait_seconds",
+		"Wall-clock time requests spent in the admission queue.", nil)
+	m.ServeRejected = r.CounterVec("unify_serve_rejected_total",
+		"Requests rejected by admission control, by reason.", "reason")
 	m.HTTPRequests = r.CounterVec("unify_http_requests_total",
 		"HTTP requests served, by path.", "path")
 	return m
@@ -229,4 +253,49 @@ func (m *Metrics) RecordSlots(busy, makespan time.Duration, slots int) {
 	if makespan > 0 && slots > 0 {
 		m.SlotUtilization.Set(busy.Seconds() / (makespan.Seconds() * float64(slots)))
 	}
+}
+
+// RecordGrantWait records one query's simulated slot-grant wait on the
+// shared pool.
+func (m *Metrics) RecordGrantWait(wait time.Duration) {
+	if m == nil {
+		return
+	}
+	m.GrantWaitSeconds.ObserveDur(wait)
+}
+
+// RecordPool publishes the shared slot pool's live state.
+func (m *Metrics) RecordPool(active int, utilization float64) {
+	if m == nil {
+		return
+	}
+	m.PoolActive.Set(float64(active))
+	m.PoolUtilization.Set(utilization)
+}
+
+// RecordAdmission records one request's trip through the admission queue
+// (it waited, then ran).
+func (m *Metrics) RecordAdmission(wait time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ServeQueueWait.ObserveDur(wait)
+}
+
+// RecordRejection charges one admission-control rejection to the
+// per-reason counter ("queue_full", "deadline").
+func (m *Metrics) RecordRejection(reason string) {
+	if m == nil {
+		return
+	}
+	m.ServeRejected.IncL(reason)
+}
+
+// RecordServeDepth publishes the admission queue's live state.
+func (m *Metrics) RecordServeDepth(queued, inflight int) {
+	if m == nil {
+		return
+	}
+	m.ServeQueueDepth.Set(float64(queued))
+	m.ServeInflight.Set(float64(inflight))
 }

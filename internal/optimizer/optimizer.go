@@ -131,6 +131,19 @@ func New(store *docstore.Store, est *sce.Estimator, calib *cost.Calibrator, slot
 	return o
 }
 
+// WithMode returns a shallow per-mode view of the optimizer: it shares
+// the caches, estimator, and calibrator but optimizes under a different
+// strategy. Safe for per-query mode overrides — plan-cache signatures
+// include the mode, so the views never serve each other stale plans.
+func (o *Optimizer) WithMode(m Mode) *Optimizer {
+	if m == o.Mode {
+		return o
+	}
+	cp := *o
+	cp.Mode = m
+	return &cp
+}
+
 // AttachCache rebinds the selectivity and plan caches to c (the System's
 // shared cache), making their hit/miss/eviction counters observable. A
 // nil c is ignored: the private cache from New stays in place.

@@ -1,0 +1,486 @@
+// Package sched is the process-global slot-pool scheduler: it multiplexes
+// every concurrent query in the process onto the one simulated machine the
+// paper evaluates on (4 local LLM slots, §VI-A).
+//
+// Before this package each query scheduled its recorded work on a private
+// vtime.Schedule, so two concurrent /v1/query requests both pretended they
+// owned all four slots and latency under load was fiction. The pool owns a
+// shared virtual clock and the slots' free times; queries are admitted as
+// tickets, submit their executed task graphs, and receive slot grants
+// against the shared machine state. Queries that overlap in wall time
+// share a virtual admission epoch and contend for slots; a query arriving
+// on an idle pool sees all slots free and schedules exactly as the old
+// private path did (bit-for-bit).
+//
+// Fairness and determinism: jobs finalize strictly in admission order.
+// Each finalization replays every job already committed to the epoch plus
+// all co-pending submitted jobs jointly through vtime.Run's fair ready
+// queue — per-query FIFO, round-robin across queries on ready-time ties,
+// higher ticket priority first — so an earlier query's grants and a later
+// query's grants come from one coherent schedule. Given the same
+// admission+submission sequence and task sets, every replay is bit-for-bit
+// identical.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"unify/internal/vtime"
+)
+
+// Ticket is one admitted query's claim on the pool. Tickets are created by
+// Admit, carry the query's virtual admission time, and must be Released
+// exactly once (whether or not the query ran).
+type Ticket struct {
+	// Start is the query's virtual admission time on the shared clock.
+	Start time.Duration
+	// Priority breaks slot-grant ties in the fair queue (higher first).
+	Priority int
+
+	seq      int64
+	epochJob int           // fair-queue job index within the epoch
+	turn     chan struct{} // closed when every earlier ticket has resolved
+	ran      bool          // guarded by the pool mutex
+	released bool          // guarded by the pool mutex
+}
+
+// JobResult reports one query's outcome on the shared pool.
+type JobResult struct {
+	// Start is the virtual admission time (same as the ticket's).
+	Start time.Duration
+	// Makespan is the query's completion time minus Start: it includes
+	// every slot-grant delay caused by contending queries.
+	Makespan time.Duration
+	// Solo is the makespan the same task graph achieves on an idle pool —
+	// the no-contention baseline (Makespan == Solo for a lone query).
+	Solo time.Duration
+	// Busy is the query's own total slot busy time.
+	Busy time.Duration
+	// GrantWait is the total virtual delay between units becoming ready
+	// and receiving a slot grant.
+	GrantWait time.Duration
+	// Grants counts slot grants the query received.
+	Grants int
+	// Finish maps task IDs to completion times relative to Start.
+	Finish map[string]time.Duration
+	// Contended reports that the query was scheduled against a non-idle
+	// machine (busy slots at admission or co-pending queries).
+	Contended bool
+}
+
+// Stats is a point-in-time snapshot of the pool.
+type Stats struct {
+	Slots      int           `json:"slots"`
+	Active     int           `json:"active"`
+	Pending    int           `json:"pending"`
+	PeakActive int           `json:"peak_active"`
+	Admitted   int64         `json:"admitted"`
+	Completed  int64         `json:"completed"`
+	VirtualNow time.Duration `json:"-"`
+	// BusyTotal and GrantWaitTotal accumulate across the pool's lifetime.
+	BusyTotal      time.Duration `json:"-"`
+	GrantWaitTotal time.Duration `json:"-"`
+	Grants         int64         `json:"grants"`
+	// Utilization is the current epoch's aggregate slot utilization
+	// (busy / (span × slots), structurally ≤ 1), or the last completed
+	// epoch's when the pool is idle.
+	Utilization float64 `json:"utilization"`
+	// CumUtilization aggregates over the pool's whole lifetime:
+	// BusyTotal / (virtual span × slots). Epochs are contiguous on the
+	// shared clock (each opens when the busiest slot of the previous one
+	// drains), so this too is structurally ≤ 1.
+	CumUtilization float64 `json:"cum_utilization"`
+	// SpanVTime is the lifetime virtual span the pool has scheduled over
+	// (first admission to the busiest slot's free time).
+	SpanVTime time.Duration `json:"-"`
+	// EpochQueries counts queries admitted to the current epoch.
+	EpochQueries int `json:"epoch_queries"`
+}
+
+// Pool multiplexes concurrent queries onto one slot-limited machine.
+type Pool struct {
+	mu    sync.Mutex
+	slots int
+	free  []time.Duration // per-slot virtual free times (absolute)
+	vnow  time.Duration   // current epoch's admission time
+
+	nextSeq      int64
+	resolvedUpTo int64              // every seq below this has resolved
+	resolved     map[int64]bool     // out-of-order resolutions
+	tickets      map[int64]*Ticket  // admitted, unresolved
+	pending      map[int64]*pendJob // submitted, awaiting finalization
+
+	active     int
+	peakActive int
+
+	// Epoch accounting: an epoch spans from the first admission on an
+	// idle pool until the pool drains. Since the clock jumps past every
+	// busy slot when an epoch opens, epochs always start on an idle
+	// machine; committed holds the epoch's already-finalized jobs so
+	// later finalizations replay them for a coherent joint schedule.
+	epochStart   time.Duration
+	epochEnd     time.Duration
+	epochBusy    time.Duration
+	epochQueries int
+	committed    []commitJob
+	lastUtil     float64
+
+	origin    time.Duration // first epoch's start time
+	originSet bool
+
+	admitted, completed int64
+	busyTotal           time.Duration
+	waitTotal           time.Duration
+	grantsTotal         int64
+}
+
+type pendJob struct {
+	tk    *Ticket
+	tasks []vtime.Task
+}
+
+// commitJob is a finalized job replayed by later finalizations in the
+// same epoch.
+type commitJob struct {
+	job      int
+	priority int
+	tasks    []vtime.Task
+}
+
+// NewPool returns a pool modeling the given number of LLM slots.
+func NewPool(slots int) *Pool {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Pool{
+		slots:    slots,
+		free:     make([]time.Duration, slots),
+		resolved: map[int64]bool{},
+		tickets:  map[int64]*Ticket{},
+		pending:  map[int64]*pendJob{},
+	}
+}
+
+// Slots reports the pool's slot count.
+func (p *Pool) Slots() int { return p.slots }
+
+// Admit registers a query with the pool and returns its ticket. If the
+// pool is idle the shared clock advances to the time every slot is free,
+// so a lone query schedules exactly as on a private machine; otherwise the
+// query joins the current epoch and will contend for slots. The caller
+// must Release the ticket exactly once.
+func (p *Pool) Admit(priority int) *Ticket {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.active == 0 {
+		// Fresh epoch: the machine is idle by max(free), and the clock
+		// never runs backwards.
+		start := p.vnow
+		for _, f := range p.free {
+			if f > start {
+				start = f
+			}
+		}
+		p.vnow = start
+		if !p.originSet {
+			p.origin = start
+			p.originSet = true
+		}
+		p.epochStart = start
+		p.epochEnd = start
+		p.epochBusy = 0
+		p.epochQueries = 0
+		p.committed = nil
+	}
+	tk := &Ticket{
+		Start:    p.vnow,
+		Priority: priority,
+		seq:      p.nextSeq,
+		epochJob: p.epochQueries,
+		turn:     make(chan struct{}),
+	}
+	p.nextSeq++
+	p.tickets[tk.seq] = tk
+	p.active++
+	p.epochQueries++
+	p.admitted++
+	if p.active > p.peakActive {
+		p.peakActive = p.active
+	}
+	if tk.seq == p.resolvedUpTo {
+		close(tk.turn) // nothing ahead of us
+	}
+	return tk
+}
+
+// Release returns a ticket to the pool. Tickets that never ran (error
+// paths) resolve here so queries behind them are not blocked.
+func (p *Pool) Release(tk *Ticket) {
+	if tk == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tk.released {
+		return
+	}
+	tk.released = true
+	if !tk.ran {
+		delete(p.pending, tk.seq)
+		p.resolve(tk.seq)
+	}
+	p.active--
+	if p.active == 0 {
+		p.lastUtil = p.epochUtilLocked()
+	}
+}
+
+// ErrTicketUsed reports a Run against a ticket that already ran or was
+// released; the caller should Admit a fresh ticket.
+var ErrTicketUsed = errors.New("sched: ticket already used")
+
+// Run submits a query's executed task graph to the pool and blocks until
+// its slot grants are final. Jobs finalize in admission order: queries
+// that submitted while waiting their turn are scheduled jointly (the fair
+// queue), so an earlier query cannot starve a later one of slots. The
+// returned makespan is measured from the ticket's admission time.
+func (p *Pool) Run(ctx context.Context, tk *Ticket, tasks []vtime.Task) (JobResult, error) {
+	if tk == nil {
+		return JobResult{}, fmt.Errorf("sched: nil ticket")
+	}
+	p.mu.Lock()
+	if tk.released || tk.ran {
+		p.mu.Unlock()
+		return JobResult{}, ErrTicketUsed
+	}
+	p.pending[tk.seq] = &pendJob{tk: tk, tasks: tasks}
+	p.mu.Unlock()
+
+	select {
+	case <-tk.turn:
+	case <-ctx.Done():
+		p.mu.Lock()
+		delete(p.pending, tk.seq)
+		p.mu.Unlock()
+		return JobResult{}, ctx.Err()
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	jr, err := p.finalizeLocked(tk)
+	tk.ran = true
+	p.resolve(tk.seq)
+	if err != nil {
+		return JobResult{}, err
+	}
+	return jr, nil
+}
+
+// resolve marks a ticket resolved and advances the admission-order
+// barrier, waking the next ticket in line.
+func (p *Pool) resolve(seq int64) {
+	delete(p.tickets, seq)
+	p.resolved[seq] = true
+	for p.resolved[p.resolvedUpTo] {
+		delete(p.resolved, p.resolvedUpTo)
+		p.resolvedUpTo++
+	}
+	if next, ok := p.tickets[p.resolvedUpTo]; ok {
+		select {
+		case <-next.turn:
+		default:
+			close(next.turn)
+		}
+	}
+}
+
+// finalizeLocked computes the finalizing ticket's grants. The epoch's
+// committed jobs, the finalizing job, and all co-pending submitted jobs
+// are scheduled jointly from the epoch start by the fair queue; the
+// finalizing job's grants come out of that one coherent schedule, and the
+// job is then committed so later finalizations replay it identically.
+func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
+	job := p.pending[tk.seq]
+	delete(p.pending, tk.seq)
+	t0 := tk.Start
+	ej := tk.epochJob
+
+	// Co-pending jobs (admitted later, already submitted) join the merged
+	// schedule so slot grants interleave fairly instead of first-come-
+	// first-served. Order is deterministic: admission sequence.
+	others := make([]*pendJob, 0, len(p.pending))
+	for _, pj := range p.pending {
+		others = append(others, pj)
+	}
+	sort.Slice(others, func(i, j int) bool { return others[i].tk.seq < others[j].tk.seq })
+	contended := len(others) > 0 || len(p.committed) > 0
+
+	var merged []vtime.Task
+	for _, c := range p.committed {
+		merged = append(merged, prefixTasks(c.tasks, c.job, c.priority)...)
+	}
+	merged = append(merged, prefixTasks(job.tasks, ej, tk.Priority)...)
+	for _, pj := range others {
+		merged = append(merged, prefixTasks(pj.tasks, pj.tk.epochJob, pj.tk.Priority)...)
+	}
+	mres, err := vtime.NewSchedule(p.slots).Run(merged)
+	if err != nil {
+		return JobResult{}, err
+	}
+
+	jr := JobResult{
+		Start:     t0,
+		Makespan:  mres.JobEnd[ej],
+		Busy:      mres.JobBusy[ej],
+		GrantWait: mres.JobWait[ej],
+		Grants:    mres.JobGrants[ej],
+		Finish:    make(map[string]time.Duration, len(job.tasks)),
+		Contended: contended,
+	}
+	for id, f := range mres.Finish {
+		if own, ok := stripJob(id, ej); ok {
+			jr.Finish[own] = f
+		}
+	}
+	p.committed = append(p.committed, commitJob{job: ej, priority: tk.Priority, tasks: job.tasks})
+
+	// Advance the machine state to the merged schedule's slot free times;
+	// the next epoch opens no earlier than the busiest slot drains.
+	newFree := mres.SlotFree[vtime.ResourceLLM]
+	for i := range p.free {
+		if i < len(newFree) {
+			p.free[i] = t0 + newFree[i]
+		} else {
+			p.free[i] = t0
+		}
+	}
+
+	// Solo baseline: the same graph on an idle machine. For an
+	// uncontended query that is, bit-for-bit, the schedule just computed.
+	if contended {
+		sres, err := vtime.NewSchedule(p.slots).Run(job.tasks)
+		if err != nil {
+			return JobResult{}, err
+		}
+		jr.Solo = sres.Makespan
+	} else {
+		jr.Solo = jr.Makespan
+	}
+
+	end := t0 + mres.JobEnd[ej]
+	if end > p.epochEnd {
+		p.epochEnd = end
+	}
+	p.epochBusy += jr.Busy
+	p.busyTotal += jr.Busy
+	p.waitTotal += jr.GrantWait
+	p.grantsTotal += int64(jr.Grants)
+	p.completed++
+	return jr, nil
+}
+
+// epochUtilLocked computes the current epoch's aggregate slot
+// utilization. The span is bounded below by the slots' own free times, so
+// the ratio is structurally ≤ 1.
+func (p *Pool) epochUtilLocked() float64 {
+	end := p.epochEnd
+	for _, f := range p.free {
+		if f > end {
+			end = f
+		}
+	}
+	span := end - p.epochStart
+	if span <= 0 || p.epochBusy <= 0 {
+		return 0
+	}
+	return float64(p.epochBusy) / (float64(span) * float64(p.slots))
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	util := p.lastUtil
+	if p.active > 0 {
+		util = p.epochUtilLocked()
+	}
+	maxFree := p.origin
+	for _, f := range p.free {
+		if f > maxFree {
+			maxFree = f
+		}
+	}
+	span := maxFree - p.origin
+	cum := 0.0
+	if span > 0 && p.busyTotal > 0 {
+		cum = float64(p.busyTotal) / (float64(span) * float64(p.slots))
+	}
+	return Stats{
+		Slots:          p.slots,
+		Active:         p.active,
+		Pending:        len(p.pending),
+		PeakActive:     p.peakActive,
+		Admitted:       p.admitted,
+		Completed:      p.completed,
+		VirtualNow:     p.vnow,
+		BusyTotal:      p.busyTotal,
+		GrantWaitTotal: p.waitTotal,
+		Grants:         p.grantsTotal,
+		Utilization:    util,
+		CumUtilization: cum,
+		SpanVTime:      span,
+		EpochQueries:   p.epochQueries,
+	}
+}
+
+// prefixTasks namespaces a job's tasks into the merged schedule.
+func prefixTasks(tasks []vtime.Task, job, priority int) []vtime.Task {
+	out := make([]vtime.Task, len(tasks))
+	for i, t := range tasks {
+		t.ID = jobPrefix(job) + t.ID
+		deps := make([]string, len(t.Deps))
+		for j, d := range t.Deps {
+			deps[j] = jobPrefix(job) + d
+		}
+		t.Deps = deps
+		t.Job = job
+		t.Priority = priority
+		out[i] = t
+	}
+	return out
+}
+
+func jobPrefix(job int) string { return fmt.Sprintf("q%d|", job) }
+
+// stripJob recovers a task's own ID from its namespaced form.
+func stripJob(id string, job int) (string, bool) {
+	pre := jobPrefix(job)
+	if len(id) >= len(pre) && id[:len(pre)] == pre {
+		return id[len(pre):], true
+	}
+	return "", false
+}
+
+type ctxKey int
+
+const ticketKey ctxKey = iota
+
+// WithTicket installs an admitted ticket into the context so the executor
+// submits to the pool that admitted the query.
+func WithTicket(ctx context.Context, tk *Ticket) context.Context {
+	if tk == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ticketKey, tk)
+}
+
+// TicketFrom extracts the query's ticket (nil when absent).
+func TicketFrom(ctx context.Context) *Ticket {
+	tk, _ := ctx.Value(ticketKey).(*Ticket)
+	return tk
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrQueueFull reports that the admission queue is at capacity; the
+// server maps it to HTTP 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// Admission is the server's bounded admission queue: at most
+// maxConcurrent requests execute at once, at most maxQueue more wait
+// their turn, and everything beyond that is rejected immediately so
+// overload produces fast 429s instead of unbounded latency.
+type Admission struct {
+	sem      chan struct{}
+	queued   atomic.Int64
+	maxQueue int
+}
+
+// DefaultMaxConcurrent and DefaultMaxQueue are the serving defaults:
+// twice the paper's slot count running, with an equal number waiting.
+const (
+	DefaultMaxConcurrent = 8
+	DefaultMaxQueue      = 8
+)
+
+// NewAdmission returns an admission controller. Non-positive arguments
+// select the defaults.
+func NewAdmission(maxConcurrent, maxQueue int) *Admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = DefaultMaxConcurrent
+	}
+	if maxQueue < 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	return &Admission{sem: make(chan struct{}, maxConcurrent), maxQueue: maxQueue}
+}
+
+// Acquire blocks until the request may execute, the context expires, or
+// the queue is full. On success it returns a release function (call
+// exactly once) and the time spent queued.
+func (a *Admission) Acquire(ctx context.Context) (release func(), wait time.Duration, err error) {
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, 0, nil
+	default:
+	}
+	if int(a.queued.Add(1)) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, 0, ErrQueueFull
+	}
+	start := time.Now()
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return a.release, time.Since(start), nil
+	case <-ctx.Done():
+		return nil, time.Since(start), ctx.Err()
+	}
+}
+
+func (a *Admission) release() { <-a.sem }
+
+// Queued reports requests currently waiting in the queue.
+func (a *Admission) Queued() int { return int(a.queued.Load()) }
+
+// Inflight reports requests currently holding an execution slot.
+func (a *Admission) Inflight() int { return len(a.sem) }
+
+// MaxConcurrent reports the execution concurrency limit.
+func (a *Admission) MaxConcurrent() int { return cap(a.sem) }
+
+// MaxQueue reports the queue capacity.
+func (a *Admission) MaxQueue() int { return a.maxQueue }

@@ -40,7 +40,7 @@ func TestConcurrentQueriesSharedSystem(t *testing.T) {
 		"How many questions are about tennis?", // repeated
 		"How many questions are about golf?",   // repeated
 		"How many questions are about swimming?",
-		"How many questions are about tennis?", // repeated
+		"How many questions are about tennis?",   // repeated
 		"How many questions are about swimming?", // repeated
 		"How many questions are about golf?",     // repeated
 		"How many questions are about cycling?",

@@ -3,13 +3,22 @@
 // (EXPLAIN), profiling them (EXPLAIN ANALYZE via ?analyze=1), browsing
 // the operator registry, and scraping process metrics — the shape a
 // deployed instance of the paper's system would take.
+//
+// Serving model: requests pass a bounded admission queue (at most
+// MaxConcurrent executing, MaxQueue waiting; the rest get HTTP 429 with
+// Retry-After) and then contend for the system's shared slot pool. All
+// error responses share one envelope:
+//
+//	{"error": {"code": "...", "message": "...", "request_id": "..."}}
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"unify"
@@ -21,15 +30,26 @@ import (
 // Server wraps a System with HTTP handlers.
 type Server struct {
 	Sys *unify.System
-	// Timeout bounds each query's processing time.
+	// Timeout bounds each query's processing time (queue wait included);
+	// requests may shorten it per call via timeout_ms.
 	Timeout time.Duration
-	mux     *http.ServeMux
-	started time.Time
+
+	admission *Admission
+	reqID     atomic.Int64
+	mux       *http.ServeMux
+	started   time.Time
 }
 
-// New returns a server over the given system.
+// New returns a server over the given system with default admission
+// limits (DefaultMaxConcurrent running, DefaultMaxQueue waiting).
 func New(sys *unify.System) *Server {
-	s := &Server{Sys: sys, Timeout: 5 * time.Minute, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{
+		Sys:       sys,
+		Timeout:   5 * time.Minute,
+		admission: NewAdmission(0, 0),
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
+	}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/operators", s.handleOperators)
@@ -37,6 +57,14 @@ func New(sys *unify.System) *Server {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
+}
+
+// SetLimits reconfigures admission control: at most maxConcurrent
+// queries execute at once and at most maxQueue wait (0 disables
+// queueing entirely). Call before serving; maxConcurrent < 1 and
+// maxQueue < 0 select the defaults.
+func (s *Server) SetLimits(maxConcurrent, maxQueue int) {
+	s.admission = NewAdmission(maxConcurrent, maxQueue)
 }
 
 // ServeHTTP implements http.Handler.
@@ -50,6 +78,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // QueryRequest is the body of POST /v1/query and /v1/plan.
 type QueryRequest struct {
 	Query string `json:"query"`
+	// TimeoutMS bounds this query end to end, queue wait included
+	// (capped by the server's Timeout; 0 inherits it).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Analyze requests EXPLAIN ANALYZE: the span tree rides back on the
+	// response (equivalent to ?analyze=1).
+	Analyze bool `json:"analyze,omitempty"`
+	// Priority favors this query in slot-grant tie-breaks on the shared
+	// pool (higher wins).
+	Priority int `json:"priority,omitempty"`
 }
 
 // PlanNode is the JSON form of one plan operator.
@@ -68,28 +105,49 @@ type PlanNode struct {
 // TraceText are populated only for EXPLAIN ANALYZE requests
 // (POST /v1/query?analyze=1).
 type QueryResponse struct {
-	Answer        string        `json:"answer"`
-	Plan          []PlanNode    `json:"plan"`
-	PlanningSecs  float64       `json:"planning_secs"`
-	EstimationSec float64       `json:"estimation_secs"`
-	ExecSecs      float64       `json:"exec_secs"`
-	TotalSecs     float64       `json:"total_secs"`
-	LLMCalls      int           `json:"llm_calls"`
-	CachedCalls   int           `json:"cached_llm_calls"`
-	PlanCacheHit  bool          `json:"plan_cache_hit"`
-	Fallback      bool          `json:"fallback"`
-	Adjusted      bool          `json:"adjusted"`
-	SkippedDocs   int           `json:"skipped_docs,omitempty"`
-	Partial       bool          `json:"partial,omitempty"`
-	Replans       int           `json:"replans,omitempty"`
+	RequestID     string     `json:"request_id"`
+	Answer        string     `json:"answer"`
+	Plan          []PlanNode `json:"plan"`
+	PlanningSecs  float64    `json:"planning_secs"`
+	EstimationSec float64    `json:"estimation_secs"`
+	ExecSecs      float64    `json:"exec_secs"`
+	TotalSecs     float64    `json:"total_secs"`
+	LLMCalls      int        `json:"llm_calls"`
+	CachedCalls   int        `json:"cached_llm_calls"`
+	PlanCacheHit  bool       `json:"plan_cache_hit"`
+	Fallback      bool       `json:"fallback"`
+	Adjusted      bool       `json:"adjusted"`
+	SkippedDocs   int        `json:"skipped_docs,omitempty"`
+	Partial       bool       `json:"partial,omitempty"`
+	Replans       int        `json:"replans,omitempty"`
+	// Serving-layer accounting: wall-clock admission-queue wait, and the
+	// query's contention profile on the shared slot pool (simulated).
+	QueueWaitSecs float64       `json:"queue_wait_secs"`
+	GrantWaitSecs float64       `json:"grant_wait_secs"`
+	SoloExecSecs  float64       `json:"solo_exec_secs"`
+	Contended     bool          `json:"contended,omitempty"`
 	Trace         *obs.SpanJSON `json:"trace,omitempty"`
 	TraceText     string        `json:"trace_text,omitempty"`
 }
 
 // PlanResponse is the body returned by POST /v1/plan.
 type PlanResponse struct {
+	RequestID    string     `json:"request_id"`
 	Plan         []PlanNode `json:"plan"`
 	PlanningSecs float64    `json:"planning_secs"`
+}
+
+// ErrorBody is the uniform error payload carried by every non-2xx
+// response from the /v1 API.
+type ErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ErrorResponse is the error envelope: {"error":{...}}.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
 }
 
 // OperatorInfo describes one registry entry for GET /v1/operators.
@@ -106,25 +164,66 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// errCode maps an HTTP status to the envelope's stable error code.
+func errCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestTimeout:
+		return "deadline_exceeded"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	default:
+		return "internal"
+	}
 }
 
-func (s *Server) readQuery(w http.ResponseWriter, r *http.Request) (string, bool) {
+func writeError(w http.ResponseWriter, status int, requestID, format string, args ...interface{}) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{
+		Code:      errCode(status),
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: requestID,
+	}})
+}
+
+// nextRequestID mints the request identifier echoed on every response.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("q-%d", s.reqID.Add(1))
+}
+
+func (s *Server) readQuery(w http.ResponseWriter, r *http.Request, rid string) (QueryRequest, bool) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return "", false
+		writeError(w, http.StatusMethodNotAllowed, rid, "POST required")
+		return QueryRequest{}, false
 	}
 	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed body: %v", err)
-		return "", false
+		writeError(w, http.StatusBadRequest, rid, "malformed body: %v", err)
+		return QueryRequest{}, false
 	}
 	if req.Query == "" {
-		writeError(w, http.StatusBadRequest, "empty query")
-		return "", false
+		writeError(w, http.StatusBadRequest, rid, "empty query")
+		return QueryRequest{}, false
 	}
-	return req.Query, true
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, rid, "negative timeout_ms")
+		return QueryRequest{}, false
+	}
+	return req, true
+}
+
+// requestTimeout resolves a request's effective deadline: the server
+// bound, shortened by a positive timeout_ms.
+func (s *Server) requestTimeout(req QueryRequest) time.Duration {
+	d := s.timeout()
+	if req.TimeoutMS > 0 {
+		if rd := time.Duration(req.TimeoutMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return d
 }
 
 func planNodes(p *core.Plan) []PlanNode {
@@ -154,23 +253,57 @@ func analyzeRequested(r *http.Request) bool {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q, ok := s.readQuery(w, r)
+	rid := s.nextRequestID()
+	req, ok := s.readQuery(w, r, rid)
 	if !ok {
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout())
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 	defer cancel()
-	if analyzeRequested(r) {
+	if analyzeRequested(r) || req.Analyze {
 		// EXPLAIN ANALYZE: run the query with tracing enabled and
 		// return the rendered span tree alongside the answer.
 		ctx = obs.WithTracer(ctx, obs.NewTracer())
 	}
-	ans, err := s.Sys.Query(ctx, q)
+
+	// Admission control: bounded queue ahead of the shared slot pool.
+	// The deadline keeps ticking while queued; expiry or a full queue
+	// rejects the request before any model work starts.
+	m := s.Sys.Metrics
+	release, queueWait, err := s.admission.Acquire(ctx)
+	m.RecordServeDepth(s.admission.Queued(), s.admission.Inflight())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+		if errors.Is(err, ErrQueueFull) {
+			m.RecordRejection("queue_full")
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, rid,
+				"admission queue full (%d running, %d queued)",
+				s.admission.MaxConcurrent(), s.admission.MaxQueue())
+			return
+		}
+		m.RecordRejection("deadline")
+		writeError(w, http.StatusRequestTimeout, rid,
+			"deadline expired after %.3fs in admission queue", queueWait.Seconds())
 		return
 	}
+	defer func() {
+		release()
+		m.RecordServeDepth(s.admission.Queued(), s.admission.Inflight())
+	}()
+	m.RecordAdmission(queueWait)
+
+	ans, err := s.Sys.Query(ctx, req.Query, unify.WithPriority(req.Priority))
+	if err != nil {
+		if ctx.Err() != nil {
+			writeError(w, http.StatusRequestTimeout, rid, "query deadline exceeded: %v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, rid, "query failed: %v", err)
+		return
+	}
+	ans.QueueWait = queueWait
 	writeJSON(w, http.StatusOK, QueryResponse{
+		RequestID:     rid,
 		Answer:        ans.Text,
 		Plan:          planNodes(ans.Plan),
 		PlanningSecs:  ans.PlanningDur.Seconds(),
@@ -185,29 +318,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SkippedDocs:   ans.SkippedDocs,
 		Partial:       ans.Partial,
 		Replans:       ans.Replans,
+		QueueWaitSecs: queueWait.Seconds(),
+		GrantWaitSecs: ans.SlotGrantWait.Seconds(),
+		SoloExecSecs:  ans.SoloExecDur.Seconds(),
+		Contended:     ans.Contended,
 		Trace:         ans.Trace.JSON(),
 		TraceText:     obs.Render(ans.Trace),
 	})
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	q, ok := s.readQuery(w, r)
+	rid := s.nextRequestID()
+	req, ok := s.readQuery(w, r, rid)
 	if !ok {
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout())
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 	defer cancel()
-	plan, dur, err := s.Sys.Plan(ctx, q)
+	plan, dur, err := s.Sys.Plan(ctx, req.Query)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "planning failed: %v", err)
+		if ctx.Err() != nil {
+			writeError(w, http.StatusRequestTimeout, rid, "planning deadline exceeded: %v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, rid, "planning failed: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PlanResponse{Plan: planNodes(plan), PlanningSecs: dur.Seconds()})
+	writeJSON(w, http.StatusOK, PlanResponse{RequestID: rid, Plan: planNodes(plan), PlanningSecs: dur.Seconds()})
 }
 
 func (s *Server) handleOperators(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, http.StatusMethodNotAllowed, "", "GET required")
 		return
 	}
 	var out []OperatorInfo
@@ -246,7 +388,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // sibling of /metrics).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, http.StatusMethodNotAllowed, "", "GET required")
 		return
 	}
 	var snap map[string]interface{}
@@ -281,18 +423,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		failures["faults_injected"] = inj.Injected()
 		failures["faults_by_kind"] = byKind
 	}
+	// Serving-layer state: the admission queue and the shared slot pool.
+	serving := map[string]interface{}{
+		"max_concurrent": s.admission.MaxConcurrent(),
+		"max_queue":      s.admission.MaxQueue(),
+		"inflight":       s.admission.Inflight(),
+		"queued":         s.admission.Queued(),
+	}
+	if pool := s.Sys.Pool; pool != nil {
+		ps := pool.Stats()
+		serving["pool"] = ps
+		serving["pool_busy_vtime_secs"] = ps.BusyTotal.Seconds()
+		serving["pool_grant_wait_vtime_secs"] = ps.GrantWaitTotal.Seconds()
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"uptime_secs": time.Since(s.started).Seconds(),
 		"metrics":     snap,
 		"cache":       cacheStats,
 		"failures":    failures,
+		"serving":     serving,
 	})
 }
 
 // handleMetrics serves the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		writeError(w, http.StatusMethodNotAllowed, "", "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -31,6 +31,16 @@ type Task struct {
 	Deps       []string
 	Units      []Unit
 	Sequential bool // units must run one after another (chained prompts)
+
+	// Job identifies the owning query in a multi-query schedule. Tasks of
+	// one job form a per-query FIFO; when units of different jobs become
+	// ready at the same instant, slot grants round-robin across jobs (the
+	// unit that has had the fewest earlier grants in its own job wins).
+	// Single-job schedules (all zero) behave exactly as before.
+	Job int
+	// Priority breaks ready-time ties before the fair queue: units of a
+	// higher-priority job are granted first.
+	Priority int
 }
 
 // Schedule is a machine model: capacity per named resource. Resources not
@@ -57,13 +67,28 @@ type Result struct {
 	Finish map[string]time.Duration
 	// Busy maps resource name to total busy time across slots.
 	Busy map[string]time.Duration
+
+	// JobBusy, JobWait, JobGrants, and JobEnd break the schedule down per
+	// job for multi-query runs: slot busy time, total slot-grant delay
+	// (grant start minus unit ready) on limited resources, number of slot
+	// grants, and last task completion.
+	JobBusy   map[int]time.Duration
+	JobWait   map[int]time.Duration
+	JobGrants map[int]int
+	JobEnd    map[int]time.Duration
+
+	// SlotFree reports, per limited resource, the time each slot becomes
+	// free after the schedule (ascending). Unlimited resources are absent.
+	SlotFree map[string][]time.Duration
 }
 
 type pendingUnit struct {
 	taskIdx int
 	unitIdx int
 	ready   time.Duration // earliest start
-	seq     int           // global tie-break sequence
+	prio    int           // job priority (higher first)
+	jseq    int           // per-job tie-break sequence (FIFO within a job)
+	job     int           // owning job (round-robin across jobs on ties)
 }
 
 type unitHeap []pendingUnit
@@ -73,7 +98,13 @@ func (h unitHeap) Less(i, j int) bool {
 	if h[i].ready != h[j].ready {
 		return h[i].ready < h[j].ready
 	}
-	return h[i].seq < h[j].seq
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	if h[i].jseq != h[j].jseq {
+		return h[i].jseq < h[j].jseq
+	}
+	return h[i].job < h[j].job
 }
 func (h unitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *unitHeap) Push(x interface{}) { *h = append(*h, x.(pendingUnit)) }
@@ -136,7 +167,7 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 	}
 
 	pend := &unitHeap{}
-	seq := 0
+	seqs := map[int]int{} // per-job FIFO sequence counters
 	enqueueTask := func(i int, at time.Duration) {
 		started[i] = true
 		taskReady[i] = at
@@ -145,19 +176,26 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 			return // completed immediately; handled by caller
 		}
 		if t.Sequential {
-			heap.Push(pend, pendingUnit{i, 0, at, seq})
-			seq++
+			heap.Push(pend, pendingUnit{i, 0, at, t.Priority, seqs[t.Job], t.Job})
+			seqs[t.Job]++
 			nextUnit[i] = 0
 			return
 		}
 		for u := range t.Units {
-			heap.Push(pend, pendingUnit{i, u, at, seq})
-			seq++
+			heap.Push(pend, pendingUnit{i, u, at, t.Priority, seqs[t.Job], t.Job})
+			seqs[t.Job]++
 		}
 	}
 
 	busy := map[string]time.Duration{}
-	res := Result{Finish: make(map[string]time.Duration, len(tasks)), Busy: busy}
+	res := Result{
+		Finish:    make(map[string]time.Duration, len(tasks)),
+		Busy:      busy,
+		JobBusy:   map[int]time.Duration{},
+		JobWait:   map[int]time.Duration{},
+		JobGrants: map[int]int{},
+		JobEnd:    map[int]time.Duration{},
+	}
 
 	// completeTask marks a task finished at time t and releases successors.
 	var completeTask func(i int, t time.Duration)
@@ -167,6 +205,9 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 		res.Finish[tasks[i].ID] = t
 		if t > res.Makespan {
 			res.Makespan = t
+		}
+		if t > res.JobEnd[tasks[i].Job] {
+			res.JobEnd[tasks[i].Job] = t
 		}
 		for _, nxt := range succ[i] {
 			indeg[nxt]--
@@ -221,12 +262,15 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 		if h != nil {
 			heap.Push(h, end)
 			busy[u.Resource] += u.Dur
+			res.JobBusy[t.Job] += u.Dur
+			res.JobWait[t.Job] += start - pu.ready
+			res.JobGrants[t.Job]++
 		}
 		scheduled++
 		remaining[pu.taskIdx]--
 		if t.Sequential && pu.unitIdx+1 < len(t.Units) {
-			heap.Push(pend, pendingUnit{pu.taskIdx, pu.unitIdx + 1, end, seq})
-			seq++
+			heap.Push(pend, pendingUnit{pu.taskIdx, pu.unitIdx + 1, end, t.Priority, seqs[t.Job], t.Job})
+			seqs[t.Job]++
 		}
 		if end > finish[pu.taskIdx] {
 			finish[pu.taskIdx] = end
@@ -246,6 +290,12 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 		}
 		sort.Strings(stuck)
 		return Result{}, fmt.Errorf("vtime: dependency cycle involving %v", stuck)
+	}
+	res.SlotFree = map[string][]time.Duration{}
+	for name, h := range free {
+		times := append([]time.Duration(nil), (*h)...)
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		res.SlotFree[name] = times
 	}
 	return res, nil
 }

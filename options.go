@@ -1,0 +1,214 @@
+package unify
+
+import (
+	"time"
+
+	"unify/internal/corpus"
+	"unify/internal/faults"
+	"unify/internal/llm"
+	"unify/internal/optimizer"
+)
+
+// Option configures system construction for New.
+type Option func(*openOptions)
+
+// openOptions collects construction state: the Config plus the inputs the
+// legacy Open* constructors took as positional arguments.
+type openOptions struct {
+	cfg     Config
+	ds      *corpus.Dataset
+	planner llm.Client
+	worker  llm.Client
+}
+
+// WithConfig seeds construction from a full Config; later options
+// override individual fields.
+func WithConfig(cfg Config) Option {
+	return func(o *openOptions) { o.cfg = cfg }
+}
+
+// WithDataset selects a built-in synthetic corpus: "sports", "ai", "law",
+// "wiki".
+func WithDataset(name string) Option {
+	return func(o *openOptions) { o.cfg.Dataset = name }
+}
+
+// WithSize overrides the corpus document count (0 = the paper's size).
+func WithSize(n int) Option {
+	return func(o *openOptions) { o.cfg.Size = n }
+}
+
+// WithCorpus supplies an already-generated dataset, bypassing corpus
+// generation.
+func WithCorpus(ds *corpus.Dataset) Option {
+	return func(o *openOptions) { o.ds = ds }
+}
+
+// WithClients supplies caller-provided model clients (the extension point
+// for real LLM backends).
+func WithClients(planner, worker llm.Client) Option {
+	return func(o *openOptions) { o.planner, o.worker = planner, worker }
+}
+
+// WithCacheBytes bounds the shared semantic cache; negative disables it.
+func WithCacheBytes(n int64) Option {
+	return func(o *openOptions) { o.cfg.CacheBytes = n }
+}
+
+// WithSlots sets the machine model's LLM server slots (paper: 4).
+func WithSlots(n int) Option {
+	return func(o *openOptions) { o.cfg.Slots = n }
+}
+
+// WithBatchSize sets the per-invocation document batch size.
+func WithBatchSize(n int) Option {
+	return func(o *openOptions) { o.cfg.BatchSize = n }
+}
+
+// WithMode selects the optimizer strategy for the whole system; see
+// WithModeOverride for a per-query override.
+func WithMode(m optimizer.Mode) Option {
+	return func(o *openOptions) { o.cfg.Mode = m }
+}
+
+// WithPlannerParams sets the logical planner's hyper-parameters (paper
+// defaults: K=5, NC=3, Tau=0.75).
+func WithPlannerParams(k, nc int, tau float64) Option {
+	return func(o *openOptions) { o.cfg.K, o.cfg.NC, o.cfg.Tau = k, nc, tau }
+}
+
+// WithSCEBuckets sets the importance-function resolution.
+func WithSCEBuckets(n int) Option {
+	return func(o *openOptions) { o.cfg.SCEBuckets = n }
+}
+
+// WithTrainSCE learns the importance function at open time (the paper's
+// offline phase).
+func WithTrainSCE() Option {
+	return func(o *openOptions) { o.cfg.TrainSCE = true }
+}
+
+// WithSim overrides the simulated model configuration (noise, speed).
+func WithSim(cfg llm.SimConfig) Option {
+	return func(o *openOptions) { c := cfg; o.cfg.Sim = &c }
+}
+
+// WithFaultPlan injects seeded deterministic faults into the worker
+// client (the failure-testing harness).
+func WithFaultPlan(p *faults.Plan) Option {
+	return func(o *openOptions) { o.cfg.FaultPlan = p }
+}
+
+// WithRetries bounds retries per worker call after transient failures.
+func WithRetries(n int) Option {
+	return func(o *openOptions) { o.cfg.MaxRetries = n }
+}
+
+// WithHedgeAfter hedges worker calls slower than the threshold.
+func WithHedgeAfter(d time.Duration) Option {
+	return func(o *openOptions) { o.cfg.HedgeAfter = d }
+}
+
+// WithNodeErrorBudget lets each operator absorb up to n per-batch LLM
+// failures by skipping the affected documents.
+func WithNodeErrorBudget(n int) Option {
+	return func(o *openOptions) { o.cfg.NodeErrorBudget = n }
+}
+
+// WithReplanThreshold enables dynamic replanning above the given
+// deviation ratio (values <= 1 disable it).
+func WithReplanThreshold(r float64) Option {
+	return func(o *openOptions) { o.cfg.ReplanThreshold = r }
+}
+
+// New builds a system from functional options:
+//
+//	sys, err := unify.New(unify.WithDataset("sports"), unify.WithSize(500))
+//
+// With no options it opens the paper's default configuration. New
+// subsumes the deprecated Open/OpenDataset/OpenWithClients constructors.
+func New(opts ...Option) (*System, error) {
+	var o openOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.cfg.defaults()
+	ds := o.ds
+	if ds == nil {
+		size := o.cfg.Size
+		if size == 0 {
+			size = corpus.DefaultSize(o.cfg.Dataset)
+		}
+		var err error
+		ds, err = corpus.GenerateN(o.cfg.Dataset, size)
+		if err != nil {
+			return nil, err
+		}
+	}
+	planner, worker := o.planner, o.worker
+	if planner == nil || worker == nil {
+		simCfg := llm.DefaultSimConfig()
+		if o.cfg.Sim != nil {
+			simCfg = *o.cfg.Sim
+		}
+		if planner == nil {
+			plannerCfg := simCfg
+			plannerCfg.Profile = llm.PlannerProfile()
+			planner = llm.NewSim(plannerCfg)
+		}
+		if worker == nil {
+			workerCfg := simCfg
+			workerCfg.Profile = llm.WorkerProfile()
+			worker = llm.NewSim(workerCfg)
+		}
+	}
+	return open(ds, o.cfg, planner, worker)
+}
+
+// QueryOptions carries per-query execution options; construct it through
+// QueryOption values passed to System.Query or System.Plan.
+type QueryOptions struct {
+	// Timeout bounds the query end to end (queue wait included); zero
+	// means no per-query deadline.
+	Timeout time.Duration
+	// Priority breaks slot-grant ties on the shared pool: queries with
+	// higher priority are granted slots first at equal ready times.
+	Priority int
+	// Analyze captures the query's full span tree in Answer.Trace
+	// (EXPLAIN ANALYZE) even when the context carries no tracer.
+	Analyze bool
+	// Mode, when non-nil, overrides the optimizer strategy for this
+	// query only.
+	Mode *optimizer.Mode
+}
+
+// QueryOption configures one query.
+type QueryOption func(*QueryOptions)
+
+// WithTimeout bounds the query end to end.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(o *QueryOptions) { o.Timeout = d }
+}
+
+// WithPriority favors this query in slot-grant tie-breaks (higher wins).
+func WithPriority(p int) QueryOption {
+	return func(o *QueryOptions) { o.Priority = p }
+}
+
+// WithAnalyze captures the query's span tree in Answer.Trace.
+func WithAnalyze() QueryOption {
+	return func(o *QueryOptions) { o.Analyze = true }
+}
+
+// WithModeOverride overrides the optimizer strategy for this query only.
+func WithModeOverride(m optimizer.Mode) QueryOption {
+	return func(o *QueryOptions) { o.Mode = &m }
+}
+
+func buildQueryOptions(opts []QueryOption) QueryOptions {
+	var o QueryOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}

@@ -1,0 +1,149 @@
+package unify
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"unify/internal/corpus"
+	"unify/internal/llm"
+	"unify/internal/optimizer"
+)
+
+// TestNewMatchesOpenDataset verifies the functional constructor builds a
+// system equivalent to the deprecated positional one: same answer text
+// for the same query on the same corpus and simulator seed.
+func TestNewMatchesOpenDataset(t *testing.T) {
+	ds, err := corpus.GenerateN("sports", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := llm.SimConfig{Profile: llm.WorkerProfile(), Seed: 1}
+
+	legacy, err := OpenDataset(ds, Config{Dataset: "sports", Sim: &sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := New(WithCorpus(ds), WithDataset("sports"), WithSim(sim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modern.Config.Slots != legacy.Config.Slots || modern.Config.Dataset != legacy.Config.Dataset {
+		t.Fatalf("configs diverge: %+v vs %+v", modern.Config, legacy.Config)
+	}
+
+	const q = "How many questions are about tennis?"
+	a1, err := legacy.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := modern.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Text != a2.Text {
+		t.Errorf("New answer %q != OpenDataset answer %q", a2.Text, a1.Text)
+	}
+}
+
+// TestNewOptionOverrides checks that individual options land in Config.
+func TestNewOptionOverrides(t *testing.T) {
+	sys, err := New(
+		WithDataset("sports"),
+		WithSize(120),
+		WithSlots(2),
+		WithBatchSize(7),
+		WithMode(optimizer.Rule),
+		WithCacheBytes(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Config.Slots != 2 || sys.Config.BatchSize != 7 || sys.Config.Mode != optimizer.Rule {
+		t.Fatalf("options not applied: %+v", sys.Config)
+	}
+	if sys.Pool.Slots() != 2 {
+		t.Fatalf("pool slots = %d, want the configured 2", sys.Pool.Slots())
+	}
+	if sys.Store.Len() != 120 {
+		t.Fatalf("corpus size = %d, want 120", sys.Store.Len())
+	}
+}
+
+// TestQueryWithTimeout verifies per-query deadlines fire.
+func TestQueryWithTimeout(t *testing.T) {
+	sys, _ := openSmall(t, 120)
+	_, err := sys.Query(context.Background(),
+		"How many questions are about tennis?", WithTimeout(time.Nanosecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// A generous deadline must not interfere.
+	if _, err := sys.Query(context.Background(),
+		"How many questions are about tennis?", WithTimeout(time.Minute)); err != nil {
+		t.Fatalf("query with ample timeout failed: %v", err)
+	}
+}
+
+// TestQueryModeOverride verifies a per-query optimizer override applies
+// without mutating the system's shared optimizer.
+func TestQueryModeOverride(t *testing.T) {
+	sys, _ := openSmall(t, 150)
+	before := sys.Optimizer.Mode
+
+	const q = "How many questions are about golf?"
+	base, err := sys.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := sys.Query(context.Background(), q, WithModeOverride(optimizer.Rule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Optimizer.Mode != before {
+		t.Fatalf("override mutated the shared optimizer: %v -> %v", before, sys.Optimizer.Mode)
+	}
+	// Deterministic judge: strategy changes the plan, not the answer.
+	if base.Text != over.Text {
+		t.Errorf("rule-mode answer %q != cost-based answer %q", over.Text, base.Text)
+	}
+	// And the override must not stick for later queries.
+	again, err := sys.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Text != base.Text {
+		t.Errorf("answer after override %q != before %q", again.Text, base.Text)
+	}
+}
+
+// TestQueryAnalyzeOption verifies WithAnalyze captures a span tree even
+// when the caller installed no tracer.
+func TestQueryAnalyzeOption(t *testing.T) {
+	sys, _ := openSmall(t, 120)
+	ans, err := sys.Query(context.Background(),
+		"How many questions are about tennis?", WithAnalyze())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Trace == nil {
+		t.Fatal("WithAnalyze returned no trace")
+	}
+}
+
+// TestPlanWithOptions verifies Plan accepts the same variadic options.
+func TestPlanWithOptions(t *testing.T) {
+	sys, _ := openSmall(t, 120)
+	plan, _, err := sys.Plan(context.Background(),
+		"How many questions are about tennis?", WithModeOverride(optimizer.Rule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Nodes) == 0 {
+		t.Fatal("empty plan")
+	}
+	if _, _, err := sys.Plan(context.Background(), "How many questions are about tennis?"); err != nil {
+		t.Fatalf("two-argument Plan regressed: %v", err)
+	}
+}

@@ -7,13 +7,16 @@
 //
 // Quick start:
 //
-//	sys, err := unify.Open(unify.Config{Dataset: "sports", Size: 500})
+//	sys, err := unify.New(unify.WithDataset("sports"), unify.WithSize(500))
 //	ans, err := sys.Query(ctx, "How many questions about football have more than 500 views?")
 //	fmt.Println(ans.Text, ans.TotalDur)
 //
+// Per-query options ride on the same call: sys.Query(ctx, q,
+// unify.WithTimeout(30*time.Second), unify.WithPriority(1)).
+//
 // The LLM substrate is simulated (deterministic, latency-modeled); see
 // DESIGN.md for the substitution rationale. Any llm.Client implementation
-// can be plugged in via OpenWithClients.
+// can be plugged in via unify.WithClients.
 package unify
 
 import (
@@ -34,6 +37,7 @@ import (
 	"unify/internal/obs"
 	"unify/internal/optimizer"
 	"unify/internal/sce"
+	"unify/internal/sched"
 	"unify/internal/values"
 )
 
@@ -152,6 +156,11 @@ type System struct {
 	// (nil when Config.CacheBytes < 0).
 	Cache *cache.LRU
 
+	// Pool is the process-global slot pool: every concurrent query of
+	// this system contends for the same simulated LLM slots (paper
+	// §VI-A: one machine, 4 local model instances).
+	Pool *sched.Pool
+
 	// Injector is the fault-injecting wrapper around the worker client
 	// (nil unless Config.FaultPlan was set).
 	Injector *faults.Client
@@ -215,6 +224,23 @@ type Answer struct {
 	// SlotBusy is the execution's total simulated busy time across the
 	// LLM slot pool (utilization = SlotBusy / (ExecDur * slots)).
 	SlotBusy time.Duration
+	// SlotGrantWait is the total simulated delay between work units
+	// becoming ready and receiving a slot grant on the shared pool —
+	// non-zero when concurrent queries contend for slots.
+	SlotGrantWait time.Duration
+	// SoloExecDur is the execution latency the same work would have on
+	// an idle machine: ExecDur == SoloExecDur for a query that ran
+	// alone, ExecDur >= SoloExecDur under contention.
+	SoloExecDur time.Duration
+	// SchedStart is the query's admission time on the pool's shared
+	// virtual clock.
+	SchedStart time.Duration
+	// Contended reports that execution shared slots with other queries.
+	Contended bool
+	// QueueWait is the wall-clock time the query spent in the server's
+	// admission queue before starting (zero for direct library calls;
+	// set by the HTTP serving layer).
+	QueueWait time.Duration
 
 	// Trace is the query's span tree (EXPLAIN ANALYZE), populated only
 	// when a tracer was installed in the query context via
@@ -227,37 +253,32 @@ type Answer struct {
 }
 
 // Open builds a system over a named built-in dataset.
+//
+// Deprecated: use New with functional options, e.g.
+// unify.New(unify.WithConfig(cfg)) or unify.New(unify.WithDataset(name)).
 func Open(cfg Config) (*System, error) {
-	cfg.defaults()
-	size := cfg.Size
-	if size == 0 {
-		size = corpus.DefaultSize(cfg.Dataset)
-	}
-	ds, err := corpus.GenerateN(cfg.Dataset, size)
-	if err != nil {
-		return nil, err
-	}
-	return OpenDataset(ds, cfg)
+	return New(WithConfig(cfg))
 }
 
 // OpenDataset builds a system over an already-generated dataset.
+//
+// Deprecated: use New(unify.WithConfig(cfg), unify.WithCorpus(ds)).
 func OpenDataset(ds *corpus.Dataset, cfg Config) (*System, error) {
-	cfg.defaults()
-	simCfg := llm.DefaultSimConfig()
-	if cfg.Sim != nil {
-		simCfg = *cfg.Sim
-	}
-	workerCfg := simCfg
-	workerCfg.Profile = llm.WorkerProfile()
-	plannerCfg := simCfg
-	plannerCfg.Profile = llm.PlannerProfile()
-	return OpenWithClients(ds, cfg, llm.NewSim(plannerCfg), llm.NewSim(workerCfg))
+	return New(WithConfig(cfg), WithCorpus(ds))
 }
 
 // OpenWithClients builds a system with caller-provided model clients (the
 // extension point for real LLM backends).
+//
+// Deprecated: use New(unify.WithConfig(cfg), unify.WithCorpus(ds),
+// unify.WithClients(planner, worker)).
 func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, error) {
-	cfg.defaults()
+	return New(WithConfig(cfg), WithCorpus(ds), WithClients(planner, worker))
+}
+
+// open assembles the system; every constructor funnels through here with
+// a defaulted Config and concrete dataset and clients.
+func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, error) {
 	store, err := docstore.New(ds.Name, ds.Documents())
 	if err != nil {
 		return nil, err
@@ -321,9 +342,11 @@ func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client)
 		Metrics:       metrics,
 		Cache:         shared,
 		Injector:      injector,
+		Pool:          sched.NewPool(cfg.Slots),
 	}
 	s.Executor.Slots = cfg.Slots
 	s.Executor.BatchSize = cfg.BatchSize
+	s.Executor.Pool = s.Pool
 	s.Executor.NodeErrorBudget = cfg.NodeErrorBudget
 	if cfg.ReplanThreshold > 1 {
 		s.Executor.ReplanThreshold = cfg.ReplanThreshold
@@ -366,31 +389,69 @@ func (s *System) TrainSCE(ctx context.Context) error {
 
 // Plan generates and optimizes the physical plan for a query without
 // executing it (EXPLAIN-style). The returned duration is the simulated
-// planning + estimation latency.
-func (s *System) Plan(ctx context.Context, q string) (*core.Plan, time.Duration, error) {
+// planning + estimation latency. It accepts the same options as Query;
+// WithTimeout and WithModeOverride apply, the rest are execution-only.
+func (s *System) Plan(ctx context.Context, q string, opts ...QueryOption) (*core.Plan, time.Duration, error) {
+	o := buildQueryOptions(opts)
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
 	plans, pstats, err := s.Planner.GeneratePlans(ctx, q)
 	if err != nil {
 		return nil, 0, fmt.Errorf("unify: planning %q: %w", q, err)
 	}
-	plan, ostats, err := s.Optimizer.Optimize(ctx, plans)
+	plan, ostats, err := s.optimizerFor(o).Optimize(ctx, plans)
 	if err != nil {
 		return nil, 0, fmt.Errorf("unify: optimizing %q: %w", q, err)
 	}
 	return plan, pstats.Duration + ostats.Duration/time.Duration(s.Config.Slots), nil
 }
 
+// optimizerFor resolves a per-query optimizer-mode override to a shallow
+// per-mode view of the shared optimizer (cache-safe: plan signatures
+// include the mode).
+func (s *System) optimizerFor(o QueryOptions) *optimizer.Optimizer {
+	if o.Mode == nil || *o.Mode == s.Optimizer.Mode {
+		return s.Optimizer
+	}
+	return s.Optimizer.WithMode(*o.Mode)
+}
+
 // Query answers one natural-language analytics query end to end:
-// logical plan generation, physical optimization, parallel execution.
+// logical plan generation, physical optimization, parallel execution on
+// the shared slot pool.
 //
-// Installing a tracer in ctx (obs.WithTracer) additionally captures the
-// query's full span tree in Answer.Trace — one span per planning
-// iteration, optimizer phase, and executed plan node, with LLM calls as
-// leaves. Without a tracer the span plumbing is nil and costs nothing.
-func (s *System) Query(ctx context.Context, q string) (*Answer, error) {
+// Options set a per-query deadline (WithTimeout), slot-grant priority
+// (WithPriority), optimizer-strategy override (WithModeOverride), and
+// EXPLAIN ANALYZE capture (WithAnalyze). Installing a tracer in ctx
+// (obs.WithTracer) also captures the query's full span tree in
+// Answer.Trace — one span per planning iteration, optimizer phase, and
+// executed plan node, with LLM calls as leaves. Without a tracer the
+// span plumbing is nil and costs nothing.
+func (s *System) Query(ctx context.Context, q string, opts ...QueryOption) (*Answer, error) {
+	o := buildQueryOptions(opts)
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+	if o.Analyze && obs.TracerFrom(ctx) == nil {
+		ctx = obs.WithTracer(ctx, obs.NewTracer())
+	}
 	qspan := obs.TracerFrom(ctx).Start("query", obs.KindQuery)
 	qspan.SetAttr("query", q)
 	defer qspan.End()
-	ans, err := s.query(ctx, q, qspan)
+
+	// Admission to the shared slot pool happens up front: queries whose
+	// lifetimes overlap share a virtual epoch and contend for the same
+	// simulated machine.
+	tk := s.Pool.Admit(o.Priority)
+	defer s.Pool.Release(tk)
+	ctx = sched.WithTicket(ctx, tk)
+
+	ans, err := s.query(ctx, q, qspan, o)
 	if err != nil {
 		s.Metrics.RecordQueryFailed()
 		return nil, err
@@ -400,7 +461,7 @@ func (s *System) Query(ctx context.Context, q string) (*Answer, error) {
 	return ans, nil
 }
 
-func (s *System) query(ctx context.Context, q string, qspan *obs.Span) (*Answer, error) {
+func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOptions) (*Answer, error) {
 	pspan := qspan.StartChild("planning", obs.KindPhase)
 	plans, pstats, err := s.Planner.GeneratePlans(obs.WithSpan(ctx, pspan), q)
 	if err != nil {
@@ -409,8 +470,17 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span) (*Answer,
 	pspan.SetVDur(pstats.Duration)
 	pspan.End()
 
+	opt := s.optimizerFor(o)
+	executor := s.Executor
+	if opt != s.Optimizer && executor.Replanner != nil {
+		// Replanning must use the same mode the query optimized under.
+		cp := *executor
+		cp.Replanner = opt
+		executor = &cp
+	}
+
 	ospan := qspan.StartChild("optimize", obs.KindPhase)
-	plan, ostats, err := s.Optimizer.Optimize(obs.WithSpan(ctx, ospan), plans)
+	plan, ostats, err := opt.Optimize(obs.WithSpan(ctx, ospan), plans)
 	if err != nil {
 		return nil, fmt.Errorf("unify: optimizing %q: %w", q, err)
 	}
@@ -422,13 +492,16 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span) (*Answer,
 	ospan.End()
 
 	espan := qspan.StartChild("execute", obs.KindPhase)
-	res, err := s.Executor.Run(obs.WithSpan(ctx, espan), plan)
+	res, err := executor.Run(obs.WithSpan(ctx, espan), plan)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("unify: executing %q: %w", q, ctx.Err())
+		}
 		// Plan adjustment at the system level: dynamic replanning via
 		// the Generate fallback rather than a complete restart.
 		fb := fallbackPlan(q)
 		espan.SetAttr("replanned", "true")
-		res, err = s.Executor.Run(obs.WithSpan(ctx, espan), fb)
+		res, err = executor.Run(obs.WithSpan(ctx, espan), fb)
 		if err != nil {
 			return nil, fmt.Errorf("unify: executing %q: %w", q, err)
 		}
@@ -438,6 +511,10 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span) (*Answer,
 	espan.SetVDur(res.Makespan)
 	espan.SetInt("llm_calls", res.LLMCalls)
 	espan.SetAttr("slot_busy", res.SlotBusy.Round(time.Millisecond).String())
+	if res.Contended {
+		espan.SetAttr("contended", "true")
+		espan.SetAttr("grant_wait", res.GrantWait.Round(time.Millisecond).String())
+	}
 	espan.End()
 
 	ans := &Answer{
@@ -489,6 +566,10 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span) (*Answer,
 	ans.planCalls = append(append([]llm.Call(nil), pstats.Calls...), ostats.Calls...)
 	ans.execCalls = execCalls(res)
 	ans.SlotBusy = res.SlotBusy
+	ans.SlotGrantWait = res.GrantWait
+	ans.SoloExecDur = res.SoloMakespan
+	ans.SchedStart = res.PoolStart
+	ans.Contended = res.Contended
 	return ans, nil
 }
 
@@ -531,6 +612,11 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 	}
 	m.RecordDegradation(ans.Replans, ans.SkippedDocs)
 	m.RecordSlots(ans.SlotBusy, ans.ExecDur, s.Config.Slots)
+	m.RecordGrantWait(ans.SlotGrantWait)
+	if s.Pool != nil {
+		ps := s.Pool.Stats()
+		m.RecordPool(ps.Active, ps.Utilization)
+	}
 	m.RecordCacheSize(s.Cache.Bytes(), s.Cache.Len())
 	for _, cli := range []llm.Client{s.PlannerClient, s.WorkerClient} {
 		if sim := llm.SimOf(cli); sim != nil {
