@@ -1,0 +1,297 @@
+package unify
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"unify/internal/baselines"
+	"unify/internal/check"
+	"unify/internal/corpus"
+	"unify/internal/faults"
+	"unify/internal/llm"
+	"unify/internal/optimizer"
+	"unify/internal/workload"
+)
+
+// The differential/metamorphic harness: the axes registered in
+// internal/check.Axes are wired to real system pairs here (check cannot
+// import unify). Every axis runs the same seeded workload slice through
+// both configurations; exact axes must agree byte-for-byte.
+
+// diffDataset is the harness corpus: small and noise-free so runs are
+// fast and bit-for-bit deterministic.
+func diffDataset(t *testing.T) *corpus.Dataset {
+	t.Helper()
+	ds, err := corpus.GenerateN("sports", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// diffSystem opens a strict-checked, noise-free system; mut customizes
+// the config for one side of an axis.
+func diffSystem(t *testing.T, ds *corpus.Dataset, mut func(*Config)) *System {
+	t.Helper()
+	sim := llm.SimConfig{Profile: llm.WorkerProfile(), Seed: 1} // zero noise
+	cfg := Config{Dataset: "sports", Sim: &sim, StrictChecks: true}
+	if mut != nil {
+		mut(&cfg)
+	}
+	sys, err := OpenDataset(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// diffQueries is the seeded workload slice every axis replays.
+func diffQueries(ds *corpus.Dataset, n int) []string {
+	qs := workload.Generate(ds, 1, 42)
+	if n > len(qs) {
+		n = len(qs)
+	}
+	out := make([]string, 0, n)
+	for _, q := range qs[:n] {
+		out = append(out, q.Text)
+	}
+	return out
+}
+
+// textRunner fingerprints a query by answer text only (for axes where
+// virtual latency legitimately shifts, e.g. cache hits).
+func textRunner(sys *System) check.Runner {
+	return func(ctx context.Context, q string) (string, error) {
+		ans, err := sys.Query(ctx, q)
+		if err != nil {
+			return "", err
+		}
+		return ans.Text, nil
+	}
+}
+
+// exactRunner fingerprints answer text plus virtual latency: the axis
+// must be invisible to results AND timing.
+func exactRunner(sys *System) check.Runner {
+	return func(ctx context.Context, q string) (string, error) {
+		ans, err := sys.Query(ctx, q)
+		if err != nil {
+			return "", err
+		}
+		return ans.Text + " @" + ans.TotalDur.String(), nil
+	}
+}
+
+func assertNoMismatch(t *testing.T, axis string, ms []check.Mismatch) {
+	t.Helper()
+	for _, m := range ms {
+		t.Errorf("metamorphic violation %s", m)
+	}
+}
+
+// Axis "cache": a cache hit must change latency only, never the answer.
+func TestDifferentialCacheOnOff(t *testing.T) {
+	ds := diffDataset(t)
+	on := diffSystem(t, ds, nil)
+	off := diffSystem(t, ds, func(c *Config) { c.CacheBytes = -1 })
+	ms := check.Differential(context.Background(), "cache", diffQueries(ds, 6),
+		textRunner(on), textRunner(off))
+	assertNoMismatch(t, "cache", ms)
+}
+
+// Axis "faults-zero": a fault plan that can never fire (rate 0), plus the
+// retry layer it installs, must be a perfect no-op — same answers, same
+// virtual latency.
+func TestDifferentialZeroFaultRate(t *testing.T) {
+	ds := diffDataset(t)
+	clean := diffSystem(t, ds, nil)
+	zero := diffSystem(t, ds, func(c *Config) {
+		c.FaultPlan = faults.Uniform(faults.Transient, 0, 7)
+	})
+	ms := check.Differential(context.Background(), "faults-zero", diffQueries(ds, 6),
+		exactRunner(clean), exactRunner(zero))
+	assertNoMismatch(t, "faults-zero", ms)
+}
+
+// Axis "pool": a lone query on the shared slot pool must schedule exactly
+// as on a private single-query pool (the PR-4 equivalence guarantee).
+func TestDifferentialSharedVsSoloPool(t *testing.T) {
+	ds := diffDataset(t)
+	shared := diffSystem(t, ds, nil)
+	solo := diffSystem(t, ds, nil)
+	// A nil executor pool selects a fresh private pool per execution; the
+	// system-level pool still admits/releases but is never scheduled on.
+	solo.Executor.Pool = nil
+	ms := check.Differential(context.Background(), "pool", diffQueries(ds, 6),
+		exactRunner(shared), exactRunner(solo))
+	assertNoMismatch(t, "pool", ms)
+}
+
+// Axis "mode-override": per-query WithModeOverride(m) must behave exactly
+// like a system opened with Mode m.
+func TestDifferentialModeOverride(t *testing.T) {
+	ds := diffDataset(t)
+	ruleSys := diffSystem(t, ds, func(c *Config) { c.Mode = optimizer.Rule })
+	overrideSys := diffSystem(t, ds, nil) // CostBased system, per-query override
+	left := exactRunner(ruleSys)
+	right := func(ctx context.Context, q string) (string, error) {
+		ans, err := overrideSys.Query(ctx, q, WithModeOverride(optimizer.Rule))
+		if err != nil {
+			return "", err
+		}
+		return ans.Text + " @" + ans.TotalDur.String(), nil
+	}
+	ms := check.Differential(context.Background(), "mode-override", diffQueries(ds, 6), left, right)
+	assertNoMismatch(t, "mode-override", ms)
+}
+
+// Axis "constructors" (satellite: deprecated-wrapper parity): the
+// deprecated Open/OpenDataset/OpenWithClients constructors must produce
+// byte-identical answers to the equivalent unify.New call on a seeded
+// workload slice.
+func TestDifferentialDeprecatedConstructorParity(t *testing.T) {
+	ds := diffDataset(t)
+	sim := llm.SimConfig{Profile: llm.WorkerProfile(), Seed: 1}
+	cfg := Config{Dataset: "sports", Sim: &sim, StrictChecks: true}
+	queries := diffQueries(ds, 4)
+
+	pcfg := sim
+	pcfg.Profile = llm.PlannerProfile()
+	wcfg := sim
+	wcfg.Profile = llm.WorkerProfile()
+
+	pairs := []struct {
+		name       string
+		deprecated func() (*System, error)
+		modern     func() (*System, error)
+	}{
+		{
+			name:       "OpenDataset",
+			deprecated: func() (*System, error) { return OpenDataset(ds, cfg) },
+			modern:     func() (*System, error) { return New(WithConfig(cfg), WithCorpus(ds)) },
+		},
+		{
+			name: "Open",
+			deprecated: func() (*System, error) {
+				c := cfg
+				c.Size = 150
+				return Open(c)
+			},
+			modern: func() (*System, error) {
+				c := cfg
+				c.Size = 150
+				return New(WithConfig(c))
+			},
+		},
+		{
+			name: "OpenWithClients",
+			deprecated: func() (*System, error) {
+				return OpenWithClients(ds, cfg, llm.NewSim(pcfg), llm.NewSim(wcfg))
+			},
+			modern: func() (*System, error) {
+				return New(WithConfig(cfg), WithCorpus(ds),
+					WithClients(llm.NewSim(pcfg), llm.NewSim(wcfg)))
+			},
+		},
+	}
+	for _, pair := range pairs {
+		dep, err := pair.deprecated()
+		if err != nil {
+			t.Fatalf("%s: %v", pair.name, err)
+		}
+		mod, err := pair.modern()
+		if err != nil {
+			t.Fatalf("%s (modern): %v", pair.name, err)
+		}
+		ms := check.Differential(context.Background(), "constructors/"+pair.name, queries,
+			exactRunner(dep), exactRunner(mod))
+		assertNoMismatch(t, "constructors/"+pair.name, ms)
+	}
+}
+
+// Axis "optimized-vs-exhaustive": the cost-based optimizer must not give
+// up accuracy relative to the exhaustive baseline (the paper's headline
+// claim); tolerance is one query on this small slice.
+func TestDifferentialOptimizedVsExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive baseline is slow")
+	}
+	ds := diffDataset(t)
+	sys := diffSystem(t, ds, nil)
+	ex := baselines.NewExhaust(sys.Store, sys.PlannerClient, sys.WorkerClient)
+	queries := workload.Generate(ds, 1, 42)[:6]
+
+	unifyOK, exOK := 0, 0
+	for _, q := range queries {
+		ans, err := sys.Query(context.Background(), q.Text)
+		if err != nil {
+			t.Fatalf("unify %s: %v", q.ID, err)
+		}
+		if workload.Score(q, ans.Text) {
+			unifyOK++
+		}
+		res, err := ex.Run(context.Background(), q.Text)
+		if err != nil {
+			t.Fatalf("exhaust %s: %v", q.ID, err)
+		}
+		if workload.Score(q, res.Text) {
+			exOK++
+		}
+	}
+	if unifyOK < exOK-1 {
+		t.Errorf("optimized accuracy %d/%d fell more than tolerance below exhaustive %d/%d",
+			unifyOK, len(queries), exOK, len(queries))
+	}
+	t.Logf("unify %d/%d correct, exhaustive %d/%d correct", unifyOK, len(queries), exOK, len(queries))
+}
+
+// Satellite (nondeterminism sweep): two identical systems replaying the
+// same workload slice must agree byte-for-byte — answers, the Prometheus
+// exposition, and the stats snapshot JSON. This pins the fixed leaks
+// (first-seen label order in /metrics, Snapshot mutating the registry).
+func TestRepeatedRunByteIdentity(t *testing.T) {
+	ds := diffDataset(t)
+	queries := diffQueries(ds, 5)
+
+	run := func() (answers []string, prom []byte, snap []byte) {
+		sys := diffSystem(t, ds, nil)
+		for _, q := range queries {
+			ans, err := sys.Query(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			answers = append(answers, fmt.Sprintf("%s @%s", ans.Text, ans.TotalDur))
+		}
+		var buf bytes.Buffer
+		sys.Metrics.Reg.WritePrometheus(&buf)
+		// Reading the snapshot must not change the exposition (regression:
+		// Snapshot used to create empty series).
+		js, err := json.Marshal(sys.Metrics.Reg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf2 bytes.Buffer
+		sys.Metrics.Reg.WritePrometheus(&buf2)
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("Snapshot changed subsequent /metrics output")
+		}
+		return answers, buf.Bytes(), js
+	}
+
+	a1, p1, s1 := run()
+	a2, p2, s2 := run()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Errorf("answer %d differs between identical runs:\n  run1: %s\n  run2: %s", i, a1[i], a2[i])
+		}
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Error("Prometheus exposition differs between identical runs")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Error("stats snapshot JSON differs between identical runs")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"unify/internal/check"
 	"unify/internal/core"
 	"unify/internal/cost"
 	"unify/internal/docstore"
@@ -75,6 +76,12 @@ type Executor struct {
 	MaxReplans int
 	// Replanner performs the suffix re-optimization (nil disables).
 	Replanner Replanner
+
+	// StrictChecks validates every plan this executor receives (including
+	// replanned suffixes, which mutate the plan in place) against the
+	// internal/check invariants before running it. On in all tests, off
+	// by default on the production path (Config.StrictChecks).
+	StrictChecks bool
 }
 
 // NodeResult captures one operator execution.
@@ -176,6 +183,11 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 	}
 
 	espan := obs.SpanFrom(ctx)
+	if e.StrictChecks {
+		if err := check.Fail("exec: physical plan", check.Plan(plan, e.Store.Len(), true), espan); err != nil {
+			return nil, err
+		}
+	}
 	completed := map[int]*NodeResult{}
 	vars := map[string]values.Value{"dataset": values.NewDocs(e.Store.IDs())}
 	replans := 0
@@ -213,6 +225,13 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 			replans = e.maxReplans()
 		}
 		rspan.End()
+		// Reoptimize rewrites the un-executed suffix in place: re-validate
+		// the mutated plan before resuming.
+		if e.StrictChecks {
+			if err := check.Fail("exec: replanned plan", check.Plan(plan, e.Store.Len(), true), espan); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	res := &Result{Replans: replans, ReplanDur: replanDur}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression: /metrics rendered label values in first-seen order, so two
+// identical runs whose goroutines touched label values in different
+// interleavings produced different bytes. Rendering must sort.
+func TestPrometheusLabelOrderDeterministic(t *testing.T) {
+	render := func(order []string) string {
+		r := NewRegistry()
+		c := r.CounterVec("unify_test_total", "test counter", "task")
+		for _, l := range order {
+			c.IncL(l)
+		}
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		return b.String()
+	}
+	a := render([]string{"filter", "classify", "bind"})
+	b := render([]string{"bind", "filter", "classify"})
+	if a != b {
+		t.Fatalf("label insertion order leaked into /metrics output:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	// Sorted order is also the documented contract.
+	if !(strings.Index(a, `task="bind"`) < strings.Index(a, `task="classify"`) &&
+		strings.Index(a, `task="classify"`) < strings.Index(a, `task="filter"`)) {
+		t.Fatalf("label values not sorted:\n%s", a)
+	}
+}
+
+// Regression: Snapshot called metric.get(""), which CREATES the series it
+// looks up — a /v1/stats read inserted empty "" series into labeled
+// metrics and histograms, changing subsequent /metrics output. Reads must
+// not mutate.
+func TestSnapshotDoesNotMutateRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("unify_labeled_total", "labeled counter", "task").IncL("filter")
+	r.Histogram("unify_lat_seconds", "latency", []float64{1, 5})
+
+	var before strings.Builder
+	r.WritePrometheus(&before)
+
+	snap := r.Snapshot()
+	if _, ok := snap["unify_labeled_total"]; !ok {
+		t.Fatal("labeled counter missing from snapshot")
+	}
+	hist, ok := snap["unify_lat_seconds"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("histogram snapshot has wrong shape: %#v", snap["unify_lat_seconds"])
+	}
+	if hist["count"] != uint64(0) {
+		t.Fatalf("empty histogram count = %v", hist["count"])
+	}
+
+	var after strings.Builder
+	r.WritePrometheus(&after)
+	if before.String() != after.String() {
+		t.Fatalf("Snapshot mutated the registry:\n--- before ---\n%s--- after ---\n%s",
+			before.String(), after.String())
+	}
+}

@@ -255,8 +255,11 @@ func escapeLabel(v string) string {
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format (version 0.0.4), in registration order with label values in
-// first-seen order.
+// format (version 0.0.4), in registration order with label values sorted.
+// Sorting matters: first-seen label order depends on goroutine
+// interleaving under concurrent queries, so rendering m.keys directly
+// made /metrics output nondeterministic byte-for-byte across identical
+// runs.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	if r == nil {
 		return
@@ -273,7 +276,9 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		m.mu.Lock()
 		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
 		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
-		for _, key := range m.keys {
+		keys := append([]string(nil), m.keys...)
+		sort.Strings(keys)
+		for _, key := range keys {
 			s := m.series[key]
 			label := ""
 			if m.label != "" {
@@ -315,17 +320,28 @@ func (r *Registry) Snapshot() map[string]interface{} {
 
 	for i, m := range metrics {
 		m.mu.Lock()
+		// Snapshot is a read path: it must not call m.get, which creates
+		// the series it looks up. The old behavior meant a /v1/stats read
+		// inserted empty "" series, changing subsequent /metrics output.
 		switch {
 		case m.typ == TypeHistogram:
-			s := m.get("")
+			var count uint64
+			var sum float64
 			buckets := map[string]uint64{}
 			cum := uint64(0)
-			for j, ub := range m.buckets {
-				cum += s.counts[j]
-				buckets["le_"+formatFloat(ub)] = cum
+			if s, ok := m.series[""]; ok {
+				count, sum = s.count, s.sum
+				for j, ub := range m.buckets {
+					cum += s.counts[j]
+					buckets["le_"+formatFloat(ub)] = cum
+				}
+			} else {
+				for _, ub := range m.buckets {
+					buckets["le_"+formatFloat(ub)] = 0
+				}
 			}
 			out[names[i]] = map[string]interface{}{
-				"count": s.count, "sum": s.sum, "buckets": buckets,
+				"count": count, "sum": sum, "buckets": buckets,
 			}
 		case m.label != "":
 			vals := map[string]float64{}
@@ -334,7 +350,11 @@ func (r *Registry) Snapshot() map[string]interface{} {
 			}
 			out[names[i]] = vals
 		default:
-			out[names[i]] = m.get("").val
+			var v float64
+			if s, ok := m.series[""]; ok {
+				v = s.val
+			}
+			out[names[i]] = v
 		}
 		m.mu.Unlock()
 	}

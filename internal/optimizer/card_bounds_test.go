@@ -1,0 +1,37 @@
+package optimizer
+
+import (
+	"context"
+	"testing"
+
+	"unify/internal/core"
+	"unify/internal/ops"
+)
+
+// Regression: propagate estimated a Union's cardinality as the raw sum of
+// its inputs' cardinalities. Two broad branches over the same corpus then
+// exceeded the corpus size itself — a document set larger than the
+// dataset — violating the card_bounds invariant (EstCard in [0, |docs|])
+// and inflating downstream work estimates. Set-op outputs must clamp.
+func TestUnionEstCardClampedToCorpus(t *testing.T) {
+	o, store := setup(t, 300)
+	plan := &core.Plan{Query: "union bound", Nodes: []*core.Node{
+		{ID: 0, Op: "Scan", Args: ops.Args{"Entity": "questions"},
+			Inputs: []string{"dataset"}, OutVar: "v1", Desc: "all questions"},
+		{ID: 1, Op: "Scan", Args: ops.Args{"Entity": "questions"},
+			Inputs: []string{"dataset"}, OutVar: "v2", Desc: "all questions again"},
+		{ID: 2, Op: "Union", Args: ops.Args{"Entity": "{v1}", "Entity2": "{v2}"},
+			Inputs: []string{"{v1}", "{v2}"}, OutVar: "v3", Deps: []int{0, 1}, Desc: "union"},
+		{ID: 3, Op: "Count", Args: ops.Args{"Entity": "{v3}"},
+			Inputs: []string{"{v3}"}, OutVar: "v4", Deps: []int{2}},
+	}}
+	got, _, err := o.Optimize(context.Background(), []*core.Plan{plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range got.Nodes {
+		if n.EstCard < 0 || n.EstCard > store.Len() {
+			t.Errorf("node %d (%s) EstCard %d outside [0, %d]", n.ID, n.Op, n.EstCard, store.Len())
+		}
+	}
+}

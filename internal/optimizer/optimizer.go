@@ -689,7 +689,11 @@ func (o *Optimizer) propagate(ctx context.Context, n *core.Node, ins []sig, stat
 			b = ins[1]
 		}
 		out := in
-		out.card = in.card + b.card
+		// A union is at most the sum of its sides, but a document set can
+		// never exceed the corpus: unclamped sums violated the
+		// card_bounds invariant (EstCard in [0, |docs|]) and inflated
+		// downstream work estimates.
+		out.card = min(in.card+b.card, o.Store.Len())
 		if n.Op == "Intersection" || n.Op == "Join" {
 			out.card = min(in.card, b.card)
 		}

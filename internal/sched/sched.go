@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"unify/internal/check"
 	"unify/internal/vtime"
 )
 
@@ -104,6 +105,12 @@ type Stats struct {
 
 // Pool multiplexes concurrent queries onto one slot-limited machine.
 type Pool struct {
+	// StrictChecks validates every merged schedule this pool finalizes
+	// (vtime conservation, slot bounds) and the epoch utilization against
+	// the internal/check invariants. Set at construction time alongside
+	// Config.StrictChecks; on in all tests, off by default in prod.
+	StrictChecks bool
+
 	mu    sync.Mutex
 	slots int
 	free  []time.Duration // per-slot virtual free times (absolute)
@@ -332,6 +339,11 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 	if err != nil {
 		return JobResult{}, err
 	}
+	if p.StrictChecks {
+		if err := check.Fail("sched: merged schedule", check.VTime(mres, p.slots), nil); err != nil {
+			return JobResult{}, err
+		}
+	}
 
 	jr := JobResult{
 		Start:     t0,
@@ -381,6 +393,11 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 	p.waitTotal += jr.GrantWait
 	p.grantsTotal += int64(jr.Grants)
 	p.completed++
+	if p.StrictChecks {
+		if err := check.Fail("sched: epoch accounting", check.PoolUtilization(p.epochUtilLocked()), nil); err != nil {
+			return JobResult{}, err
+		}
+	}
 	return jr, nil
 }
 

@@ -43,6 +43,14 @@ func NewAdmission(maxConcurrent, maxQueue int) *Admission {
 // Acquire blocks until the request may execute, the context expires, or
 // the queue is full. On success it returns a release function (call
 // exactly once) and the time spent queued.
+//
+// Clock domain: the returned wait is MONOTONIC WALL time (time.Now /
+// time.Since measure the process actually blocking), deliberately
+// distinct from the virtual (simulated) clock every query-latency figure
+// uses. It must only feed serving-layer stats — queue_wait_secs on the
+// query response, the unify_serve_queue_wait_seconds histogram — and
+// never an Answer duration or the vtime accounting; see the "clocks"
+// block in /v1/stats.
 func (a *Admission) Acquire(ctx context.Context) (release func(), wait time.Duration, err error) {
 	select {
 	case a.sem <- struct{}{}:

@@ -56,6 +56,9 @@ func New(sys *unify.System) *Server {
 	s.mux.HandleFunc("/v1/health", s.handleHealth)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	// Catch-all: unknown paths previously fell through to the mux's
+	// plain-text 404, bypassing the error envelope.
+	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
 }
 
@@ -120,8 +123,11 @@ type QueryResponse struct {
 	SkippedDocs   int        `json:"skipped_docs,omitempty"`
 	Partial       bool       `json:"partial,omitempty"`
 	Replans       int        `json:"replans,omitempty"`
-	// Serving-layer accounting: wall-clock admission-queue wait, and the
-	// query's contention profile on the shared slot pool (simulated).
+	// Serving-layer accounting. Clock domains are deliberately distinct:
+	// QueueWaitSecs is MONOTONIC WALL time spent in the server's
+	// admission queue (the only wall-clock figure on this response);
+	// GrantWaitSecs and SoloExecSecs — like every *_secs field above —
+	// are VIRTUAL (simulated) time on the shared slot pool.
 	QueueWaitSecs float64       `json:"queue_wait_secs"`
 	GrantWaitSecs float64       `json:"grant_wait_secs"`
 	SoloExecSecs  float64       `json:"solo_exec_secs"`
@@ -169,6 +175,8 @@ func errCode(status int) string {
 	switch status {
 	case http.StatusBadRequest:
 		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
 	case http.StatusMethodNotAllowed:
 		return "method_not_allowed"
 	case http.StatusRequestTimeout:
@@ -301,7 +309,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, rid, "query failed: %v", err)
 		return
 	}
-	ans.QueueWait = queueWait
+	// queueWait is wall time and stays in the serving layer
+	// (QueueWaitSecs below): Answer fields are all virtual-clock, and
+	// writing wall time into one mixed the two domains.
 	writeJSON(w, http.StatusOK, QueryResponse{
 		RequestID:     rid,
 		Answer:        ans.Text,
@@ -347,9 +357,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, PlanResponse{RequestID: rid, Plan: planNodes(plan), PlanningSecs: dur.Seconds()})
 }
 
+// handleNotFound routes unknown paths through the uniform envelope.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, s.nextRequestID(), "no such endpoint: %s", r.URL.Path)
+}
+
 func (s *Server) handleOperators(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "", "GET required")
+		writeError(w, http.StatusMethodNotAllowed, s.nextRequestID(), "GET required")
 		return
 	}
 	var out []OperatorInfo
@@ -388,7 +403,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // sibling of /metrics).
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "", "GET required")
+		writeError(w, http.StatusMethodNotAllowed, s.nextRequestID(), "GET required")
 		return
 	}
 	var snap map[string]interface{}
@@ -436,6 +451,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		serving["pool_busy_vtime_secs"] = ps.BusyTotal.Seconds()
 		serving["pool_grant_wait_vtime_secs"] = ps.GrantWaitTotal.Seconds()
 	}
+	// Clock domains: serving figures (admission queue waits, uptime) are
+	// monotonic wall time; everything derived from query execution (pool
+	// vtime, query duration histograms) is virtual (simulated) time.
+	serving["clocks"] = map[string]string{
+		"uptime_secs":                         "wall_monotonic",
+		"admission_queue_wait":                "wall_monotonic",
+		"unify_serve_queue_wait_seconds":      "wall_monotonic",
+		"pool_busy_vtime_secs":                "virtual",
+		"pool_grant_wait_vtime_secs":          "virtual",
+		"unify_query_vtime_seconds":           "virtual",
+		"unify_slot_grant_wait_vtime_seconds": "virtual",
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"uptime_secs": time.Since(s.started).Seconds(),
 		"metrics":     snap,
@@ -448,7 +475,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "", "GET required")
+		writeError(w, http.StatusMethodNotAllowed, s.nextRequestID(), "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -121,6 +121,13 @@ func WithReplanThreshold(r float64) Option {
 	return func(o *openOptions) { o.cfg.ReplanThreshold = r }
 }
 
+// WithStrictChecks turns on the internal/check invariant checker: every
+// plan, pool schedule, and answer is validated and violations fail the
+// query with diagnostics. On in all tests; off by default in production.
+func WithStrictChecks() Option {
+	return func(o *openOptions) { o.cfg.StrictChecks = true }
+}
+
 // New builds a system from functional options:
 //
 //	sys, err := unify.New(unify.WithDataset("sports"), unify.WithSize(500))

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"unify/internal/cache"
+	"unify/internal/check"
 	"unify/internal/core"
 	"unify/internal/corpus"
 	"unify/internal/cost"
@@ -103,6 +104,14 @@ type Config struct {
 	// more than this ratio, the remaining DAG suffix is re-optimized with
 	// corrected cardinalities. Values <= 1 disable replanning.
 	ReplanThreshold float64
+
+	// StrictChecks turns on the internal/check invariant checker: every
+	// logical and physical plan (including replanned suffixes), every
+	// merged pool schedule, and every completed answer's accounting is
+	// validated, and a violation fails the query with a span-dump
+	// diagnostic. On in all tests; off by default on the production path
+	// (the checks are pure CPU but add per-query overhead).
+	StrictChecks bool
 }
 
 // DefaultCacheBytes is the default shared-cache budget (64 MiB).
@@ -237,9 +246,14 @@ type Answer struct {
 	SchedStart time.Duration
 	// Contended reports that execution shared slots with other queries.
 	Contended bool
-	// QueueWait is the wall-clock time the query spent in the server's
-	// admission queue before starting (zero for direct library calls;
-	// set by the HTTP serving layer).
+	// QueueWait is always zero.
+	//
+	// Deprecated: admission-queue wait is monotonic wall-clock time and
+	// belongs to the serving layer, while every other Answer duration is
+	// virtual (simulated) time; mixing the domains on one struct made
+	// them look comparable. The HTTP layer reports queue wait as
+	// queue_wait_secs on the query response and via the
+	// unify_serve_queue_wait_seconds histogram instead.
 	QueueWait time.Duration
 
 	// Trace is the query's span tree (EXPLAIN ANALYZE), populated only
@@ -348,6 +362,8 @@ func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, 
 	s.Executor.BatchSize = cfg.BatchSize
 	s.Executor.Pool = s.Pool
 	s.Executor.NodeErrorBudget = cfg.NodeErrorBudget
+	s.Executor.StrictChecks = cfg.StrictChecks
+	s.Pool.StrictChecks = cfg.StrictChecks
 	if cfg.ReplanThreshold > 1 {
 		s.Executor.ReplanThreshold = cfg.ReplanThreshold
 		s.Executor.Replanner = opt
@@ -469,6 +485,14 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 	}
 	pspan.SetVDur(pstats.Duration)
 	pspan.End()
+	if s.Config.StrictChecks {
+		for i, lp := range plans {
+			if err := check.Fail(fmt.Sprintf("unify: logical plan %d for %q", i, q),
+				check.Plan(lp, s.Store.Len(), false), qspan); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	opt := s.optimizerFor(o)
 	executor := s.Executor
@@ -570,6 +594,34 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 	ans.SoloExecDur = res.SoloMakespan
 	ans.SchedStart = res.PoolStart
 	ans.Contended = res.Contended
+	if s.Config.StrictChecks {
+		scanned := 0
+		for _, ns := range ans.Nodes {
+			scanned += ns.InCard
+		}
+		facts := check.AnswerFacts{
+			Docs:           s.Store.Len(),
+			Slots:          s.Config.Slots,
+			MaxReplans:     executor.MaxReplans,
+			PlanNodes:      len(plan.Nodes),
+			NodeStats:      len(ans.Nodes),
+			ScannedDocs:    scanned,
+			SkippedDocs:    ans.SkippedDocs,
+			Replans:        ans.Replans,
+			LLMCalls:       ans.LLMCalls,
+			CachedLLMCalls: ans.CachedLLMCalls,
+			PlanningDur:    ans.PlanningDur,
+			EstimationDur:  ans.EstimationDur,
+			ExecDur:        ans.ExecDur,
+			TotalDur:       ans.TotalDur,
+			SoloExecDur:    ans.SoloExecDur,
+			SlotBusy:       ans.SlotBusy,
+			GrantWait:      ans.SlotGrantWait,
+		}
+		if err := check.Fail(fmt.Sprintf("unify: answer for %q", q), check.Answer(facts), qspan); err != nil {
+			return nil, err
+		}
+	}
 	return ans, nil
 }
 

@@ -24,7 +24,7 @@ func openSmall(t *testing.T, n int) (*System, *corpus.Dataset) {
 		t.Fatal(err)
 	}
 	sim := llm.SimConfig{Profile: llm.WorkerProfile(), Seed: 1} // zero noise
-	sys, err := OpenDataset(ds, Config{Dataset: "sports", Sim: &sim})
+	sys, err := OpenDataset(ds, Config{Dataset: "sports", Sim: &sim, StrictChecks: true})
 	if err != nil {
 		t.Fatal(err)
 	}
