@@ -28,7 +28,13 @@ func main() {
 			"queries executing at once (admission control)")
 		maxQueue = flag.Int("max-queue", server.DefaultMaxQueue,
 			"queries waiting in the admission queue before 429s")
-		timeout = flag.Duration("timeout", 0, "per-query wall-clock bound, queue wait included (0 = server default)")
+		timeout   = flag.Duration("timeout", 0, "per-query wall-clock bound, queue wait included (0 = server default)")
+		maxTraces = flag.Int("max-traces", 0,
+			"retained query traces for /v1/traces (0 = default, negative disables retention)")
+		maxTraceSpans = flag.Int("max-trace-spans", 0,
+			"spans retained per stored trace (0 = default)")
+		slowQuery = flag.Duration("slow-query", 0,
+			"log queries whose virtual time meets this threshold (0 = off)")
 	)
 	flag.Parse()
 
@@ -37,6 +43,8 @@ func main() {
 		unify.WithDataset(*dataset),
 		unify.WithSize(*size),
 		unify.WithTrainSCE(),
+		unify.WithTraceRetention(*maxTraces, *maxTraceSpans),
+		unify.WithSlowQueryVTime(*slowQuery),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,12 @@
 //	unify -list-ops
 //	unify -dataset law "What is the average score of questions related to liability?"
 //	unify -analyze "How many questions are about tennis?"
+//	unify -dataset sports -size 300 -topn 6 top
+//
+// The "top" subcommand runs a slice of the built-in query workload and
+// prints a per-operator-class cost profile (vtime share, LLM calls,
+// tokens, cache hits) sorted by attributed vtime — the CLI view of the
+// server's /v1/profile endpoint.
 package main
 
 import (
@@ -16,11 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"unify"
 	"unify/internal/obs"
 	"unify/internal/ops"
+	"unify/internal/workload"
 )
 
 func main() {
@@ -34,6 +42,8 @@ func main() {
 		interactive = flag.Bool("i", false, "interactive mode: read queries from stdin")
 		dotOut      = flag.Bool("dot", false, "print the plan as Graphviz DOT and exit")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+		topN        = flag.Int("topn", 8, "queries to run for the top subcommand")
+		slowQuery   = flag.Duration("slow-query", 0, "log queries whose virtual time meets this threshold (0 = off)")
 	)
 	flag.Parse()
 
@@ -42,8 +52,9 @@ func main() {
 		return
 	}
 	query := strings.Join(flag.Args(), " ")
+	top := flag.Arg(0) == "top" && flag.NArg() == 1
 	if strings.TrimSpace(query) == "" && !*interactive {
-		fmt.Fprintln(os.Stderr, "usage: unify [-dataset name] [-size n] [-v|-plan|-i] \"<natural language query>\"")
+		fmt.Fprintln(os.Stderr, "usage: unify [-dataset name] [-size n] [-v|-plan|-i] \"<natural language query>\" | top")
 		os.Exit(2)
 	}
 
@@ -51,10 +62,15 @@ func main() {
 		unify.WithDataset(*dataset),
 		unify.WithSize(*size),
 		unify.WithTrainSCE(),
+		unify.WithSlowQueryVTime(*slowQuery),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
+	}
+	if top {
+		runTop(sys, *topN)
+		return
 	}
 	if *interactive {
 		repl(sys, *verbose)
@@ -104,6 +120,63 @@ func main() {
 		for _, ns := range ans.Nodes {
 			fmt.Printf("  [%d] %-10s %-18s in=%-5d out=%-5d calls=%-4d busy=%.1fs\n",
 				ns.NodeID, ns.Op, ns.Physical, ns.InCard, ns.OutCard, ns.LLMCalls, ns.Busy.Seconds())
+		}
+	}
+}
+
+// runTop runs a slice of the built-in workload and prints a top-style
+// per-operator-class cost profile from the system's cumulative profiler.
+func runTop(sys *unify.System, n int) {
+	queries := workload.Generate(sys.Dataset, 1, 1)
+	if n > 0 && len(queries) > n {
+		queries = queries[:n]
+	}
+	fmt.Printf("running %d workload queries...\n", len(queries))
+	for _, q := range queries {
+		if _, err := sys.Query(context.Background(), q.Text); err != nil {
+			fmt.Fprintf(os.Stderr, "query %s: %v\n", q.ID, err)
+		}
+	}
+	snap := sys.Profiler.Snapshot()
+	fmt.Printf("\n%d queries, %.1fs total vtime\n\n", snap.Queries, snap.TotalVTimeSecs)
+	fmt.Printf("%-28s %6s %7s %7s %9s %9s %9s %7s\n",
+		"OPERATOR CLASS", "EXECS", "CALLS", "CACHED", "TOKENS", "BUSY(S)", "VTIME(S)", "SHARE")
+	names := make([]string, 0, len(snap.Classes))
+	for name := range snap.Classes {
+		names = append(names, name)
+	}
+	// Highest attributed vtime first; name breaks ties deterministically.
+	sort.Slice(names, func(i, j int) bool {
+		a, b := snap.Classes[names[i]], snap.Classes[names[j]]
+		if a.ShareSecs != b.ShareSecs {
+			return a.ShareSecs > b.ShareSecs
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		c := snap.Classes[name]
+		fmt.Printf("%-28s %6d %7d %7d %9d %9.1f %9.1f %6.1f%%\n",
+			name, c.Executions, c.LLMCalls, c.CachedCalls, c.InTokens+c.OutTokens,
+			c.BusySecs, c.ShareSecs, 100*c.ShareOfTotal)
+	}
+	if sl := sys.SlowLog; sl != nil {
+		fmt.Printf("\nslow queries (vtime >= %s): %d\n", sl.Threshold(), sl.Count())
+	}
+	if ts := sys.Traces; ts != nil {
+		maxTraces, _ := ts.Bounds()
+		fmt.Printf("retained traces: %d/%d (%d evicted)\n", ts.Len(), maxTraces, ts.Evicted())
+		traces := ts.List(obs.TraceFilter{})
+		sort.SliceStable(traces, func(i, j int) bool { return traces[i].VTimeSecs > traces[j].VTimeSecs })
+		if len(traces) > 5 {
+			traces = traces[:5]
+		}
+		fmt.Println("\nslowest queries:")
+		for _, tr := range traces {
+			q := tr.Query
+			if len(q) > 60 {
+				q = q[:57] + "..."
+			}
+			fmt.Printf("  %-8s %7.1fs %4d calls  %s\n", tr.ID, tr.VTimeSecs, tr.LLMCalls, q)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"unify/internal/corpus"
 	"unify/internal/faults"
 	"unify/internal/llm"
+	"unify/internal/obs"
 	"unify/internal/optimizer"
 	"unify/internal/workload"
 )
@@ -256,7 +257,7 @@ func TestRepeatedRunByteIdentity(t *testing.T) {
 	ds := diffDataset(t)
 	queries := diffQueries(ds, 5)
 
-	run := func() (answers []string, prom []byte, snap []byte) {
+	run := func() (answers []string, prom []byte, snap []byte, traced []byte) {
 		sys := diffSystem(t, ds, nil)
 		for _, q := range queries {
 			ans, err := sys.Query(context.Background(), q)
@@ -278,11 +279,22 @@ func TestRepeatedRunByteIdentity(t *testing.T) {
 		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
 			t.Fatal("Snapshot changed subsequent /metrics output")
 		}
-		return answers, buf.Bytes(), js
+		// The observability surfaces ride the same contract: the retained
+		// trace list and the cumulative cost profile are vtime-only and
+		// must serialize identically across identical runs.
+		tj, err := json.Marshal(sys.Traces.List(obs.TraceFilter{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := json.Marshal(sys.Profiler.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return answers, buf.Bytes(), js, append(append(tj, '\n'), pj...)
 	}
 
-	a1, p1, s1 := run()
-	a2, p2, s2 := run()
+	a1, p1, s1, t1 := run()
+	a2, p2, s2, t2 := run()
 	for i := range a1 {
 		if a1[i] != a2[i] {
 			t.Errorf("answer %d differs between identical runs:\n  run1: %s\n  run2: %s", i, a1[i], a2[i])
@@ -293,5 +305,11 @@ func TestRepeatedRunByteIdentity(t *testing.T) {
 	}
 	if !bytes.Equal(s1, s2) {
 		t.Error("stats snapshot JSON differs between identical runs")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace list / cost profile JSON differs between identical runs")
+	}
+	if bytes.Contains(t1, []byte("wall")) {
+		t.Error("trace/profile JSON leaks wall-clock fields")
 	}
 }

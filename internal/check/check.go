@@ -39,18 +39,21 @@ const (
 	InvPlanTypeCompat      = "plan.type_compat"       // each operator has an adequate implementation for its input kinds
 	InvPlanCardBounds      = "plan.card_bounds"       // estimated cardinalities lie within [0, |docs|]
 
-	InvAnswerDursNonNeg = "answer.durs_non_negative" // every reported duration is >= 0
-	InvAnswerDurAdditive = "answer.dur_additive"     // TotalDur == Planning + Estimation + Exec
-	InvAnswerSoloBound   = "answer.solo_bound"       // SoloExecDur <= ExecDur (contention only slows down)
-	InvAnswerUtilBound   = "answer.utilization_bound" // SlotBusy <= ExecDur * slots (utilization <= 1)
-	InvAnswerSkippedBound = "answer.skipped_bound"   // SkippedDocs <= documents scanned
-	InvAnswerReplansBound = "answer.replans_bound"   // replan rounds <= MaxReplans
-	InvAnswerNodesComplete = "answer.nodes_complete" // one node stat per plan node
-	InvAnswerCallsBound    = "answer.calls_bound"    // 0 <= CachedLLMCalls <= LLMCalls
+	InvAnswerDursNonNeg    = "answer.durs_non_negative" // every reported duration is >= 0
+	InvAnswerDurAdditive   = "answer.dur_additive"      // TotalDur == Planning + Estimation + Exec
+	InvAnswerSoloBound     = "answer.solo_bound"        // SoloExecDur <= ExecDur (contention only slows down)
+	InvAnswerUtilBound     = "answer.utilization_bound" // SlotBusy <= ExecDur * slots (utilization <= 1)
+	InvAnswerSkippedBound  = "answer.skipped_bound"     // SkippedDocs <= documents scanned
+	InvAnswerReplansBound  = "answer.replans_bound"     // replan rounds <= MaxReplans
+	InvAnswerNodesComplete = "answer.nodes_complete"    // one node stat per plan node
+	InvAnswerCallsBound    = "answer.calls_bound"       // 0 <= CachedLLMCalls <= LLMCalls
 
-	InvVTimeConservation = "vtime.conservation" // per-job busy sums to total busy; JobEnd caps at Makespan
-	InvVTimeSlotBound    = "vtime.slot_bound"   // busy <= Makespan * slots; slot frees within the schedule
+	InvVTimeConservation = "vtime.conservation"     // per-job busy sums to total busy; JobEnd caps at Makespan
+	InvVTimeSlotBound    = "vtime.slot_bound"       // busy <= Makespan * slots; slot frees within the schedule
 	InvPoolUtilBound     = "pool.utilization_bound" // epoch slot utilization <= 1
+
+	InvProfileAttribution = "profile.vtime_attribution" // per-class vtime shares sum exactly to the Answer vtime
+	InvProfileGlobalBound = "profile.global_bound"      // cumulative profile counters never exceed global counters
 )
 
 // Violation is one failed invariant.
@@ -441,6 +444,19 @@ func VTime(res vtime.Result, slots int) []Violation {
 			violatef(&vs, InvVTimeConservation, "job %d has negative grant wait %v", job, w)
 		}
 	}
+	var taskWait, jobWait time.Duration
+	for id, w := range res.TaskWait {
+		if w < 0 {
+			violatef(&vs, InvVTimeConservation, "task %q has negative grant wait %v", id, w)
+		}
+		taskWait += w
+	}
+	for _, w := range res.JobWait {
+		jobWait += w
+	}
+	if taskWait != jobWait {
+		violatef(&vs, InvVTimeConservation, "per-task grant waits sum to %v but per-job waits sum to %v", taskWait, jobWait)
+	}
 	for job, end := range res.JobEnd {
 		if end > res.Makespan {
 			violatef(&vs, InvVTimeConservation, "job %d ends at %v after makespan %v", job, end, res.Makespan)
@@ -482,6 +498,66 @@ func PoolUtilization(util float64) []Violation {
 	var vs []Violation
 	if util < 0 || util > 1+1e-9 {
 		violatef(&vs, InvPoolUtilBound, "pool utilization %.6f outside [0, 1]", util)
+	}
+	return vs
+}
+
+// ProfileAttribution validates one query's cost profile against the
+// query's reported total vtime: class shares must be non-negative and
+// sum EXACTLY to the Answer's vtime (the largest-remainder split leaves
+// no nanosecond unattributed), and per-class counters must be sane.
+func ProfileAttribution(p *obs.CostProfile, answerVTime time.Duration) []Violation {
+	var vs []Violation
+	if p == nil {
+		violatef(&vs, InvProfileAttribution, "query has no cost profile")
+		return vs
+	}
+	if p.Total != answerVTime {
+		violatef(&vs, InvProfileAttribution, "profile total %v != answer vtime %v", p.Total, answerVTime)
+	}
+	var sum time.Duration
+	for _, name := range p.ClassNames() {
+		c := p.Classes[name]
+		if c.Share < 0 {
+			violatef(&vs, InvProfileAttribution, "class %q has negative vtime share %v", name, c.Share)
+		}
+		if c.Busy < 0 || c.GrantWait < 0 {
+			violatef(&vs, InvProfileAttribution, "class %q has negative busy %v or grant wait %v", name, c.Busy, c.GrantWait)
+		}
+		if c.LLMCalls < 0 || c.CachedCalls < 0 || c.CachedCalls > c.LLMCalls+c.CachedCalls {
+			violatef(&vs, InvProfileAttribution, "class %q has inconsistent call counts (%d llm, %d cached)", name, c.LLMCalls, c.CachedCalls)
+		}
+		sum += c.Share
+	}
+	if sum != answerVTime {
+		violatef(&vs, InvProfileAttribution, "class shares sum to %v, answer vtime is %v", sum, answerVTime)
+	}
+	return vs
+}
+
+// CounterPair compares one cumulative profile counter against its
+// process-global registry counterpart for ProfileGlobalBound.
+type CounterPair struct {
+	Name    string
+	Profile float64 // attributed by query profiles
+	Global  float64 // counted at the source (registry)
+}
+
+// ProfileGlobalBound validates that cost attribution never invents
+// work: every cumulative profile counter is bounded by the matching
+// process-global counter (profiles are recorded after the globals, so
+// under concurrency the profile side may lag but never lead; eps
+// absorbs float rounding on seconds-valued series).
+func ProfileGlobalBound(pairs []CounterPair) []Violation {
+	var vs []Violation
+	const eps = 1e-6
+	for _, p := range pairs {
+		if p.Profile < 0 {
+			violatef(&vs, InvProfileGlobalBound, "%s: profile counter is negative: %g", p.Name, p.Profile)
+		}
+		if p.Profile > p.Global+eps {
+			violatef(&vs, InvProfileGlobalBound, "%s: profile %g exceeds global %g", p.Name, p.Profile, p.Global)
+		}
 	}
 	return vs
 }

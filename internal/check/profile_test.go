@@ -1,0 +1,95 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"unify/internal/obs"
+)
+
+func attributedProfile() *obs.CostProfile {
+	p := obs.NewCostProfile("q-1")
+	p.Add(obs.ClassPlanning, obs.OpCost{Executions: 1, LLMCalls: 3, Busy: 2 * time.Second})
+	p.Add("Filter/SemanticFilter", obs.OpCost{Executions: 1, LLMCalls: 7, Busy: 3 * time.Second})
+	p.Attribute(2*time.Second, time.Second, 3*time.Second)
+	return p
+}
+
+func TestProfileAttributionCleanOnGoodProfile(t *testing.T) {
+	p := attributedProfile()
+	if vs := ProfileAttribution(p, 6*time.Second); len(vs) != 0 {
+		t.Fatalf("good profile flagged: %v", vs)
+	}
+}
+
+func TestProfileAttributionViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(p *obs.CostProfile) *obs.CostProfile
+		vtime  time.Duration
+		want   string
+	}{
+		{"nil profile", func(p *obs.CostProfile) *obs.CostProfile { return nil }, time.Second, "no cost profile"},
+		{"total mismatch", func(p *obs.CostProfile) *obs.CostProfile { return p }, 7 * time.Second, "profile total"},
+		{"negative share", func(p *obs.CostProfile) *obs.CostProfile {
+			p.Classes["Filter/SemanticFilter"].Share = -time.Second
+			return p
+		}, 6 * time.Second, "negative vtime share"},
+		{"negative busy", func(p *obs.CostProfile) *obs.CostProfile {
+			p.Classes["Filter/SemanticFilter"].Busy = -time.Second
+			return p
+		}, 6 * time.Second, "negative busy"},
+		{"share sum broken", func(p *obs.CostProfile) *obs.CostProfile {
+			p.Classes["Filter/SemanticFilter"].Share += time.Second
+			return p
+		}, 6 * time.Second, "shares sum"},
+		{"negative calls", func(p *obs.CostProfile) *obs.CostProfile {
+			p.Classes[obs.ClassPlanning].LLMCalls = -1
+			return p
+		}, 6 * time.Second, "call counts"},
+	}
+	for _, c := range cases {
+		vs := ProfileAttribution(c.mutate(attributedProfile()), c.vtime)
+		if len(vs) == 0 {
+			t.Errorf("%s: no violation", c.name)
+			continue
+		}
+		found := false
+		for _, v := range vs {
+			if v.Invariant == InvProfileAttribution && strings.Contains(v.Detail, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v missing detail %q", c.name, vs, c.want)
+		}
+	}
+}
+
+func TestProfileGlobalBound(t *testing.T) {
+	good := []CounterPair{
+		{Name: "llm_calls", Profile: 10, Global: 10},
+		{Name: "vtime_seconds", Profile: 41.9999999, Global: 42}, // float lag within eps
+	}
+	if vs := ProfileGlobalBound(good); len(vs) != 0 {
+		t.Fatalf("good pairs flagged: %v", vs)
+	}
+	bad := []CounterPair{
+		{Name: "llm_calls", Profile: 11, Global: 10},
+		{Name: "tokens", Profile: -1, Global: 0},
+	}
+	vs := ProfileGlobalBound(bad)
+	if len(vs) != 2 {
+		t.Fatalf("want 2 violations, got %v", vs)
+	}
+	for _, v := range vs {
+		if v.Invariant != InvProfileGlobalBound {
+			t.Errorf("wrong invariant: %v", v)
+		}
+	}
+	// Profile lagging global is fine (profiles are recorded second).
+	if vs := ProfileGlobalBound([]CounterPair{{Name: "x", Profile: 5, Global: 100}}); len(vs) != 0 {
+		t.Errorf("lagging profile flagged: %v", vs)
+	}
+}

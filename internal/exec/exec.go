@@ -98,6 +98,12 @@ type NodeResult struct {
 	// SkippedDocs counts documents dropped by the node's error budget
 	// (graceful degradation under LLM failures).
 	SkippedDocs int
+	// Retries counts failed attempts the resilience layer absorbed
+	// across the node's calls.
+	Retries int
+	// GrantWait is the node's share of the query's slot-grant delay on
+	// the shared pool (cost attribution for contention).
+	GrantWait time.Duration
 	// Span is the node's trace span (nil when tracing is off).
 	Span *obs.Span
 }
@@ -296,9 +302,15 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 	res.SoloMakespan = jr.Solo + replanDur
 	res.PoolStart = jr.Start
 	res.Contended = jr.Contended
-	for _, nr := range res.Nodes {
-		if f, ok := jr.Finish[fmt.Sprintf("n%d", nr.NodeID)]; ok {
+	for i := range res.Nodes {
+		nr := &res.Nodes[i]
+		tid := fmt.Sprintf("n%d", nr.NodeID)
+		if f, ok := jr.Finish[tid]; ok {
 			nr.Span.SetAttr("finish_vtime", f.Round(time.Millisecond).String())
+		}
+		if w, ok := jr.TaskWait[tid]; ok && w > 0 {
+			nr.GrantWait = w
+			nr.Span.SetAttr("grant_wait", w.Round(time.Millisecond).String())
 		}
 	}
 	ser, err := vtime.NewSchedule(e.slots()).SerialOperators(tasks)
@@ -559,11 +571,14 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		// busy time on its model instance (its calls run sequentially;
 		// cached calls contribute zero).
 		var busy time.Duration
-		var outTok int
+		var inTok, outTok, retries int
 		for _, c := range nr.Calls {
 			busy += c.Dur
+			inTok += c.InTokens
 			outTok += c.OutTokens
+			retries += c.Retries
 		}
+		nr.Retries = retries
 		span.SetVDur(busy + nr.PreDur)
 		span.SetAttr("phys", phys.Name)
 		span.SetInt("in_card", inCard)
@@ -572,7 +587,11 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		if nc := len(nr.Calls) - len(live); nc > 0 {
 			span.SetInt("cached_calls", nc)
 		}
+		span.SetInt("in_tokens", inTok)
 		span.SetInt("out_tokens", outTok)
+		if retries > 0 {
+			span.SetInt("retries", retries)
+		}
 		if nr.Adjusted {
 			span.SetAttr("adjusted", "true")
 		}

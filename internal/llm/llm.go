@@ -28,6 +28,9 @@ type Response struct {
 	// Cached marks a response served from the shared response cache: it
 	// cost zero virtual time and never occupied a model slot.
 	Cached bool
+	// Retries counts the failed attempts absorbed by the resilience
+	// layer before this response succeeded (0 on the first try).
+	Retries int
 }
 
 // Profile describes a served model's identity and speed.
@@ -93,6 +96,8 @@ type Call struct {
 	// Cached marks a call answered by the response cache (Dur is zero and
 	// the call bypassed the slot pool).
 	Cached bool
+	// Retries counts failed attempts absorbed before this call succeeded.
+	Retries int
 }
 
 // Recorder wraps a Client and records every call. Operators wrap their
@@ -118,7 +123,7 @@ func (r *Recorder) Complete(ctx context.Context, prompt string) (Response, error
 	}
 	task, _, _ := ParsePrompt(prompt)
 	r.mu.Lock()
-	r.calls = append(r.calls, Call{Task: task, InTokens: resp.InTokens, OutTokens: resp.OutTokens, Dur: resp.Dur, Cached: resp.Cached})
+	r.calls = append(r.calls, Call{Task: task, InTokens: resp.InTokens, OutTokens: resp.OutTokens, Dur: resp.Dur, Cached: resp.Cached, Retries: resp.Retries})
 	r.mu.Unlock()
 	return resp, nil
 }

@@ -85,6 +85,7 @@ func (r *Resilient) Complete(ctx context.Context, prompt string) (Response, erro
 			if !resp.Cached && penalty > 0 {
 				resp.Dur += penalty
 			}
+			resp.Retries = attempt
 			return resp, nil
 		}
 		if ctx.Err() != nil {

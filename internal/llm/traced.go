@@ -62,6 +62,9 @@ func (t *Traced) Complete(ctx context.Context, prompt string) (Response, error) 
 		if resp.Cached {
 			s.SetAttr("cached", "true")
 		}
+		if resp.Retries > 0 {
+			s.SetInt("retries", resp.Retries)
+		}
 		s.End()
 	}
 	return resp, nil

@@ -1,6 +1,9 @@
 package obs
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Metrics bundles the standard Unify instruments over one Registry: the
 // process-wide counters the server exposes at /metrics and /v1/stats and
@@ -55,6 +58,25 @@ type Metrics struct {
 	ServeRejected    Counter   // by reason: "queue_full" / "deadline"
 
 	HTTPRequests Counter // by path
+
+	// Per-operator-class cost attribution (the /v1/profile data as
+	// Prometheus series), labeled by operator class ("Op/Phys" or a
+	// phase name).
+	OpExecutions       Counter // by op
+	OpLLMCalls         Counter // by op
+	OpCachedCalls      Counter // by op
+	OpInTokens         Counter // by op
+	OpOutTokens        Counter // by op
+	OpSkippedDocs      Counter // by op
+	OpRetries          Counter // by op
+	OpBusySeconds      Counter // by op: modeled busy vtime
+	OpShareSeconds     Counter // by op: attributed share of query vtime
+	OpGrantWaitSeconds Counter // by op: slot-grant wait vtime
+
+	// Query-history trace store and slow-query log.
+	TracesStored  Gauge   // traces currently retained
+	TracesEvicted Gauge   // traces evicted since start (monotonic)
+	SlowQueries   Counter // queries crossing the slow-query threshold
 }
 
 // NewMetrics builds a fresh registry with the standard Unify instruments
@@ -132,18 +154,96 @@ func NewMetrics() *Metrics {
 		"Requests rejected by admission control, by reason.", "reason")
 	m.HTTPRequests = r.CounterVec("unify_http_requests_total",
 		"HTTP requests served, by path.", "path")
+	m.OpExecutions = r.CounterVec("unify_op_executions_total",
+		"Operator-class executions attributed by query profiles.", "op")
+	m.OpLLMCalls = r.CounterVec("unify_op_llm_calls_total",
+		"Model invocations attributed to operator classes.", "op")
+	m.OpCachedCalls = r.CounterVec("unify_op_cached_calls_total",
+		"Cache-served model invocations attributed to operator classes.", "op")
+	m.OpInTokens = r.CounterVec("unify_op_in_tokens_total",
+		"Prompt tokens attributed to operator classes.", "op")
+	m.OpOutTokens = r.CounterVec("unify_op_out_tokens_total",
+		"Generated tokens attributed to operator classes.", "op")
+	m.OpSkippedDocs = r.CounterVec("unify_op_skipped_docs_total",
+		"Error-budget document skips attributed to operator classes.", "op")
+	m.OpRetries = r.CounterVec("unify_op_retries_total",
+		"Transient-failure retries attributed to operator classes.", "op")
+	m.OpBusySeconds = r.CounterVec("unify_op_busy_vtime_seconds_total",
+		"Modeled busy vtime attributed to operator classes.", "op")
+	m.OpShareSeconds = r.CounterVec("unify_op_vtime_share_seconds_total",
+		"Share of end-to-end query vtime attributed to operator classes.", "op")
+	m.OpGrantWaitSeconds = r.CounterVec("unify_op_grant_wait_vtime_seconds_total",
+		"Slot-grant wait vtime attributed to operator classes.", "op")
+	m.TracesStored = r.Gauge("unify_traces_stored",
+		"Query traces currently retained in the history store.")
+	m.TracesEvicted = r.Gauge("unify_traces_evicted_total",
+		"Query traces evicted from the history store since start.")
+	m.SlowQueries = r.Counter("unify_slow_queries_total",
+		"Queries whose vtime crossed the slow-query log threshold.")
 	return m
 }
 
-// RecordQueryOK records a successfully answered query's aggregates.
-func (m *Metrics) RecordQueryOK(total, plan, exec time.Duration) {
+// SetBuildInfo registers the constant unify_build_info gauge carrying
+// the library version and Go runtime version.
+func (m *Metrics) SetBuildInfo(version string) {
+	if m == nil {
+		return
+	}
+	m.Reg.Info("unify_build_info",
+		"Constant gauge carrying build metadata as labels.",
+		map[string]string{"version": version, "goversion": runtime.Version()})
+}
+
+// RecordOpCosts folds one query's cost profile into the per-operator-
+// class counters. Classes are visited in sorted order so first-seen
+// label registration is deterministic.
+func (m *Metrics) RecordOpCosts(p *CostProfile) {
+	if m == nil || p == nil {
+		return
+	}
+	for _, name := range p.ClassNames() {
+		c := p.Classes[name]
+		m.OpExecutions.AddL(name, float64(c.Executions))
+		m.OpLLMCalls.AddL(name, float64(c.LLMCalls))
+		m.OpCachedCalls.AddL(name, float64(c.CachedCalls))
+		m.OpInTokens.AddL(name, float64(c.InTokens))
+		m.OpOutTokens.AddL(name, float64(c.OutTokens))
+		m.OpSkippedDocs.AddL(name, float64(c.SkippedDocs))
+		m.OpRetries.AddL(name, float64(c.Retries))
+		m.OpBusySeconds.AddL(name, c.Busy.Seconds())
+		m.OpShareSeconds.AddL(name, c.Share.Seconds())
+		m.OpGrantWaitSeconds.AddL(name, c.GrantWait.Seconds())
+	}
+}
+
+// RecordTraceStore publishes the trace store's retention state.
+func (m *Metrics) RecordTraceStore(stored int, evicted int64) {
+	if m == nil {
+		return
+	}
+	m.TracesStored.Set(float64(stored))
+	m.TracesEvicted.Set(float64(evicted))
+}
+
+// RecordSlowQuery counts one slow-query log emission.
+func (m *Metrics) RecordSlowQuery() {
+	if m == nil {
+		return
+	}
+	m.SlowQueries.Inc()
+}
+
+// RecordQueryOK records a successfully answered query's aggregates. The
+// request id is stored as the latency histograms' bucket exemplar so a
+// slow bucket links to its retained trace ("" records no exemplar).
+func (m *Metrics) RecordQueryOK(requestID string, total, plan, exec time.Duration) {
 	if m == nil {
 		return
 	}
 	m.Queries.IncL("ok")
-	m.QuerySeconds.ObserveDur(total)
-	m.PlanSeconds.ObserveDur(plan)
-	m.ExecSeconds.ObserveDur(exec)
+	m.QuerySeconds.ObserveDurEx(total, requestID)
+	m.PlanSeconds.ObserveDurEx(plan, requestID)
+	m.ExecSeconds.ObserveDurEx(exec, requestID)
 }
 
 // RecordQueryFailed records a failed query.
@@ -256,12 +356,12 @@ func (m *Metrics) RecordSlots(busy, makespan time.Duration, slots int) {
 }
 
 // RecordGrantWait records one query's simulated slot-grant wait on the
-// shared pool.
-func (m *Metrics) RecordGrantWait(wait time.Duration) {
+// shared pool, tagged with the query's request id as bucket exemplar.
+func (m *Metrics) RecordGrantWait(requestID string, wait time.Duration) {
 	if m == nil {
 		return
 	}
-	m.GrantWaitSeconds.ObserveDur(wait)
+	m.GrantWaitSeconds.ObserveDurEx(wait, requestID)
 }
 
 // RecordPool publishes the shared slot pool's live state.

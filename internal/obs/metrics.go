@@ -48,8 +48,9 @@ type metric struct {
 	name    string
 	help    string
 	typ     MetricType
-	label   string    // optional single label name ("" = unlabeled)
-	buckets []float64 // histogram upper bounds (ascending)
+	label   string            // optional single label name ("" = unlabeled)
+	buckets []float64         // histogram upper bounds (ascending)
+	info    map[string]string // constant info-style gauge labels (Info)
 
 	mu     sync.Mutex
 	series map[string]*series
@@ -61,6 +62,14 @@ type series struct {
 	counts []uint64 // histogram per-bucket counts (cumulative on render)
 	sum    float64
 	count  uint64
+	ex     []exemplar // histogram per-bucket exemplars; index len(buckets) is +Inf
+}
+
+// exemplar links a histogram bucket to the request that produced its
+// largest sample, so a slow latency bucket resolves to a stored trace.
+type exemplar struct {
+	id  string
+	val float64
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -172,25 +181,69 @@ func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
 }
 
 // Observe records one observation.
-func (h Histogram) Observe(v float64) {
+func (h Histogram) Observe(v float64) { h.ObserveEx(v, "") }
+
+// ObserveEx records one observation tagged with an exemplar id
+// (typically the request id). Each bucket — including the implicit +Inf
+// overflow — remembers the id of its largest sample, so a hot latency
+// bucket links back to a concrete stored trace. An empty id records no
+// exemplar.
+func (h Histogram) ObserveEx(v float64, exemplarID string) {
 	if h.m == nil {
 		return
 	}
 	h.m.mu.Lock()
 	s := h.m.get("")
+	idx := len(h.m.buckets) // +Inf overflow slot
 	for i, ub := range h.m.buckets {
 		if v <= ub {
 			s.counts[i]++
+			idx = i
 			break
 		}
 	}
 	s.sum += v
 	s.count++
+	if exemplarID != "" {
+		if s.ex == nil {
+			s.ex = make([]exemplar, len(h.m.buckets)+1)
+		}
+		if s.ex[idx].id == "" || v > s.ex[idx].val {
+			s.ex[idx] = exemplar{id: exemplarID, val: v}
+		}
+	}
 	h.m.mu.Unlock()
 }
 
 // ObserveDur records a duration in seconds.
 func (h Histogram) ObserveDur(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurEx records a duration in seconds with an exemplar id.
+func (h Histogram) ObserveDurEx(d time.Duration, exemplarID string) {
+	h.ObserveEx(d.Seconds(), exemplarID)
+}
+
+// Info registers a constant info-style gauge (value 1) carrying a fixed
+// multi-label set — the Prometheus *_info / build_info convention.
+// Re-registration with the same name is a no-op (the first label set
+// wins), keeping it safe to call from every constructor.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[name]; ok {
+		return
+	}
+	info := make(map[string]string, len(labels))
+	for k, v := range labels {
+		info[k] = v
+	}
+	m := &metric{name: name, help: help, typ: TypeGauge, info: info, series: map[string]*series{}}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+}
 
 // Value returns the current value of a counter/gauge series (labelVal ""
 // for unlabeled), or a histogram's observation count. Missing metrics or
@@ -207,6 +260,9 @@ func (r *Registry) Value(name, labelVal string) float64 {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.info != nil {
+		return 1
+	}
 	s, ok := m.series[labelVal]
 	if !ok {
 		return 0
@@ -215,6 +271,53 @@ func (r *Registry) Value(name, labelVal string) float64 {
 		return float64(s.count)
 	}
 	return s.val
+}
+
+// HistogramSum returns the sum of all observations recorded by an
+// unlabeled histogram (0 when absent).
+func (r *Registry) HistogramSum(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	m, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok || m.typ != TypeHistogram {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.series[""]
+	if !ok {
+		return 0
+	}
+	return s.sum
+}
+
+// MaxExemplar returns the exemplar with the greatest observed value
+// across an unlabeled histogram's buckets ("" when none was recorded).
+func (r *Registry) MaxExemplar(name string) (id string, val float64) {
+	if r == nil {
+		return "", 0
+	}
+	r.mu.Lock()
+	m, ok := r.metrics[name]
+	r.mu.Unlock()
+	if !ok || m.typ != TypeHistogram {
+		return "", 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.series[""]
+	if !ok {
+		return "", 0
+	}
+	for _, e := range s.ex {
+		if e.id != "" && (id == "" || e.val > val) {
+			id, val = e.id, e.val
+		}
+	}
+	return id, val
 }
 
 // Total sums every series of a metric (counters/gauges).
@@ -276,6 +379,22 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		m.mu.Lock()
 		fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
 		fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+		if m.info != nil {
+			// Constant info gauge: one series, all labels, value 1.
+			// Sorted label keys keep the output byte-deterministic.
+			ks := make([]string, 0, len(m.info))
+			for k := range m.info {
+				ks = append(ks, k)
+			}
+			sort.Strings(ks)
+			parts := make([]string, len(ks))
+			for i, k := range ks {
+				parts[i] = fmt.Sprintf("%s=%q", k, escapeLabel(m.info[k]))
+			}
+			fmt.Fprintf(w, "%s{%s} 1\n", m.name, strings.Join(parts, ","))
+			m.mu.Unlock()
+			continue
+		}
 		keys := append([]string(nil), m.keys...)
 		sort.Strings(keys)
 		for _, key := range keys {
@@ -324,25 +443,51 @@ func (r *Registry) Snapshot() map[string]interface{} {
 		// the series it looks up. The old behavior meant a /v1/stats read
 		// inserted empty "" series, changing subsequent /metrics output.
 		switch {
+		case m.info != nil:
+			labels := make(map[string]string, len(m.info))
+			for k, v := range m.info {
+				labels[k] = v
+			}
+			out[names[i]] = labels
 		case m.typ == TypeHistogram:
 			var count uint64
 			var sum float64
 			buckets := map[string]uint64{}
 			cum := uint64(0)
+			var exs map[string]interface{}
 			if s, ok := m.series[""]; ok {
 				count, sum = s.count, s.sum
 				for j, ub := range m.buckets {
 					cum += s.counts[j]
 					buckets["le_"+formatFloat(ub)] = cum
 				}
+				for j, e := range s.ex {
+					if e.id == "" {
+						continue
+					}
+					le := "+Inf"
+					if j < len(m.buckets) {
+						le = formatFloat(m.buckets[j])
+					}
+					if exs == nil {
+						exs = map[string]interface{}{}
+					}
+					exs["le_"+le] = map[string]interface{}{
+						"request_id": e.id, "value": e.val,
+					}
+				}
 			} else {
 				for _, ub := range m.buckets {
 					buckets["le_"+formatFloat(ub)] = 0
 				}
 			}
-			out[names[i]] = map[string]interface{}{
+			hv := map[string]interface{}{
 				"count": count, "sum": sum, "buckets": buckets,
 			}
+			if exs != nil {
+				hv["exemplars"] = exs
+			}
+			out[names[i]] = hv
 		case m.label != "":
 			vals := map[string]float64{}
 			for _, k := range m.keys {

@@ -26,7 +26,7 @@ func TestNilRegistryIsNoOp(t *testing.T) {
 		t.Error("nil registry snapshot non-empty")
 	}
 	var m *Metrics
-	m.RecordQueryOK(time.Second, time.Second, time.Second)
+	m.RecordQueryOK("q-1", time.Second, time.Second, time.Second)
 	m.RecordQueryFailed()
 	m.RecordCall("t", 1, 2)
 	m.RecordSlots(time.Second, time.Second, 4)
@@ -126,7 +126,7 @@ func TestMetricsBundleConcurrent(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 100; j++ {
 				m.RecordCall("filter_batch", 10, 5)
-				m.RecordQueryOK(2*time.Second, time.Second, time.Second)
+				m.RecordQueryOK("q-1", 2*time.Second, time.Second, time.Second)
 				m.RecordSlots(3*time.Second, time.Second, 4)
 			}
 		}()

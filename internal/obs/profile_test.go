@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestAttributeSharesSumExactly(t *testing.T) {
+	// Busy ratios chosen so the proportional split cannot be exact
+	// without remainder absorption: 1/3, 1/3, 1/3 of a prime-ish total.
+	p := NewCostProfile("q-1")
+	p.Add(ClassPlanning, OpCost{Executions: 1, Busy: 5 * time.Second})
+	p.Add("Filter/SemanticFilter", OpCost{Executions: 1, Busy: 1000000007})
+	p.Add("Map/SemanticMap", OpCost{Executions: 1, Busy: 1000000007})
+	p.Add("Count/PreCount", OpCost{Executions: 1, Busy: 1000000009})
+	planning, optimize, exec := 5*time.Second, 700*time.Millisecond, time.Duration(3141592653)
+	p.Attribute(planning, optimize, exec)
+
+	if p.Total != planning+optimize+exec {
+		t.Fatalf("total = %v", p.Total)
+	}
+	if got := p.ShareSum(); got != p.Total {
+		t.Fatalf("share sum %v != total %v", got, p.Total)
+	}
+	if p.Classes[ClassPlanning].Share != planning {
+		t.Errorf("planning share = %v", p.Classes[ClassPlanning].Share)
+	}
+	if p.Classes[ClassOptimize].Share != optimize {
+		t.Errorf("optimize share = %v", p.Classes[ClassOptimize].Share)
+	}
+	var execSum time.Duration
+	for name, c := range p.Classes {
+		if name == ClassPlanning || name == ClassOptimize {
+			continue
+		}
+		if c.Share < 0 {
+			t.Errorf("class %q negative share %v", name, c.Share)
+		}
+		execSum += c.Share
+	}
+	if execSum != exec {
+		t.Fatalf("exec shares sum to %v, want %v", execSum, exec)
+	}
+}
+
+func TestAttributeUnattributedWhenNoBusy(t *testing.T) {
+	// A fully cache-served execution records zero busy time; the
+	// makespan must land on the dedicated class, not vanish.
+	p := NewCostProfile("q-1")
+	p.Add("Filter/ExactFilter", OpCost{Executions: 1})
+	p.Attribute(time.Second, 0, 3*time.Second)
+	if got := p.Classes[ClassUnattributed].Share; got != 3*time.Second {
+		t.Fatalf("unattributed share = %v, want 3s", got)
+	}
+	if p.ShareSum() != p.Total {
+		t.Fatalf("share sum %v != total %v", p.ShareSum(), p.Total)
+	}
+}
+
+func TestAttributeZeroExec(t *testing.T) {
+	p := NewCostProfile("q-1")
+	p.Attribute(time.Second, time.Second, 0)
+	if p.ShareSum() != 2*time.Second || p.Total != 2*time.Second {
+		t.Fatalf("sum=%v total=%v", p.ShareSum(), p.Total)
+	}
+}
+
+func TestAttributeDeterministicTieBreak(t *testing.T) {
+	// Two classes with identical busy: remainder goes to the first in
+	// sorted name order, every time.
+	run := func() time.Duration {
+		p := NewCostProfile("q")
+		p.Add("b-class", OpCost{Busy: time.Second})
+		p.Add("a-class", OpCost{Busy: time.Second})
+		p.Attribute(0, 0, time.Duration(999999999))
+		return p.Classes["a-class"].Share
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic tiebreak: %v then %v", first, got)
+		}
+	}
+	if first < 499999999 {
+		t.Fatalf("a-class got %v, expected the remainder on top", first)
+	}
+}
+
+func TestProfilerAccumulatesAndSnapshots(t *testing.T) {
+	pr := NewProfiler()
+	for i := 0; i < 2; i++ {
+		p := NewCostProfile("q")
+		p.Add(ClassPlanning, OpCost{Executions: 1, LLMCalls: 3, CachedCalls: 1, InTokens: 10, OutTokens: 5, Busy: time.Second})
+		p.Add("Filter/SemanticFilter", OpCost{Executions: 1, LLMCalls: 4, Busy: 2 * time.Second})
+		p.Attribute(time.Second, 0, 2*time.Second)
+		pr.Record(p)
+	}
+	if pr.Queries() != 2 || pr.TotalVTime() != 6*time.Second {
+		t.Fatalf("queries=%d total=%v", pr.Queries(), pr.TotalVTime())
+	}
+	tot := pr.Totals()
+	if tot.LLMCalls != 14 || tot.CachedCalls != 2 || tot.InTokens != 20 {
+		t.Fatalf("totals = %+v", tot)
+	}
+
+	snap := pr.Snapshot()
+	if snap.Queries != 2 || len(snap.Classes) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	fc := snap.Classes["Filter/SemanticFilter"]
+	if fc.ShareSecs != 4 || fc.Executions != 2 {
+		t.Fatalf("filter class = %+v", fc)
+	}
+	// Snapshot marshals deterministically (sorted map keys).
+	a, _ := json.Marshal(snap)
+	b, _ := json.Marshal(pr.Snapshot())
+	if string(a) != string(b) {
+		t.Error("snapshot JSON not stable")
+	}
+	if containsFold(string(a), "wall") {
+		t.Errorf("profile JSON carries wall-clock fields: %s", a)
+	}
+}
+
+func TestProfilerNilSafe(t *testing.T) {
+	var pr *Profiler
+	pr.Record(NewCostProfile("q"))
+	if pr.Queries() != 0 || pr.TotalVTime() != 0 {
+		t.Error("nil profiler non-empty")
+	}
+	if got := pr.Totals(); got != (OpCost{}) {
+		t.Errorf("nil totals = %+v", got)
+	}
+	if snap := pr.Snapshot(); snap.Queries != 0 || len(snap.Classes) != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+	var p *CostProfile
+	if p.JSON() != nil {
+		t.Error("nil profile JSON non-nil")
+	}
+}
+
+func TestCostJSONDerivedRatios(t *testing.T) {
+	c := &OpCost{Executions: 2, LLMCalls: 6, CachedCalls: 2, InTokens: 60, OutTokens: 20, Share: 2 * time.Second}
+	j := costJSON(c, 4*time.Second)
+	if j.ShareOfTotal != 0.5 {
+		t.Errorf("share_of_total = %v", j.ShareOfTotal)
+	}
+	if j.CacheHitRatio != 0.25 {
+		t.Errorf("cache_hit_ratio = %v", j.CacheHitRatio)
+	}
+	if j.CallsPerExec != 4 {
+		t.Errorf("calls_per_exec = %v", j.CallsPerExec)
+	}
+	if j.TokensPerCall != 10 {
+		t.Errorf("tokens_per_call = %v", j.TokensPerCall)
+	}
+}

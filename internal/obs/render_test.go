@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderNilSpan(t *testing.T) {
+	if got := Render(nil); got != "" {
+		t.Errorf("Render(nil) = %q", got)
+	}
+	if (*Span)(nil).JSON() != nil {
+		t.Error("nil span JSON non-nil")
+	}
+}
+
+func TestRenderZeroDurationSpan(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("query", KindQuery)
+	s.StartChild("instant", KindPhase).End()
+	s.End()
+	out := Render(s)
+	if !strings.Contains(out, "instant") || !strings.Contains(out, "vtime=0s") {
+		t.Errorf("zero-duration child rendered wrong:\n%s", out)
+	}
+	j := s.JSON()
+	if len(j.Children) != 1 || j.Children[0].VTimeSecs != 0 {
+		t.Errorf("JSON zero-duration child: %+v", j.Children)
+	}
+}
+
+func TestRenderDetachedAndAdoptedSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("query", KindQuery)
+	// Detached spans live outside the tree until adopted; adoption order
+	// (not creation or completion order) fixes the rendered order.
+	d2 := root.NewDetached("node-2", KindNode)
+	d1 := root.NewDetached("node-1", KindNode)
+	d1.SetVDur(time.Second)
+	d2.SetVDur(2 * time.Second)
+	d1.End()
+	d2.End()
+
+	// Before adoption the detached spans must not render under the root.
+	if out := Render(root); strings.Contains(out, "node-1") || strings.Contains(out, "node-2") {
+		t.Fatalf("detached spans rendered before adoption:\n%s", out)
+	}
+
+	root.Adopt(d1)
+	root.Adopt(d2)
+	root.Adopt(nil) // nil adoption is a no-op
+	root.End()
+	out := Render(root)
+	i1, i2 := strings.Index(out, "node-1"), strings.Index(out, "node-2")
+	if i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Fatalf("adoption order not preserved (i1=%d i2=%d):\n%s", i1, i2, out)
+	}
+	if len(root.Children()) != 2 {
+		t.Fatalf("children = %d, want 2", len(root.Children()))
+	}
+}
+
+func TestRenderSpanEndedTwiceKeepsFirstWall(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("query", KindQuery)
+	s.End()
+	first := s.WallDur()
+	time.Sleep(5 * time.Millisecond)
+	s.End() // second End must not move the end time
+	if got := s.WallDur(); got != first {
+		t.Errorf("second End changed wall duration: %v -> %v", first, got)
+	}
+	if out := Render(s); !strings.Contains(out, "query") {
+		t.Errorf("render after double End:\n%s", out)
+	}
+}
+
+func TestRenderAttrsInInsertionOrder(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("query", KindQuery)
+	s.SetAttr("zeta", "1")
+	s.SetAttr("alpha", "2")
+	s.SetAttr("zeta", "3") // overwrite keeps position
+	s.End()
+	out := Render(s)
+	iz, ia := strings.Index(out, "zeta=3"), strings.Index(out, "alpha=2")
+	if iz < 0 || ia < 0 || iz > ia {
+		t.Errorf("attr order wrong:\n%s", out)
+	}
+}
+
+func TestRenderDeepTreeBranches(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("query", KindQuery)
+	p := root.StartChild("phase", KindPhase)
+	p.StartChild("leaf-a", KindLLM).End()
+	p.StartChild("leaf-b", KindLLM).End()
+	p.End()
+	root.StartChild("tail", KindPhase).End()
+	root.End()
+	out := Render(root)
+	// Middle children draw ├─, last children draw └─.
+	if !strings.Contains(out, "├─ leaf-a") || !strings.Contains(out, "└─ leaf-b") {
+		t.Errorf("branch glyphs wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "└─ tail") {
+		t.Errorf("last child glyph wrong:\n%s", out)
+	}
+}
+
+func TestFmtDurRanges(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0s"},
+		{500 * time.Microsecond, "500µs"},
+		{250 * time.Millisecond, "250.0ms"},
+		{90 * time.Second, "1.5m"},
+		{3 * time.Second, "3.00s"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.d); got != c.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

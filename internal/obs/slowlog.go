@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog emits one structured log/slog record per query whose total
+// virtual time meets a threshold, linking the slow query's request id to
+// its retained trace. A nil *SlowLog is the disabled log: every method
+// is a safe no-op. The log write itself uses the wall clock (slog
+// timestamps) and is deliberately kept OUT of all deterministic
+// surfaces; only the counter is exported.
+type SlowLog struct {
+	threshold time.Duration
+	logger    *slog.Logger
+	count     atomic.Int64
+}
+
+// SlowRecord carries the fields of one slow-query log line.
+type SlowRecord struct {
+	RequestID   string
+	Query       string
+	Status      string // "ok" or "error"
+	VTime       time.Duration
+	GrantWait   time.Duration
+	LLMCalls    int
+	CachedCalls int
+	Operators   int
+	Contended   bool
+}
+
+// NewSlowLog returns a slow-query log firing at the given threshold
+// (values <= 0 return nil, i.e. disabled). A nil logger selects
+// slog.Default().
+func NewSlowLog(threshold time.Duration, logger *slog.Logger) *SlowLog {
+	if threshold <= 0 {
+		return nil
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &SlowLog{threshold: threshold, logger: logger}
+}
+
+// Threshold reports the vtime threshold (0 when disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Count reports how many slow queries have been logged.
+func (l *SlowLog) Count() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.count.Load()
+}
+
+// Observe logs the record as a single structured line when it crosses
+// the threshold and reports whether it did.
+func (l *SlowLog) Observe(rec SlowRecord) bool {
+	if l == nil || rec.VTime < l.threshold {
+		return false
+	}
+	l.count.Add(1)
+	l.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow query",
+		slog.String("request_id", rec.RequestID),
+		slog.String("query", rec.Query),
+		slog.String("status", rec.Status),
+		slog.Duration("vtime", rec.VTime),
+		slog.Duration("grant_wait", rec.GrantWait),
+		slog.Int("llm_calls", rec.LLMCalls),
+		slog.Int("cached_calls", rec.CachedCalls),
+		slog.Int("operators", rec.Operators),
+		slog.Bool("contended", rec.Contended),
+		slog.Duration("threshold", l.threshold),
+	)
+	return true
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholdGating(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(10*time.Second, slog.New(slog.NewTextHandler(&buf, nil)))
+	if l.Observe(SlowRecord{RequestID: "q-1", VTime: 9 * time.Second}) {
+		t.Error("below-threshold query logged")
+	}
+	if !l.Observe(SlowRecord{RequestID: "q-2", Query: "slow one", VTime: 10 * time.Second}) {
+		t.Error("at-threshold query not logged")
+	}
+	if l.Count() != 1 {
+		t.Errorf("count = %d, want 1", l.Count())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow query") || !strings.Contains(out, "request_id=q-2") {
+		t.Errorf("log line missing fields: %q", out)
+	}
+	if strings.Contains(out, "q-1") {
+		t.Errorf("fast query leaked into log: %q", out)
+	}
+	if l.Threshold() != 10*time.Second {
+		t.Errorf("threshold = %v", l.Threshold())
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	if NewSlowLog(0, nil) != nil {
+		t.Error("zero threshold should disable the log")
+	}
+	if NewSlowLog(-time.Second, nil) != nil {
+		t.Error("negative threshold should disable the log")
+	}
+	var l *SlowLog
+	if l.Observe(SlowRecord{VTime: time.Hour}) {
+		t.Error("nil log observed a record")
+	}
+	if l.Count() != 0 || l.Threshold() != 0 {
+		t.Error("nil log not zero-valued")
+	}
+}

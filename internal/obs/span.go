@@ -249,6 +249,7 @@ type ctxKey int
 const (
 	tracerKey ctxKey = iota
 	spanKey
+	requestIDKey
 )
 
 // WithTracer installs a tracer into the context. Installing a nil tracer
@@ -280,4 +281,22 @@ func WithSpan(ctx context.Context, s *Span) context.Context {
 func SpanFrom(ctx context.Context) *Span {
 	s, _ := ctx.Value(spanKey).(*Span)
 	return s
+}
+
+// WithRequestID installs the caller-assigned request id into the
+// context; the system keys the retained trace store by it. Installing
+// an empty id returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom extracts the request id from the context ("" when
+// absent, in which case the system mints one from the admission
+// sequence).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
 }

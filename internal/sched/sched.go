@@ -50,6 +50,16 @@ type Ticket struct {
 	released bool          // guarded by the pool mutex
 }
 
+// Seq returns the ticket's process-wide admission sequence number. The
+// trace store orders and keys retained query history by it: admission
+// order is deterministic where wall-clock completion order is not.
+func (tk *Ticket) Seq() int64 {
+	if tk == nil {
+		return -1
+	}
+	return tk.seq
+}
+
 // JobResult reports one query's outcome on the shared pool.
 type JobResult struct {
 	// Start is the virtual admission time (same as the ticket's).
@@ -69,6 +79,9 @@ type JobResult struct {
 	Grants int
 	// Finish maps task IDs to completion times relative to Start.
 	Finish map[string]time.Duration
+	// TaskWait maps task IDs to their share of GrantWait, attributing
+	// slot contention to individual operators.
+	TaskWait map[string]time.Duration
 	// Contended reports that the query was scheduled against a non-idle
 	// machine (busy slots at admission or co-pending queries).
 	Contended bool
@@ -357,6 +370,14 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 	for id, f := range mres.Finish {
 		if own, ok := stripJob(id, ej); ok {
 			jr.Finish[own] = f
+		}
+	}
+	for id, w := range mres.TaskWait {
+		if own, ok := stripJob(id, ej); ok && w > 0 {
+			if jr.TaskWait == nil {
+				jr.TaskWait = make(map[string]time.Duration)
+			}
+			jr.TaskWait[own] = w
 		}
 	}
 	p.committed = append(p.committed, commitJob{job: ej, priority: tk.Priority, tasks: job.tasks})

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -55,6 +57,9 @@ func New(sys *unify.System) *Server {
 	s.mux.HandleFunc("/v1/operators", s.handleOperators)
 	s.mux.HandleFunc("/v1/health", s.handleHealth)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/traces", s.handleTraces)
+	s.mux.HandleFunc("/v1/traces/", s.handleTrace)
+	s.mux.HandleFunc("/v1/profile", s.handleProfile)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	// Catch-all: unknown paths previously fell through to the mux's
 	// plain-text 404, bypassing the error envelope.
@@ -73,7 +78,13 @@ func (s *Server) SetLimits(maxConcurrent, maxQueue int) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.Sys.Metrics != nil {
-		s.Sys.Metrics.HTTPRequests.IncL(r.URL.Path)
+		// Trace-detail requests collapse to one series: the id segment
+		// would otherwise mint a label per request.
+		path := r.URL.Path
+		if strings.HasPrefix(path, "/v1/traces/") {
+			path = "/v1/traces/{id}"
+		}
+		s.Sys.Metrics.HTTPRequests.IncL(path)
 	}
 	s.mux.ServeHTTP(w, r)
 }
@@ -134,6 +145,9 @@ type QueryResponse struct {
 	Contended     bool          `json:"contended,omitempty"`
 	Trace         *obs.SpanJSON `json:"trace,omitempty"`
 	TraceText     string        `json:"trace_text,omitempty"`
+	// Profile is the query's per-operator-class cost attribution
+	// (EXPLAIN ANALYZE only; all durations virtual-clock).
+	Profile map[string]obs.OpCostJSON `json:"profile,omitempty"`
 }
 
 // PlanResponse is the body returned by POST /v1/plan.
@@ -268,7 +282,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 	defer cancel()
-	if analyzeRequested(r) || req.Analyze {
+	// The request id rides down into the system so the retained trace is
+	// keyed by the same id the response (and error envelope) carries.
+	ctx = obs.WithRequestID(ctx, rid)
+	analyze := analyzeRequested(r) || req.Analyze
+	if analyze {
 		// EXPLAIN ANALYZE: run the query with tracing enabled and
 		// return the rendered span tree alongside the answer.
 		ctx = obs.WithTracer(ctx, obs.NewTracer())
@@ -312,7 +330,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// queueWait is wall time and stays in the serving layer
 	// (QueueWaitSecs below): Answer fields are all virtual-clock, and
 	// writing wall time into one mixed the two domains.
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		RequestID:     rid,
 		Answer:        ans.Text,
 		Plan:          planNodes(ans.Plan),
@@ -332,9 +350,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		GrantWaitSecs: ans.SlotGrantWait.Seconds(),
 		SoloExecSecs:  ans.SoloExecDur.Seconds(),
 		Contended:     ans.Contended,
-		Trace:         ans.Trace.JSON(),
-		TraceText:     obs.Render(ans.Trace),
-	})
+	}
+	if analyze {
+		// The span tree is always captured for the trace store; it only
+		// rides back on the response when EXPLAIN ANALYZE asked for it.
+		resp.Trace = ans.Trace.JSON()
+		resp.TraceText = obs.Render(ans.Trace)
+		resp.Profile = ans.Profile.JSON()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -380,6 +404,115 @@ func (s *Server) handleOperators(w http.ResponseWriter, r *http.Request) {
 		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// TraceDetail is the body of GET /v1/traces/{id}: the stored trace
+// summary plus its full span tree. Unlike the list endpoint, the span
+// tree carries wall-clock timings (wall_ms) alongside virtual time.
+type TraceDetail struct {
+	ID        string        `json:"id"`
+	Seq       int64         `json:"seq"`
+	Status    string        `json:"status"`
+	Query     string        `json:"query"`
+	VTimeSecs float64       `json:"vtime_secs"`
+	LLMCalls  int           `json:"llm_calls"`
+	Operators int           `json:"operators"`
+	Spans     int           `json:"spans"`
+	Truncated bool          `json:"truncated,omitempty"`
+	Root      *obs.SpanJSON `json:"root"`
+}
+
+// handleTraces lists retained query traces newest-first. Filters:
+// ?status=ok|error, ?min_vtime_secs=F, ?limit=N. The payload carries
+// only virtual-clock fields, so identical runs produce identical bytes.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, s.nextRequestID(), "GET required")
+		return
+	}
+	var f obs.TraceFilter
+	q := r.URL.Query()
+	switch st := q.Get("status"); st {
+	case "", "ok", "error":
+		f.Status = st
+	default:
+		writeError(w, http.StatusBadRequest, s.nextRequestID(), "status must be ok or error")
+		return
+	}
+	if v := q.Get("min_vtime_secs"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil || secs < 0 {
+			writeError(w, http.StatusBadRequest, s.nextRequestID(), "malformed min_vtime_secs: %q", v)
+			return
+		}
+		f.MinVTime = time.Duration(secs * float64(time.Second))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, s.nextRequestID(), "malformed limit: %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	store := s.Sys.Traces
+	traces := store.List(f)
+	if traces == nil {
+		traces = []obs.TraceSummary{}
+	}
+	maxTraces, maxSpans := store.Bounds()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"traces": traces,
+		"count":  len(traces),
+		"retention": map[string]interface{}{
+			"enabled":             store != nil,
+			"max_traces":          maxTraces,
+			"max_spans_per_trace": maxSpans,
+			"stored":              store.Len(),
+			"evicted":             store.Evicted(),
+		},
+	})
+}
+
+// handleTrace serves one stored trace's full span tree by request id.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, s.nextRequestID(), "GET required")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, s.nextRequestID(), "no such endpoint: %s", r.URL.Path)
+		return
+	}
+	t, ok := s.Sys.Traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, s.nextRequestID(), "no trace with id %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceDetail{
+		ID:        t.ID,
+		Seq:       t.Seq,
+		Status:    t.Status,
+		Query:     t.Query,
+		VTimeSecs: t.VTime.Seconds(),
+		LLMCalls:  t.LLMCalls,
+		Operators: t.Operators,
+		Spans:     t.Spans,
+		Truncated: t.Truncated,
+		Root:      t.Root,
+	})
+}
+
+// handleProfile serves the cumulative per-operator-class cost profile.
+// All durations are virtual-clock, so the payload is byte-deterministic
+// for identical workloads.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, s.nextRequestID(), "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Sys.Profiler.Snapshot())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -453,15 +586,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	// Clock domains: serving figures (admission queue waits, uptime) are
 	// monotonic wall time; everything derived from query execution (pool
-	// vtime, query duration histograms) is virtual (simulated) time.
+	// vtime, query duration histograms, trace and profile durations) is
+	// virtual (simulated) time. Trace DETAIL payloads (/v1/traces/{id})
+	// are the one dual-clock surface: span wall_ms is wall time next to
+	// each span's vtime_secs.
 	serving["clocks"] = map[string]string{
-		"uptime_secs":                         "wall_monotonic",
-		"admission_queue_wait":                "wall_monotonic",
-		"unify_serve_queue_wait_seconds":      "wall_monotonic",
-		"pool_busy_vtime_secs":                "virtual",
-		"pool_grant_wait_vtime_secs":          "virtual",
-		"unify_query_vtime_seconds":           "virtual",
-		"unify_slot_grant_wait_vtime_seconds": "virtual",
+		"uptime_secs":                             "wall_monotonic",
+		"admission_queue_wait":                    "wall_monotonic",
+		"unify_serve_queue_wait_seconds":          "wall_monotonic",
+		"pool_busy_vtime_secs":                    "virtual",
+		"pool_grant_wait_vtime_secs":              "virtual",
+		"unify_query_vtime_seconds":               "virtual",
+		"unify_slot_grant_wait_vtime_seconds":     "virtual",
+		"traces.vtime_secs":                       "virtual",
+		"traces.span.wall_ms":                     "wall_monotonic",
+		"profile.*_vtime_secs":                    "virtual",
+		"unify_op_busy_vtime_seconds_total":       "virtual",
+		"unify_op_vtime_share_seconds_total":      "virtual",
+		"unify_op_grant_wait_vtime_seconds_total": "virtual",
+		"slow_query_threshold_vtime_secs":         "virtual",
+	}
+	// Trace retention and slow-query state, documented next to the rest
+	// of the observability surface so operators can see the bounds that
+	// govern /v1/traces without reading code.
+	tracing := map[string]interface{}{"enabled": s.Sys.Traces != nil}
+	if store := s.Sys.Traces; store != nil {
+		maxTraces, maxSpans := store.Bounds()
+		tracing["max_traces"] = maxTraces
+		tracing["max_spans_per_trace"] = maxSpans
+		tracing["stored"] = store.Len()
+		tracing["evicted"] = store.Evicted()
+	}
+	tracing["profiled_queries"] = s.Sys.Profiler.Queries()
+	if sl := s.Sys.SlowLog; sl != nil {
+		tracing["slow_query_threshold_vtime_secs"] = sl.Threshold().Seconds()
+		tracing["slow_queries"] = sl.Count()
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"uptime_secs": time.Since(s.started).Seconds(),
@@ -469,6 +628,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"cache":       cacheStats,
 		"failures":    failures,
 		"serving":     serving,
+		"tracing":     tracing,
 	})
 }
 

@@ -77,6 +77,10 @@ type Result struct {
 	JobGrants map[int]int
 	JobEnd    map[int]time.Duration
 
+	// TaskWait breaks the slot-grant delay down per task, attributing
+	// contention to individual operators (sums to the JobWait totals).
+	TaskWait map[string]time.Duration
+
 	// SlotFree reports, per limited resource, the time each slot becomes
 	// free after the schedule (ascending). Unlimited resources are absent.
 	SlotFree map[string][]time.Duration
@@ -195,6 +199,7 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 		JobWait:   map[int]time.Duration{},
 		JobGrants: map[int]int{},
 		JobEnd:    map[int]time.Duration{},
+		TaskWait:  map[string]time.Duration{},
 	}
 
 	// completeTask marks a task finished at time t and releases successors.
@@ -264,6 +269,7 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 			busy[u.Resource] += u.Dur
 			res.JobBusy[t.Job] += u.Dur
 			res.JobWait[t.Job] += start - pu.ready
+			res.TaskWait[t.ID] += start - pu.ready
 			res.JobGrants[t.Job]++
 		}
 		scheduled++

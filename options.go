@@ -128,6 +128,22 @@ func WithStrictChecks() Option {
 	return func(o *openOptions) { o.cfg.StrictChecks = true }
 }
 
+// WithTraceRetention bounds the query-history trace store: at most
+// maxTraces retained traces of at most maxSpans spans each (0 selects
+// the defaults). A negative maxTraces disables trace retention.
+func WithTraceRetention(maxTraces, maxSpans int) Option {
+	return func(o *openOptions) {
+		o.cfg.MaxTraces = maxTraces
+		o.cfg.MaxTraceSpans = maxSpans
+	}
+}
+
+// WithSlowQueryVTime logs every query whose total virtual time meets the
+// threshold as one structured slow-query record (<= 0 disables the log).
+func WithSlowQueryVTime(d time.Duration) Option {
+	return func(o *openOptions) { o.cfg.SlowQueryVTime = d }
+}
+
 // New builds a system from functional options:
 //
 //	sys, err := unify.New(unify.WithDataset("sports"), unify.WithSize(500))

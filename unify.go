@@ -112,6 +112,21 @@ type Config struct {
 	// diagnostic. On in all tests; off by default on the production path
 	// (the checks are pure CPU but add per-query overhead).
 	StrictChecks bool
+
+	// MaxTraces bounds the retained query-history trace store (0 selects
+	// obs.DefaultMaxTraces). A negative value disables trace retention —
+	// and with it the always-on tracer that feeds the store; Analyze and
+	// caller-installed tracers still work.
+	MaxTraces int
+	// MaxTraceSpans bounds the spans retained per stored trace (0
+	// selects obs.DefaultMaxSpansPerTrace). Truncation is breadth-first:
+	// the query and phase structure survives, deep per-call detail is
+	// dropped first.
+	MaxTraceSpans int
+	// SlowQueryVTime, when positive, logs every query whose total
+	// virtual time meets the threshold as one structured log/slog record
+	// carrying the request id of its retained trace.
+	SlowQueryVTime time.Duration
 }
 
 // DefaultCacheBytes is the default shared-cache budget (64 MiB).
@@ -173,6 +188,17 @@ type System struct {
 	// Injector is the fault-injecting wrapper around the worker client
 	// (nil unless Config.FaultPlan was set).
 	Injector *faults.Client
+
+	// Traces is the bounded query-history store: every completed query's
+	// span tree, keyed by request id, ordered by admission sequence
+	// (served at /v1/traces). Nil when Config.MaxTraces < 0.
+	Traces *obs.TraceStore
+	// Profiler accumulates per-operator-class cost profiles across the
+	// system's lifetime (served at /v1/profile).
+	Profiler *obs.Profiler
+	// SlowLog is the threshold-gated slow-query log (nil when
+	// Config.SlowQueryVTime <= 0).
+	SlowLog *obs.SlowLog
 
 	// PreprocessDur is the simulated offline preprocessing time
 	// (embedding + indexing + SCE training).
@@ -256,6 +282,17 @@ type Answer struct {
 	// unify_serve_queue_wait_seconds histogram instead.
 	QueueWait time.Duration
 
+	// RequestID identifies the query in the trace store and slow-query
+	// log: the caller-installed id (obs.WithRequestID) when present,
+	// otherwise minted from the pool admission sequence ("t-<seq>").
+	RequestID string
+
+	// Profile is the query's per-operator-class cost attribution: LLM
+	// calls, tokens, cache traffic, retries, grant waits, and vtime
+	// shares that sum exactly to TotalDur (the profile.vtime_attribution
+	// invariant under StrictChecks).
+	Profile *obs.CostProfile
+
 	// Trace is the query's span tree (EXPLAIN ANALYZE), populated only
 	// when a tracer was installed in the query context via
 	// obs.WithTracer; render it with obs.Render or serialize via JSON().
@@ -298,6 +335,7 @@ func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, 
 		return nil, err
 	}
 	metrics := obs.NewMetrics()
+	metrics.SetBuildInfo(Version)
 	// The shared semantic cache: one byte budget across LLM responses,
 	// embeddings, distance maps, bucketizations, selectivities, and
 	// plans, with per-layer counters mirrored into the metrics registry.
@@ -364,6 +402,14 @@ func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, 
 	s.Executor.NodeErrorBudget = cfg.NodeErrorBudget
 	s.Executor.StrictChecks = cfg.StrictChecks
 	s.Pool.StrictChecks = cfg.StrictChecks
+	// Observability retention: trace store, cumulative profiler, and the
+	// slow-query log. The profiler is always on (pure counters); the
+	// trace store honors the retention config.
+	s.Profiler = obs.NewProfiler()
+	if cfg.MaxTraces >= 0 {
+		s.Traces = obs.NewTraceStore(cfg.MaxTraces, cfg.MaxTraceSpans)
+	}
+	s.SlowLog = obs.NewSlowLog(cfg.SlowQueryVTime, nil)
 	if cfg.ReplanThreshold > 1 {
 		s.Executor.ReplanThreshold = cfg.ReplanThreshold
 		s.Executor.Replanner = opt
@@ -453,7 +499,10 @@ func (s *System) Query(ctx context.Context, q string, opts ...QueryOption) (*Ans
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
 	}
-	if o.Analyze && obs.TracerFrom(ctx) == nil {
+	// A tracer is installed for Analyze, and also whenever the trace
+	// store retains history — stored traces need a real span tree even
+	// when the caller did not ask for EXPLAIN ANALYZE output.
+	if obs.TracerFrom(ctx) == nil && (o.Analyze || s.Traces != nil) {
 		ctx = obs.WithTracer(ctx, obs.NewTracer())
 	}
 	qspan := obs.TracerFrom(ctx).Start("query", obs.KindQuery)
@@ -467,14 +516,96 @@ func (s *System) Query(ctx context.Context, q string, opts ...QueryOption) (*Ans
 	defer s.Pool.Release(tk)
 	ctx = sched.WithTicket(ctx, tk)
 
+	// The request id keys the trace store and the slow-query log: the
+	// serving layer's id when one rode in on the context, otherwise one
+	// minted from the admission sequence (deterministic per run).
+	rid := obs.RequestIDFrom(ctx)
+	if rid == "" {
+		rid = fmt.Sprintf("t-%d", tk.Seq()+1)
+	}
+	qspan.SetAttr("request_id", rid)
+
 	ans, err := s.query(ctx, q, qspan, o)
 	if err != nil {
 		s.Metrics.RecordQueryFailed()
+		qspan.SetAttr("error", err.Error())
+		qspan.End()
+		s.retainTrace(rid, tk.Seq(), "error", q, 0, 0, 0, qspan)
 		return nil, err
 	}
+	ans.RequestID = rid
+	ans.Profile.RequestID = rid
 	ans.Trace = qspan
+	qspan.End() // freeze the tree before it is stored
+	// Registry first, profiler second: the profile.global_bound
+	// invariant relies on profile counters never leading the globals.
 	s.recordQueryMetrics(ans)
+	s.Profiler.Record(ans.Profile)
+	s.retainTrace(rid, tk.Seq(), "ok", q, ans.TotalDur, ans.LLMCalls, len(ans.Nodes), qspan)
+	s.observeSlow(q, ans)
+	if s.Config.StrictChecks {
+		if err := s.checkProfileBound(q, qspan); err != nil {
+			return nil, err
+		}
+	}
 	return ans, nil
+}
+
+// retainTrace stores a completed query's span tree in the trace store
+// (no-op when retention is disabled) and refreshes the store gauges.
+func (s *System) retainTrace(id string, seq int64, status, q string, vtime time.Duration, llmCalls, operators int, root *obs.Span) {
+	if s.Traces == nil || root == nil {
+		return
+	}
+	s.Traces.Put(id, seq, status, q, vtime, llmCalls, operators, root)
+	if s.Metrics != nil {
+		s.Metrics.RecordTraceStore(s.Traces.Len(), s.Traces.Evicted())
+	}
+}
+
+// observeSlow feeds a completed query to the slow-query log.
+func (s *System) observeSlow(q string, ans *Answer) {
+	slow := s.SlowLog.Observe(obs.SlowRecord{
+		RequestID:   ans.RequestID,
+		Query:       q,
+		Status:      "ok",
+		VTime:       ans.TotalDur,
+		GrantWait:   ans.SlotGrantWait,
+		LLMCalls:    ans.LLMCalls,
+		CachedCalls: ans.CachedLLMCalls,
+		Operators:   len(ans.Nodes),
+		Contended:   ans.Contended,
+	})
+	if slow && s.Metrics != nil {
+		s.Metrics.RecordSlowQuery()
+	}
+}
+
+// checkProfileBound validates the profile.global_bound invariant:
+// cumulative profile counters may never exceed the matching process-
+// global registry counters. The profile side is read first — profiles
+// are recorded after the globals, so under concurrent queries the
+// profile may lag the registry but never lead it.
+func (s *System) checkProfileBound(q string, qspan *obs.Span) error {
+	if s.Profiler == nil || s.Metrics == nil || s.Metrics.Reg == nil {
+		return nil
+	}
+	tot := s.Profiler.Totals()
+	queries := s.Profiler.Queries()
+	vtotal := s.Profiler.TotalVTime()
+	reg := s.Metrics.Reg
+	pairs := []check.CounterPair{
+		{Name: "llm_calls", Profile: float64(tot.LLMCalls + tot.CachedCalls), Global: reg.Total("unify_llm_calls_total")},
+		{Name: "cached_calls", Profile: float64(tot.CachedCalls), Global: reg.Total("unify_llm_cached_calls_total")},
+		{Name: "in_tokens", Profile: float64(tot.InTokens), Global: reg.Total("unify_llm_in_tokens_total")},
+		{Name: "out_tokens", Profile: float64(tot.OutTokens), Global: reg.Total("unify_llm_out_tokens_total")},
+		{Name: "skipped_docs", Profile: float64(tot.SkippedDocs), Global: reg.Total("unify_exec_skipped_docs_total")},
+		{Name: "retries", Profile: float64(tot.Retries), Global: reg.Total("unify_llm_retries_total")},
+		{Name: "queries", Profile: float64(queries), Global: reg.Value("unify_queries_total", "ok")},
+		{Name: "vtime_seconds", Profile: vtotal.Seconds(), Global: reg.HistogramSum("unify_query_vtime_seconds")},
+	}
+	return check.Fail(fmt.Sprintf("unify: cumulative profile after %q", q),
+		check.ProfileGlobalBound(pairs), qspan)
 }
 
 func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOptions) (*Answer, error) {
@@ -594,6 +725,38 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 	ans.SoloExecDur = res.SoloMakespan
 	ans.SchedStart = res.PoolStart
 	ans.Contended = res.Contended
+
+	// Per-operator cost attribution: phase classes plus one class per
+	// operator identity (Op/Phys). Attribute splits the execution
+	// makespan across operator classes proportionally to busy time, so
+	// the class shares sum exactly to TotalDur.
+	prof := obs.NewCostProfile("")
+	prof.Add(obs.ClassPlanning, callCost(pstats.Calls, pstats.Duration))
+	prof.Add(obs.ClassOptimize, callCost(ostats.Calls, estDur))
+	var busyTotal time.Duration
+	for i, nr := range res.Nodes {
+		c := callCost(nr.Calls, ans.Nodes[i].Busy)
+		c.SkippedDocs = nr.SkippedDocs
+		c.GrantWait = nr.GrantWait
+		prof.Add(nr.Op+"/"+nr.Phys, c)
+		busyTotal += ans.Nodes[i].Busy
+	}
+	if res.Replans > 0 {
+		prof.Add(obs.ClassReplan, obs.OpCost{Executions: res.Replans, Busy: res.ReplanDur})
+		busyTotal += res.ReplanDur
+	}
+	prof.Attribute(ans.PlanningDur, ans.EstimationDur, ans.ExecDur)
+	ans.Profile = prof
+	// Stamp each operator span with its share of the query total (the
+	// per-node view of the same attribution).
+	if busyTotal > 0 && ans.TotalDur > 0 {
+		for i := range res.Nodes {
+			frac := float64(ans.Nodes[i].Busy) / float64(busyTotal) *
+				float64(ans.ExecDur) / float64(ans.TotalDur)
+			res.Nodes[i].Span.SetAttr("vtime_share", fmt.Sprintf("%.1f%%", 100*frac))
+		}
+	}
+
 	if s.Config.StrictChecks {
 		scanned := 0
 		for _, ns := range ans.Nodes {
@@ -621,8 +784,31 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 		if err := check.Fail(fmt.Sprintf("unify: answer for %q", q), check.Answer(facts), qspan); err != nil {
 			return nil, err
 		}
+		if err := check.Fail(fmt.Sprintf("unify: cost profile for %q", q),
+			check.ProfileAttribution(ans.Profile, ans.TotalDur), qspan); err != nil {
+			return nil, err
+		}
 	}
 	return ans, nil
+}
+
+// callCost folds one phase's or node's call log into an OpCost. The
+// convention matches the profiler: LLMCalls counts model invocations
+// that did real work, CachedCalls counts invocations served by the
+// shared response cache.
+func callCost(calls []llm.Call, busy time.Duration) obs.OpCost {
+	c := obs.OpCost{Executions: 1, Busy: busy}
+	for _, call := range calls {
+		if call.Cached {
+			c.CachedCalls++
+		} else {
+			c.LLMCalls++
+		}
+		c.InTokens += call.InTokens
+		c.OutTokens += call.OutTokens
+		c.Retries += call.Retries
+	}
+	return c
 }
 
 // execCalls flattens the per-node call logs of one execution.
@@ -640,7 +826,8 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 	if m == nil {
 		return
 	}
-	m.RecordQueryOK(ans.TotalDur, ans.PlanningDur+ans.EstimationDur, ans.ExecDur)
+	m.RecordQueryOK(ans.RequestID, ans.TotalDur, ans.PlanningDur+ans.EstimationDur, ans.ExecDur)
+	m.RecordOpCosts(ans.Profile)
 	for _, c := range ans.planCalls {
 		m.RecordCall(c.Task, c.InTokens, c.OutTokens)
 		if c.Cached {
@@ -664,7 +851,7 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 	}
 	m.RecordDegradation(ans.Replans, ans.SkippedDocs)
 	m.RecordSlots(ans.SlotBusy, ans.ExecDur, s.Config.Slots)
-	m.RecordGrantWait(ans.SlotGrantWait)
+	m.RecordGrantWait(ans.RequestID, ans.SlotGrantWait)
 	if s.Pool != nil {
 		ps := s.Pool.Stats()
 		m.RecordPool(ps.Active, ps.Utilization)
