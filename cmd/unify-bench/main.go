@@ -9,12 +9,15 @@
 //	unify-bench -exp cache -size 400 -per 2 -datasets sports -cacheout BENCH_cache.json
 //	unify-bench -exp faults -size 400 -per 2 -datasets sports -faultsout BENCH_faults.json
 //	unify-bench -exp serve -size 300 -per 2 -datasets sports -serveout BENCH_serve.json
+//	unify-bench -exp scale -size 300 -per 2 -datasets sports -scaleout BENCH_scale.json
+//	unify-bench -exp scale -machines 2 -queries 4 -size 300 -datasets sports   # CI smoke
 //
 // Experiments: fig4 (accuracy+latency, Fig. 4a-h), table3 (SCE q-errors,
 // Table III), fig5a (logical optimization), fig5b (physical optimization),
 // cache (repeated-workload cold/warm latency and per-layer hit rates),
 // faults (resilience under seeded fault injection at increasing rates),
-// serve (concurrent serving sweep over the shared slot pool).
+// serve (concurrent serving sweep over the shared slot pool),
+// scale (cluster-width sweep with shard-aware scatter execution).
 package main
 
 import (
@@ -41,10 +44,21 @@ func main() {
 		cacheOut = flag.String("cacheout", "", "write the cache experiment's flat report to this JSON file")
 		faultOut = flag.String("faultsout", "", "write the faults experiment's report to this JSON file")
 		serveOut = flag.String("serveout", "", "write the serve experiment's report to this JSON file")
+		scaleOut = flag.String("scaleout", "", "write the scale experiment's report to this JSON file")
+		machines = flag.Int("machines", 0, "scale experiment: max cluster width (0 = the default 1,2,4,8 sweep)")
+		nQueries = flag.Int("queries", 0, "scale experiment: cap the per-width query batch (0 = full workload)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Size: *size, PerTemplate: *per, Seed: *seed}
+	cfg := bench.Config{Size: *size, PerTemplate: *per, Seed: *seed, MaxQueries: *nQueries}
+	if *machines > 0 {
+		for m := 1; m <= *machines; m *= 2 {
+			cfg.ScaleMachines = append(cfg.ScaleMachines, m)
+		}
+		if last := cfg.ScaleMachines[len(cfg.ScaleMachines)-1]; last != *machines {
+			cfg.ScaleMachines = append(cfg.ScaleMachines, *machines)
+		}
+	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
@@ -57,7 +71,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true, "faults": true, "serve": true}
+		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true, "faults": true, "serve": true, "scale": true}
 	}
 
 	ctx := context.Background()
@@ -178,6 +192,33 @@ func main() {
 					return err
 				}
 				fmt.Printf("serve report written to %s\n", *serveOut)
+			}
+			return nil
+		})
+	}
+
+	if want["scale"] {
+		run("Scale-out (scale)", func() error {
+			res, err := bench.RunScaleBench(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintScaleBench(os.Stdout, res)
+			artifacts["scale"] = res
+			for _, p := range res.Points {
+				if !p.AnswersMatchM1 {
+					return fmt.Errorf("scale: answers at %d machines diverge from the 1-machine run", p.Machines)
+				}
+			}
+			if *scaleOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*scaleOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("scale report written to %s\n", *scaleOut)
 			}
 			return nil
 		})

@@ -35,6 +35,7 @@ func main() {
 			"spans retained per stored trace (0 = default)")
 		slowQuery = flag.Duration("slow-query", 0,
 			"log queries whose virtual time meets this threshold (0 = off)")
+		machines = flag.Int("machines", 1, "simulated cluster width (1 = the paper's single machine)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 		unify.WithTrainSCE(),
 		unify.WithTraceRetention(*maxTraces, *maxTraceSpans),
 		unify.WithSlowQueryVTime(*slowQuery),
+		unify.WithMachines(*machines),
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -44,6 +44,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		topN        = flag.Int("topn", 8, "queries to run for the top subcommand")
 		slowQuery   = flag.Duration("slow-query", 0, "log queries whose virtual time meets this threshold (0 = off)")
+		machines    = flag.Int("machines", 1, "simulated cluster width (1 = the paper's single machine)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func main() {
 		unify.WithSize(*size),
 		unify.WithTrainSCE(),
 		unify.WithSlowQueryVTime(*slowQuery),
+		unify.WithMachines(*machines),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
@@ -158,6 +160,18 @@ func runTop(sys *unify.System, n int) {
 		fmt.Printf("%-28s %6d %7d %7d %9d %9.1f %9.1f %6.1f%%\n",
 			name, c.Executions, c.LLMCalls, c.CachedCalls, c.InTokens+c.OutTokens,
 			c.BusySecs, c.ShareSecs, 100*c.ShareOfTotal)
+	}
+	if pool := sys.Pool; pool != nil && pool.Machines() > 1 {
+		ps := pool.Stats()
+		fmt.Printf("\ncluster: %d machines x %d slots", ps.Machines, ps.Slots)
+		if sh := sys.Sharding; sh != nil {
+			fmt.Printf(", sharding %s", sh)
+		}
+		fmt.Println()
+		for _, pm := range ps.PerMachine {
+			fmt.Printf("  machine %d: util %5.1f%%  cum %5.1f%%  active %d\n",
+				pm.Machine, 100*pm.Utilization, 100*pm.CumUtilization, pm.Active)
+		}
 	}
 	if sl := sys.SlowLog; sl != nil {
 		fmt.Printf("\nslow queries (vtime >= %s): %d\n", sl.Threshold(), sl.Count())

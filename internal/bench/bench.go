@@ -36,6 +36,12 @@ type Config struct {
 	Methods []string
 	// SampleFrac is the SCE budget for Table III (paper: 1%).
 	SampleFrac float64
+	// ScaleMachines is the cluster-width sweep for the scale experiment
+	// (default 1, 2, 4, 8; must include 1, the speedup baseline).
+	ScaleMachines []int
+	// MaxQueries caps the per-width query batch of the scale experiment
+	// (0 = the full generated workload).
+	MaxQueries int
 }
 
 func (c *Config) defaults() {
@@ -53,6 +59,9 @@ func (c *Config) defaults() {
 	}
 	if c.SampleFrac == 0 {
 		c.SampleFrac = 0.01
+	}
+	if len(c.ScaleMachines) == 0 {
+		c.ScaleMachines = []int{1, 2, 4, 8}
 	}
 }
 

@@ -50,7 +50,9 @@ const (
 
 	InvVTimeConservation = "vtime.conservation"     // per-job busy sums to total busy; JobEnd caps at Makespan
 	InvVTimeSlotBound    = "vtime.slot_bound"       // busy <= Makespan * slots; slot frees within the schedule
-	InvPoolUtilBound     = "pool.utilization_bound" // epoch slot utilization <= 1
+	InvPoolUtilBound     = "pool.utilization_bound" // epoch slot utilization <= 1 (checked per machine on clusters)
+
+	InvClusterShardComplete = "cluster.shard_complete" // scatter/merge accounts for every shard; no shard silently dropped
 
 	InvProfileAttribution = "profile.vtime_attribution" // per-class vtime shares sum exactly to the Answer vtime
 	InvProfileGlobalBound = "profile.global_bound"      // cumulative profile counters never exceed global counters
@@ -424,10 +426,22 @@ func Answer(f AnswerFacts) []Violation {
 	return vs
 }
 
-// VTime validates a virtual-time schedule: per-job accounting conserves
-// against the machine totals and nothing exceeds the slot capacity.
+// VTime validates a single-machine virtual-time schedule: per-job
+// accounting conserves against the machine totals and nothing exceeds
+// the slot capacity.
 func VTime(res vtime.Result, slots int) []Violation {
+	return VTimeCluster(res, 1, slots)
+}
+
+// VTimeCluster validates a cluster schedule: per-job busy conserves
+// against the summed machine totals, and every machine individually
+// respects its slot capacity. VTimeCluster(res, 1, slots) is the
+// single-machine VTime check.
+func VTimeCluster(res vtime.Result, machines, slots int) []Violation {
 	var vs []Violation
+	if machines < 1 {
+		machines = 1
+	}
 	if slots < 1 {
 		slots = 1
 	}
@@ -464,30 +478,61 @@ func VTime(res vtime.Result, slots int) []Violation {
 		if end > maxEnd {
 			maxEnd = end
 		}
-		if b := res.JobBusy[job]; b > end*time.Duration(slots) {
+		if b := res.JobBusy[job]; b > end*time.Duration(slots*machines) {
 			violatef(&vs, InvVTimeConservation,
-				"job %d busy %v exceeds its end %v x %d slots", job, b, end, slots)
+				"job %d busy %v exceeds its end %v x %d cluster slots", job, b, end, slots*machines)
 		}
 	}
 	if len(res.JobEnd) > 0 && maxEnd != res.Makespan {
 		violatef(&vs, InvVTimeConservation, "max job end %v != makespan %v", maxEnd, res.Makespan)
 	}
-	busy := res.Busy[vtime.ResourceLLM]
-	if jobBusy != busy {
-		violatef(&vs, InvVTimeConservation, "per-job busy sums to %v but machine busy is %v", jobBusy, busy)
-	}
-	if busy > res.Makespan*time.Duration(slots) {
-		violatef(&vs, InvVTimeSlotBound, "busy %v exceeds makespan %v x %d slots", busy, res.Makespan, slots)
-	}
-	if frees, ok := res.SlotFree[vtime.ResourceLLM]; ok {
-		if len(frees) != slots {
-			violatef(&vs, InvVTimeSlotBound, "%d slot free times for %d slots", len(frees), slots)
+	var busy time.Duration
+	for m := 0; m < machines; m++ {
+		mbusy := res.Busy[vtime.MachineResource(m)]
+		busy += mbusy
+		if mbusy > res.Makespan*time.Duration(slots) {
+			violatef(&vs, InvVTimeSlotBound, "machine %d busy %v exceeds makespan %v x %d slots", m, mbusy, res.Makespan, slots)
 		}
-		for i, f := range frees {
-			if f < 0 || f > res.Makespan {
-				violatef(&vs, InvVTimeSlotBound, "slot %d frees at %v outside [0, %v]", i, f, res.Makespan)
+		if frees, ok := res.SlotFree[vtime.MachineResource(m)]; ok {
+			if len(frees) != slots {
+				violatef(&vs, InvVTimeSlotBound, "machine %d has %d slot free times for %d slots", m, len(frees), slots)
+			}
+			for i, f := range frees {
+				if f < 0 || f > res.Makespan {
+					violatef(&vs, InvVTimeSlotBound, "machine %d slot %d frees at %v outside [0, %v]", m, i, f, res.Makespan)
+				}
 			}
 		}
+	}
+	if jobBusy != busy {
+		violatef(&vs, InvVTimeConservation, "per-job busy sums to %v but cluster busy is %v", jobBusy, busy)
+	}
+	return vs
+}
+
+// ShardComplete validates a scatter/merge execution: the merge saw every
+// shard's partial result, and — for cardinality-preserving merges like
+// filters — the merged output accounts for exactly the per-shard doc
+// counts (no shard silently dropped, nothing invented).
+func ShardComplete(op string, shards int, perShard []int, merged int, exact bool) []Violation {
+	var vs []Violation
+	if len(perShard) != shards {
+		violatef(&vs, InvClusterShardComplete, "%s: %d shard results for %d shards", op, len(perShard), shards)
+		return vs
+	}
+	sum := 0
+	for s, n := range perShard {
+		if n < 0 {
+			violatef(&vs, InvClusterShardComplete, "%s: shard %d reports negative count %d", op, s, n)
+		}
+		sum += n
+	}
+	if exact {
+		if merged != sum {
+			violatef(&vs, InvClusterShardComplete, "%s: merged %d docs but shards produced %d", op, merged, sum)
+		}
+	} else if merged > sum {
+		violatef(&vs, InvClusterShardComplete, "%s: merged %d docs exceed the %d the shards produced", op, merged, sum)
 	}
 	return vs
 }

@@ -1,0 +1,123 @@
+package docstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// Partitioner assigns documents to corpus shards. Implementations must
+// be pure functions of the document and the shard count so that every
+// machine — and every repeated run — derives the same assignment.
+// Hash partitioning by id is the default; embedding-space partitioning
+// can plug in here later without touching the scatter operators.
+type Partitioner interface {
+	// Name identifies the partitioner in stats and plan signatures.
+	Name() string
+	// Shard maps a document to a shard in [0, shards).
+	Shard(doc Document, shards int) int
+}
+
+// HashPartitioner shards by FNV-1a over the decimal document id — cheap,
+// stateless, and uniform enough for the synthetic corpora.
+type HashPartitioner struct{}
+
+// Name implements Partitioner.
+func (HashPartitioner) Name() string { return "hash" }
+
+// Shard implements Partitioner.
+func (HashPartitioner) Shard(doc Document, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(strconv.Itoa(doc.ID)))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Sharding is a store's materialized shard assignment: the partitioner
+// applied once over the collection, queryable per document id.
+type Sharding struct {
+	N     int // shard count
+	part  Partitioner
+	byDoc map[int]int // doc id -> shard
+	order []int       // shard per document in collection order
+}
+
+// Shard materializes a shard assignment over the store with the given
+// partitioner (nil means HashPartitioner). Shard counts below 2 yield a
+// single all-docs shard, mirroring the single-machine layout.
+func (s *Store) Shard(p Partitioner, shards int) *Sharding {
+	if p == nil {
+		p = HashPartitioner{}
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	sh := &Sharding{
+		N:     shards,
+		part:  p,
+		byDoc: make(map[int]int, len(s.Docs)),
+		order: make([]int, len(s.Docs)),
+	}
+	for i, d := range s.Docs {
+		m := p.Shard(d, shards)
+		if m < 0 || m >= shards {
+			m = 0
+		}
+		sh.byDoc[d.ID] = m
+		sh.order[i] = m
+	}
+	return sh
+}
+
+// Partitioner reports the partitioner behind the assignment.
+func (sh *Sharding) Partitioner() Partitioner { return sh.part }
+
+// Of returns a document's shard (0 for unknown ids, which scatter
+// treats as shard-0 residents so no document is ever dropped).
+func (sh *Sharding) Of(docID int) int {
+	if sh == nil {
+		return 0
+	}
+	return sh.byDoc[docID]
+}
+
+// Split partitions a doc-id slice by shard, preserving the input order
+// within each shard. The result always has exactly N groups (empty
+// groups included) so scatter operators can account for every shard.
+func (sh *Sharding) Split(docIDs []int) [][]int {
+	out := make([][]int, sh.N)
+	for _, id := range docIDs {
+		m := sh.Of(id)
+		out[m] = append(out[m], id)
+	}
+	return out
+}
+
+// Assignment renders the full shard assignment in collection order —
+// one byte-stable string per corpus, pinned by the determinism tests.
+func (sh *Sharding) Assignment() string {
+	b := make([]byte, 0, len(sh.order)*2)
+	for i, m := range sh.order {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(m), 10)
+	}
+	return string(b)
+}
+
+// Counts reports the number of documents per shard.
+func (sh *Sharding) Counts() []int {
+	c := make([]int, sh.N)
+	for _, m := range sh.order {
+		c[m]++
+	}
+	return c
+}
+
+// String describes the sharding for logs and /v1/stats.
+func (sh *Sharding) String() string {
+	return fmt.Sprintf("%s/%d", sh.part.Name(), sh.N)
+}

@@ -1,0 +1,98 @@
+package docstore
+
+import (
+	"testing"
+)
+
+// TestHashPartitionerPinned pins the hash partitioner's assignment bytes
+// for the first 16 document ids: the shard layout is part of the
+// cross-machine determinism contract, so a silent change to the hash or
+// its encoding must fail loudly here.
+func TestHashPartitionerPinned(t *testing.T) {
+	s, err := New("test", mkDocs(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		shards int
+		want   string
+	}{
+		{2, "1 0 1 0 1 0 1 0 1 0 0 1 0 1 0 1"},
+		{4, "3 0 1 2 3 0 1 2 3 0 0 3 2 1 0 3"},
+	} {
+		sh := s.Shard(nil, tc.shards)
+		if got := sh.Assignment(); got != tc.want {
+			t.Errorf("shards=%d assignment %q, want %q", tc.shards, got, tc.want)
+		}
+	}
+}
+
+// TestShardingDeterministic asserts repeated materializations over the
+// same store yield byte-identical assignments — every machine derives
+// the same layout independently.
+func TestShardingDeterministic(t *testing.T) {
+	s, err := New("test", mkDocs(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Shard(nil, 4).Assignment()
+	for i := 0; i < 5; i++ {
+		if got := s.Shard(HashPartitioner{}, 4).Assignment(); got != first {
+			t.Fatalf("materialization %d diverged:\n%s\n%s", i, got, first)
+		}
+	}
+}
+
+// TestShardingSplitCoversAll asserts Split partitions a doc-id slice
+// without loss, preserves input order within shards, and yields exactly
+// N groups so scatter operators can account for every shard.
+func TestShardingSplitCoversAll(t *testing.T) {
+	s, err := New("test", mkDocs(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := s.Shard(nil, 4)
+
+	counts := sh.Counts()
+	total := 0
+	for m, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d holds no documents", m)
+		}
+		total += c
+	}
+	if total != 100 {
+		t.Fatalf("counts sum %d, want 100", total)
+	}
+
+	ids := make([]int, 100)
+	for i := range ids {
+		ids[i] = 99 - i // reverse order: Split must preserve it per shard
+	}
+	groups := sh.Split(ids)
+	if len(groups) != 4 {
+		t.Fatalf("Split yielded %d groups, want 4", len(groups))
+	}
+	seen := 0
+	for m, g := range groups {
+		last := 100
+		for _, id := range g {
+			if sh.Of(id) != m {
+				t.Fatalf("doc %d in group %d but assigned to shard %d", id, m, sh.Of(id))
+			}
+			if id >= last {
+				t.Fatalf("group %d out of input order: %v", m, g)
+			}
+			last = id
+			seen++
+		}
+	}
+	if seen != 100 {
+		t.Fatalf("Split covered %d ids, want 100", seen)
+	}
+
+	// Unknown ids fall to shard 0 rather than vanishing.
+	if sh.Of(12345) != 0 {
+		t.Fatalf("unknown id assigned to shard %d, want 0", sh.Of(12345))
+	}
+}

@@ -61,6 +61,13 @@ type Executor struct {
 	// pool (identical to the shared pool with no contention).
 	Pool *sched.Pool
 
+	// Sharding is the corpus shard assignment for scatter execution on a
+	// simulated cluster (nil on a single machine). Operators the
+	// optimizer marked "_scatter" fan their document input out per shard,
+	// run each shard's slice on that shard's machine, and merge the
+	// partials; the shard count must match the cluster width.
+	Sharding *docstore.Sharding
+
 	// NodeErrorBudget, when positive, lets each operator absorb up to
 	// this many per-batch LLM failures by skipping the affected
 	// documents (partial results) instead of failing the node.
@@ -104,6 +111,15 @@ type NodeResult struct {
 	// GrantWait is the node's share of the query's slot-grant delay on
 	// the shared pool (cost attribution for contention).
 	GrantWait time.Duration
+	// ShardCalls holds, for scatter executions, each shard's model calls
+	// (index = shard); the scheduler places shard s's stream on machine
+	// s's slots. Empty for unscattered nodes. All shard and merge calls
+	// are also in Calls for aggregate accounting.
+	ShardCalls [][]llm.Call
+	// MergeCalls are the merge/combine step's model calls (top-k re-ranks
+	// the union of per-shard winners; exact merges have none). The merge
+	// runs on the query's home machine.
+	MergeCalls []llm.Call
 	// Span is the node's trace span (nil when tracing is off).
 	Span *obs.Span
 }
@@ -268,26 +284,30 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 	}
 	res.Answer = ans
 
-	tasks := e.tasks(plan, res.Nodes)
 	// Submit the recorded work to the shared slot pool: the makespan
 	// reflects slot grants actually received against concurrent queries.
 	// A query admitted upstream carries its ticket in the context; an
-	// unticketed caller gets a self-contained admit/release.
+	// unticketed caller gets a self-contained admit/release. The ticket
+	// resolves before the task graph is built: its home machine places
+	// the query's unscattered work.
 	pool := e.Pool
 	tk := sched.TicketFrom(ctx)
 	if pool == nil {
-		pool, tk = sched.NewPool(e.slots()), nil
+		pool, tk = sched.NewCluster(e.clusterWidth(), e.slots()).Pool, nil
 	}
 	owned := tk == nil
 	if owned {
 		tk = pool.Admit(0)
 	}
+	tasks := e.tasks(plan, res.Nodes, tk.Machine(), pool.Machines())
 	jr, err := pool.Run(ctx, tk, tasks)
 	if errors.Is(err, sched.ErrTicketUsed) {
 		// The query's ticket was consumed by an earlier execution (the
-		// system-level fallback re-runs on the same context): re-admit.
+		// system-level fallback re-runs on the same context): re-admit,
+		// rebuilding the graph against the fresh ticket's home machine.
 		tk = pool.Admit(tk.Priority)
 		owned = true
+		tasks = e.tasks(plan, res.Nodes, tk.Machine(), pool.Machines())
 		jr, err = pool.Run(ctx, tk, tasks)
 	}
 	if owned {
@@ -313,12 +333,21 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 			nr.Span.SetAttr("grant_wait", w.Round(time.Millisecond).String())
 		}
 	}
-	ser, err := vtime.NewSchedule(e.slots()).SerialOperators(tasks)
+	ser, err := vtime.NewCluster(pool.Machines(), e.slots()).SerialOperators(tasks)
 	if err != nil {
 		return nil, err
 	}
 	res.Serial = ser + replanDur
 	return res, nil
+}
+
+// clusterWidth is the machine count the executor scatters over (1
+// without a sharding).
+func (e *Executor) clusterWidth() int {
+	if e.Sharding == nil || e.Sharding.N < 1 {
+		return 1
+	}
+	return e.Sharding.N
 }
 
 // runPass executes every not-yet-completed node of the plan in parallel
@@ -506,6 +535,21 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		}
 	}
 
+	// Scatter execution: the optimizer marked this node for cluster
+	// fan-out. Any scatter failure falls through to the ordinary
+	// candidate loop below, so a shard error degrades to an unscattered
+	// run instead of losing the query.
+	if m, okm := n.Args.Int("_scatter"); okm && m > 1 {
+		nr, serr := e.runScatter(ctx, n, cands[0], m, inputs, span, inCard)
+		if serr == nil {
+			return nr, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		span.SetAttr("scatter_fallback", serr.Error())
+	}
+
 	var lastErr error
 	for i, phys := range cands {
 		rec := llm.NewRecorder(e.Worker)
@@ -611,7 +655,14 @@ func (e *Executor) batch() int {
 }
 
 // tasks converts observed node executions into the vtime task graph.
-func (e *Executor) tasks(plan *core.Plan, nodes []NodeResult) []vtime.Task {
+// Unscattered operators run on the query's home machine; a scattered
+// node expands into one task per shard (shard s on machine s's slots)
+// plus a merge task on the home machine gated on every shard.
+func (e *Executor) tasks(plan *core.Plan, nodes []NodeResult, home, machines int) []vtime.Task {
+	if machines < 1 {
+		machines = 1
+	}
+	homeRes := vtime.MachineResource(home % machines)
 	byID := map[int]NodeResult{}
 	for _, nr := range nodes {
 		byID[nr.NodeID] = nr
@@ -619,6 +670,46 @@ func (e *Executor) tasks(plan *core.Plan, nodes []NodeResult) []vtime.Task {
 	var tasks []vtime.Task
 	for _, n := range plan.Nodes {
 		nr := byID[n.ID]
+		deps := make([]string, len(n.Deps))
+		for i, d := range n.Deps {
+			deps[i] = fmt.Sprintf("n%d", d)
+		}
+		if len(nr.ShardCalls) > 0 {
+			// Scatter: each shard's call stream is its own sequential task
+			// on the shard's machine; the merge joins them back on the home
+			// machine (its calls are the combine overhead the optimizer
+			// costed).
+			shardIDs := make([]string, 0, len(nr.ShardCalls))
+			for s, calls := range nr.ShardCalls {
+				var su []vtime.Unit
+				for _, c := range calls {
+					if c.Cached {
+						continue
+					}
+					su = append(su, vtime.Unit{Dur: c.Dur, Resource: vtime.MachineResource(s % machines)})
+				}
+				id := fmt.Sprintf("n%d.s%d", n.ID, s)
+				shardIDs = append(shardIDs, id)
+				tasks = append(tasks, vtime.Task{ID: id, Deps: deps, Units: su, Sequential: true})
+			}
+			var mu []vtime.Unit
+			for _, c := range nr.MergeCalls {
+				if c.Cached {
+					continue
+				}
+				mu = append(mu, vtime.Unit{Dur: c.Dur, Resource: homeRes})
+			}
+			if nr.PreDur > 0 || len(mu) == 0 {
+				mu = append(mu, vtime.Unit{Dur: nr.PreDur})
+			}
+			tasks = append(tasks, vtime.Task{
+				ID:         fmt.Sprintf("n%d", n.ID),
+				Deps:       shardIDs,
+				Units:      mu,
+				Sequential: true,
+			})
+			continue
+		}
 		var units []vtime.Unit
 		for _, c := range nr.Calls {
 			if c.Cached {
@@ -626,14 +717,10 @@ func (e *Executor) tasks(plan *core.Plan, nodes []NodeResult) []vtime.Task {
 				// unit, no makespan or SlotBusy contribution.
 				continue
 			}
-			units = append(units, vtime.Unit{Dur: c.Dur, Resource: vtime.ResourceLLM})
+			units = append(units, vtime.Unit{Dur: c.Dur, Resource: homeRes})
 		}
 		if nr.PreDur > 0 || len(units) == 0 {
 			units = append(units, vtime.Unit{Dur: nr.PreDur})
-		}
-		deps := make([]string, len(n.Deps))
-		for i, d := range n.Deps {
-			deps[i] = fmt.Sprintf("n%d", d)
 		}
 		// An operator executes on a single model instance: its calls
 		// form a sequential stream (the paper parallelizes ACROSS its 4

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"runtime"
+	"strconv"
 	"time"
 )
 
@@ -52,10 +53,16 @@ type Metrics struct {
 	GrantWaitSeconds Histogram // per-query slot-grant wait on the pool
 	PoolActive       Gauge     // queries currently admitted to the pool
 	PoolUtilization  Gauge     // aggregate epoch slot utilization
-	ServeQueueDepth  Gauge     // requests waiting in the admission queue
-	ServeInflight    Gauge     // requests holding an admission slot
-	ServeQueueWait   Histogram // wall-clock admission-queue wait
-	ServeRejected    Counter   // by reason: "queue_full" / "deadline"
+	// Per-machine cluster gauges, registered lazily by EnablePerMachine:
+	// single-machine systems never register them, keeping the /metrics
+	// exposition byte-identical to the pre-cluster format (the registry
+	// emits HELP/TYPE for every registered metric, series or not).
+	PoolMachineActive      Gauge     // by machine: queries homed on it
+	PoolMachineUtilization Gauge     // by machine: epoch slot utilization
+	ServeQueueDepth        Gauge     // requests waiting in the admission queue
+	ServeInflight          Gauge     // requests holding an admission slot
+	ServeQueueWait         Histogram // wall-clock admission-queue wait
+	ServeRejected          Counter   // by reason: "queue_full" / "deadline"
 
 	HTTPRequests Counter // by path
 
@@ -371,6 +378,34 @@ func (m *Metrics) RecordPool(active int, utilization float64) {
 	}
 	m.PoolActive.Set(float64(active))
 	m.PoolUtilization.Set(utilization)
+}
+
+// EnablePerMachine registers the per-machine pool gauges. Multi-machine
+// systems call it once at open time; until then RecordPoolMachines is a
+// no-op and the exposition carries no per-machine metrics at all.
+func (m *Metrics) EnablePerMachine(machines int) {
+	if m == nil || m.Reg == nil || machines < 2 || m.PoolMachineActive.m != nil {
+		return
+	}
+	m.PoolMachineActive = m.Reg.GaugeVec("unify_pool_machine_active_queries",
+		"Queries currently homed on the machine, by machine index.", "machine")
+	m.PoolMachineUtilization = m.Reg.GaugeVec("unify_pool_machine_utilization",
+		"Epoch slot utilization of the machine, by machine index.", "machine")
+}
+
+// RecordPoolMachines publishes per-machine cluster state (one series per
+// machine; no-op unless EnablePerMachine ran).
+func (m *Metrics) RecordPoolMachines(active []int, util []float64) {
+	if m == nil {
+		return
+	}
+	for i, a := range active {
+		l := strconv.Itoa(i)
+		m.PoolMachineActive.SetL(l, float64(a))
+		if i < len(util) {
+			m.PoolMachineUtilization.SetL(l, util[i])
+		}
+	}
 }
 
 // RecordAdmission records one request's trip through the admission queue

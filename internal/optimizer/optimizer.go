@@ -67,8 +67,15 @@ type Optimizer struct {
 	Mode      Mode
 	// Objective selects the quantity the plan-selection step minimizes.
 	Objective Objective
-	// Slots is the LLM server slot count of the machine model.
+	// Slots is the LLM server slot count of the machine model (per
+	// machine when Machines > 1).
 	Slots int
+	// Machines is the simulated cluster width. Above 1, decomposable
+	// LLM-based operators over sharded document sets may be scattered
+	// across machines when the cost model says the fan-out beats the
+	// merge overhead; at 1 (or 0) plans are exactly the single-machine
+	// plans.
+	Machines int
 	// SampleFrac is the SCE sampling budget as a fraction of the corpus.
 	SampleFrac float64
 	// Seed drives Rule-mode random selections.
@@ -233,7 +240,7 @@ func (o *Optimizer) Optimize(ctx context.Context, plans []*core.Plan) (*core.Pla
 // the query text (its pseudo-random picks depend on it).
 func (o *Optimizer) planSignature(plans []*core.Plan) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "m%d|o%d|s%d|f%g|n%d", o.Mode, o.Objective, o.Slots, o.SampleFrac, o.Store.Len())
+	fmt.Fprintf(h, "m%d|o%d|s%d|c%d|f%g|n%d", o.Mode, o.Objective, o.Slots, o.machines(), o.SampleFrac, o.Store.Len())
 	if o.Mode == Rule {
 		fmt.Fprintf(h, "|seed%d", o.Seed)
 		if len(plans) > 0 {
@@ -599,7 +606,74 @@ func (o *Optimizer) lowerNode(ctx context.Context, plan *core.Plan, n *core.Node
 	if !strings.HasPrefix(n.Phys, "IndexFilter") && n.Phys != "IndexScan" {
 		delete(n.Args, "_scanK")
 	}
+	o.markScatter(n, ins, work, outSig)
 	return outSig, nil
+}
+
+// machines reports the effective cluster width.
+func (o *Optimizer) machines() int {
+	if o.Machines < 1 {
+		return 1
+	}
+	return o.Machines
+}
+
+// scatterMerge classifies a physical operator's scatter/merge shape:
+// decomposable operators merge per-shard partials with pure computation
+// (filters concat, count/sum add, max/min take the extreme); combiners
+// (top-k) re-rank the union of per-shard winners with more LLM work.
+// Everything else must not be scattered.
+const (
+	scatterNone    = iota // not decomposable
+	scatterExact          // merge is pure computation
+	scatterCombine        // merge re-runs the operator over per-shard winners
+)
+
+func scatterMerge(phys string) int {
+	switch phys {
+	case "SemanticFilter", "SemanticCount", "SemanticSum", "SemanticMax", "SemanticMin":
+		return scatterExact
+	case "SemanticTopK":
+		return scatterCombine
+	default:
+		return scatterNone
+	}
+}
+
+// markScatter annotates a node for scatter execution when fanning its
+// document input out across the cluster's machines beats running it on
+// the home machine alone: per-shard cost (work split M ways) plus the
+// merge cost must undercut the unscattered cost. M=1 — and Rule mode,
+// which does no costing — never scatters, so single-machine plans are
+// bit-for-bit unchanged.
+func (o *Optimizer) markScatter(n *core.Node, ins []sig, work int, outSig sig) {
+	delete(n.Args, "_scatter")
+	m := o.machines()
+	if m < 2 || o.Mode == Rule {
+		return
+	}
+	mode := scatterMerge(n.Phys)
+	if mode == scatterNone || len(ins) == 0 || ins[0].kind != values.Docs {
+		return
+	}
+	// Fan-out must be real work: at least two batched calls per machine,
+	// otherwise the shards degenerate to one short call each and the merge
+	// latency dominates.
+	if o.Calib.EstimateLLMCalls(work) < 2*m {
+		return
+	}
+	shardWork := (work + m - 1) / m
+	cost := o.Calib.EstimateLLM(n.Phys, shardWork)
+	if mode == scatterCombine {
+		union := outSig.card * m
+		if union > work {
+			union = work
+		}
+		cost += o.Calib.EstimateLLM(n.Phys, union)
+	}
+	if cost < o.Calib.EstimateLLM(n.Phys, work) {
+		n.Args["_scatter"] = fmt.Sprint(m)
+	}
 }
 
 // propagate computes the output signature of a node and the number of
@@ -754,7 +828,7 @@ func (o *Optimizer) planCost(plan *core.Plan) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := vtime.NewSchedule(o.Slots).Run(tasks)
+	res, err := vtime.NewCluster(o.machines(), o.Slots).Run(tasks)
 	if err != nil {
 		return 0, err
 	}
@@ -832,6 +906,54 @@ func (o *Optimizer) PlanTasks(plan *core.Plan) ([]vtime.Task, error) {
 				}
 			}
 		}
+		deps := make([]string, len(n.Deps))
+		for i, d := range n.Deps {
+			deps[i] = fmt.Sprintf("n%d", d)
+		}
+		if m, scattered := n.Args.Int("_scatter"); scattered && m > 1 && phys != nil && phys.LLMBased {
+			// Scatter: the node's work splits across the cluster's machines,
+			// one task per shard, plus a merge task on the home machine
+			// gated on every shard (top-k combines re-rank the union there;
+			// exact merges are free computation).
+			shardWork := (work + m - 1) / m
+			shardIDs := make([]string, m)
+			for s := 0; s < m; s++ {
+				busy := o.Calib.EstimateLLM(n.Phys, shardWork)
+				calls := o.Calib.EstimateLLMCalls(shardWork)
+				if calls < 1 {
+					calls = 1
+				}
+				per := busy / time.Duration(calls)
+				var su []vtime.Unit
+				for i := 0; i < calls; i++ {
+					su = append(su, vtime.Unit{Dur: per, Resource: vtime.MachineResource(s)})
+				}
+				id := fmt.Sprintf("n%d.s%d", n.ID, s)
+				shardIDs[s] = id
+				tasks = append(tasks, vtime.Task{ID: id, Deps: deps, Units: su, Sequential: true})
+			}
+			var mu []vtime.Unit
+			if scatterMerge(n.Phys) == scatterCombine {
+				union := n.EstCard * m
+				if union > work {
+					union = work
+				}
+				busy := o.Calib.EstimateLLM(n.Phys, union)
+				calls := o.Calib.EstimateLLMCalls(union)
+				if calls < 1 {
+					calls = 1
+				}
+				per := busy / time.Duration(calls)
+				for i := 0; i < calls; i++ {
+					mu = append(mu, vtime.Unit{Dur: per, Resource: vtime.ResourceLLM})
+				}
+			} else {
+				mu = append(mu, vtime.Unit{Dur: o.Calib.EstimatePre(n.Phys, work)})
+			}
+			tasks = append(tasks, vtime.Task{ID: fmt.Sprintf("n%d", n.ID), Deps: shardIDs, Units: mu, Sequential: true})
+			cardOf["{"+n.OutVar+"}"] = n.EstCard
+			continue
+		}
 		if phys != nil && phys.LLMBased {
 			busy := o.Calib.EstimateLLM(n.Phys, work)
 			calls := o.Calib.EstimateLLMCalls(work)
@@ -844,10 +966,6 @@ func (o *Optimizer) PlanTasks(plan *core.Plan) ([]vtime.Task, error) {
 			}
 		} else {
 			units = append(units, vtime.Unit{Dur: o.Calib.EstimatePre(n.Phys, work)})
-		}
-		deps := make([]string, len(n.Deps))
-		for i, d := range n.Deps {
-			deps[i] = fmt.Sprintf("n%d", d)
 		}
 		tasks = append(tasks, vtime.Task{ID: fmt.Sprintf("n%d", n.ID), Deps: deps, Units: units, Sequential: true})
 		cardOf["{"+n.OutVar+"}"] = n.EstCard

@@ -1,6 +1,7 @@
 // Package sched is the process-global slot-pool scheduler: it multiplexes
 // every concurrent query in the process onto the one simulated machine the
-// paper evaluates on (4 local LLM slots, §VI-A).
+// paper evaluates on (4 local LLM slots, §VI-A) — or, via Cluster, onto a
+// simulated M-machine cluster whose machines share one virtual clock.
 //
 // Before this package each query scheduled its recorded work on a private
 // vtime.Schedule, so two concurrent /v1/query requests both pretended they
@@ -45,9 +46,20 @@ type Ticket struct {
 
 	seq      int64
 	epochJob int           // fair-queue job index within the epoch
+	machine  int           // home machine (epoch-relative round robin)
 	turn     chan struct{} // closed when every earlier ticket has resolved
 	ran      bool          // guarded by the pool mutex
 	released bool          // guarded by the pool mutex
+}
+
+// Machine returns the query's home machine in the cluster: unscattered
+// work is scheduled on the home machine's slots. Always 0 on a
+// single-machine pool.
+func (tk *Ticket) Machine() int {
+	if tk == nil {
+		return 0
+	}
+	return tk.machine
 }
 
 // Seq returns the ticket's process-wide admission sequence number. The
@@ -87,9 +99,31 @@ type JobResult struct {
 	Contended bool
 }
 
+// MachineStat is one machine's share of a cluster snapshot.
+type MachineStat struct {
+	Machine int `json:"machine"`
+	// Active counts admitted queries homed on this machine.
+	Active int `json:"active"`
+	// Utilization is the machine's slot utilization over the current
+	// epoch (or the last completed epoch when the pool is idle).
+	Utilization float64 `json:"utilization"`
+	// CumUtilization is the machine's lifetime slot utilization.
+	CumUtilization float64 `json:"cum_utilization"`
+	// BusyTotal accumulates the machine's slot busy time for the pool's
+	// lifetime.
+	BusyTotal time.Duration `json:"-"`
+}
+
 // Stats is a point-in-time snapshot of the pool.
 type Stats struct {
-	Slots      int           `json:"slots"`
+	// Slots is the slot count PER MACHINE (the cluster-wide count is
+	// Slots × Machines).
+	Slots int `json:"slots"`
+	// Machines is the cluster width (1 for a single-machine pool).
+	Machines int `json:"machines"`
+	// PerMachine breaks the snapshot down by machine, in machine order.
+	PerMachine []MachineStat `json:"per_machine"`
+
 	Active     int           `json:"active"`
 	Pending    int           `json:"pending"`
 	PeakActive int           `json:"peak_active"`
@@ -124,10 +158,11 @@ type Pool struct {
 	// Config.StrictChecks; on in all tests, off by default in prod.
 	StrictChecks bool
 
-	mu    sync.Mutex
-	slots int
-	free  []time.Duration // per-slot virtual free times (absolute)
-	vnow  time.Duration   // current epoch's admission time
+	mu       sync.Mutex
+	machines int
+	slots    int               // slots per machine
+	free     [][]time.Duration // per machine, per slot: virtual free times (absolute)
+	vnow     time.Duration     // current epoch's admission time
 
 	nextSeq      int64
 	resolvedUpTo int64              // every seq below this has resolved
@@ -149,6 +184,12 @@ type Pool struct {
 	epochQueries int
 	committed    []commitJob
 	lastUtil     float64
+
+	// Per-machine accounting (index = machine).
+	epochMachBusy []time.Duration
+	machBusyTotal []time.Duration
+	activeByMach  []int
+	lastMachUtil  []float64
 
 	origin    time.Duration // first epoch's start time
 	originSet bool
@@ -172,22 +213,56 @@ type commitJob struct {
 	tasks    []vtime.Task
 }
 
-// NewPool returns a pool modeling the given number of LLM slots.
-func NewPool(slots int) *Pool {
+// NewPool returns a pool modeling one machine with the given number of
+// LLM slots.
+func NewPool(slots int) *Pool { return newPool(1, slots) }
+
+func newPool(machines, slots int) *Pool {
+	if machines < 1 {
+		machines = 1
+	}
 	if slots < 1 {
 		slots = 1
 	}
+	free := make([][]time.Duration, machines)
+	for m := range free {
+		free[m] = make([]time.Duration, slots)
+	}
 	return &Pool{
-		slots:    slots,
-		free:     make([]time.Duration, slots),
-		resolved: map[int64]bool{},
-		tickets:  map[int64]*Ticket{},
-		pending:  map[int64]*pendJob{},
+		machines:      machines,
+		slots:         slots,
+		free:          free,
+		resolved:      map[int64]bool{},
+		tickets:       map[int64]*Ticket{},
+		pending:       map[int64]*pendJob{},
+		epochMachBusy: make([]time.Duration, machines),
+		machBusyTotal: make([]time.Duration, machines),
+		activeByMach:  make([]int, machines),
+		lastMachUtil:  make([]float64, machines),
 	}
 }
 
-// Slots reports the pool's slot count.
+// Cluster is a simulated M-machine cluster: M identical slot pools
+// sharing one virtual clock and one admission order. Admitted tickets are
+// routed round-robin to a home machine; scattered operators may place
+// per-shard work on other machines' slots. A Cluster with one machine is
+// byte-for-byte the single Pool (machine 0 keeps the canonical "llm"
+// resource), so M=1 schedules are unchanged.
+type Cluster struct {
+	*Pool
+}
+
+// NewCluster returns an M-machine cluster with slotsPer LLM slots on
+// each machine.
+func NewCluster(machines, slotsPer int) *Cluster {
+	return &Cluster{Pool: newPool(machines, slotsPer)}
+}
+
+// Slots reports the pool's slot count per machine.
 func (p *Pool) Slots() int { return p.slots }
+
+// Machines reports the cluster width (1 for a plain pool).
+func (p *Pool) Machines() int { return p.machines }
 
 // Admit registers a query with the pool and returns its ticket. If the
 // pool is idle the shared clock advances to the time every slot is free,
@@ -198,12 +273,14 @@ func (p *Pool) Admit(priority int) *Ticket {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.active == 0 {
-		// Fresh epoch: the machine is idle by max(free), and the clock
+		// Fresh epoch: every machine is idle by max(free), and the clock
 		// never runs backwards.
 		start := p.vnow
-		for _, f := range p.free {
-			if f > start {
-				start = f
+		for _, mf := range p.free {
+			for _, f := range mf {
+				if f > start {
+					start = f
+				}
 			}
 		}
 		p.vnow = start
@@ -216,17 +293,22 @@ func (p *Pool) Admit(priority int) *Ticket {
 		p.epochBusy = 0
 		p.epochQueries = 0
 		p.committed = nil
+		for m := range p.epochMachBusy {
+			p.epochMachBusy[m] = 0
+		}
 	}
 	tk := &Ticket{
 		Start:    p.vnow,
 		Priority: priority,
 		seq:      p.nextSeq,
 		epochJob: p.epochQueries,
+		machine:  p.epochQueries % p.machines,
 		turn:     make(chan struct{}),
 	}
 	p.nextSeq++
 	p.tickets[tk.seq] = tk
 	p.active++
+	p.activeByMach[tk.machine]++
 	p.epochQueries++
 	p.admitted++
 	if p.active > p.peakActive {
@@ -255,8 +337,12 @@ func (p *Pool) Release(tk *Ticket) {
 		p.resolve(tk.seq)
 	}
 	p.active--
+	p.activeByMach[tk.machine]--
 	if p.active == 0 {
 		p.lastUtil = p.epochUtilLocked()
+		for m := range p.lastMachUtil {
+			p.lastMachUtil[m] = p.machineUtilLocked(m)
+		}
 	}
 }
 
@@ -348,12 +434,12 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 	for _, pj := range others {
 		merged = append(merged, prefixTasks(pj.tasks, pj.tk.epochJob, pj.tk.Priority)...)
 	}
-	mres, err := vtime.NewSchedule(p.slots).Run(merged)
+	mres, err := vtime.NewCluster(p.machines, p.slots).Run(merged)
 	if err != nil {
 		return JobResult{}, err
 	}
 	if p.StrictChecks {
-		if err := check.Fail("sched: merged schedule", check.VTime(mres, p.slots), nil); err != nil {
+		if err := check.Fail("sched: merged schedule", check.VTimeCluster(mres, p.machines, p.slots), nil); err != nil {
 			return JobResult{}, err
 		}
 	}
@@ -382,21 +468,35 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 	}
 	p.committed = append(p.committed, commitJob{job: ej, priority: tk.Priority, tasks: job.tasks})
 
-	// Advance the machine state to the merged schedule's slot free times;
-	// the next epoch opens no earlier than the busiest slot drains.
-	newFree := mres.SlotFree[vtime.ResourceLLM]
-	for i := range p.free {
-		if i < len(newFree) {
-			p.free[i] = t0 + newFree[i]
-		} else {
-			p.free[i] = t0
+	// Advance each machine's state to the merged schedule's slot free
+	// times; the next epoch opens no earlier than the busiest slot drains.
+	// A machine absent from SlotFree ran nothing this schedule.
+	for m := range p.free {
+		newFree := mres.SlotFree[vtime.MachineResource(m)]
+		for i := range p.free[m] {
+			if i < len(newFree) {
+				p.free[m][i] = t0 + newFree[i]
+			} else {
+				p.free[m][i] = t0
+			}
 		}
 	}
 
-	// Solo baseline: the same graph on an idle machine. For an
+	// Per-machine busy attribution: every limited unit of the finalizing
+	// job names its machine's resource.
+	for _, t := range job.tasks {
+		for _, u := range t.Units {
+			if m, ok := vtime.MachineOf(u.Resource); ok && m < p.machines {
+				p.epochMachBusy[m] += u.Dur
+				p.machBusyTotal[m] += u.Dur
+			}
+		}
+	}
+
+	// Solo baseline: the same graph on an idle cluster. For an
 	// uncontended query that is, bit-for-bit, the schedule just computed.
 	if contended {
-		sres, err := vtime.NewSchedule(p.slots).Run(job.tasks)
+		sres, err := vtime.NewCluster(p.machines, p.slots).Run(job.tasks)
 		if err != nil {
 			return JobResult{}, err
 		}
@@ -418,6 +518,11 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 		if err := check.Fail("sched: epoch accounting", check.PoolUtilization(p.epochUtilLocked()), nil); err != nil {
 			return JobResult{}, err
 		}
+		for m := 0; m < p.machines; m++ {
+			if err := check.Fail(fmt.Sprintf("sched: machine %d epoch accounting", m), check.PoolUtilization(p.machineUtilLocked(m)), nil); err != nil {
+				return JobResult{}, err
+			}
+		}
 	}
 	return jr, nil
 }
@@ -426,17 +531,36 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 // utilization. The span is bounded below by the slots' own free times, so
 // the ratio is structurally ≤ 1.
 func (p *Pool) epochUtilLocked() float64 {
-	end := p.epochEnd
-	for _, f := range p.free {
-		if f > end {
-			end = f
-		}
-	}
-	span := end - p.epochStart
+	span := p.epochSpanLocked()
 	if span <= 0 || p.epochBusy <= 0 {
 		return 0
 	}
-	return float64(p.epochBusy) / (float64(span) * float64(p.slots))
+	return float64(p.epochBusy) / (float64(span) * float64(p.slots) * float64(p.machines))
+}
+
+// machineUtilLocked computes one machine's slot utilization over the
+// current epoch. The span is the whole cluster's (epochs are shared), so
+// per-machine utilizations average to the aggregate.
+func (p *Pool) machineUtilLocked(m int) float64 {
+	span := p.epochSpanLocked()
+	if span <= 0 || p.epochMachBusy[m] <= 0 {
+		return 0
+	}
+	return float64(p.epochMachBusy[m]) / (float64(span) * float64(p.slots))
+}
+
+// epochSpanLocked is the current epoch's span: admission to the last
+// completion or busiest slot, whichever is later.
+func (p *Pool) epochSpanLocked() time.Duration {
+	end := p.epochEnd
+	for _, mf := range p.free {
+		for _, f := range mf {
+			if f > end {
+				end = f
+			}
+		}
+	}
+	return end - p.epochStart
 }
 
 // Stats snapshots the pool.
@@ -448,18 +572,40 @@ func (p *Pool) Stats() Stats {
 		util = p.epochUtilLocked()
 	}
 	maxFree := p.origin
-	for _, f := range p.free {
-		if f > maxFree {
-			maxFree = f
+	for _, mf := range p.free {
+		for _, f := range mf {
+			if f > maxFree {
+				maxFree = f
+			}
 		}
 	}
 	span := maxFree - p.origin
 	cum := 0.0
 	if span > 0 && p.busyTotal > 0 {
-		cum = float64(p.busyTotal) / (float64(span) * float64(p.slots))
+		cum = float64(p.busyTotal) / (float64(span) * float64(p.slots) * float64(p.machines))
+	}
+	perMach := make([]MachineStat, p.machines)
+	for m := range perMach {
+		mutil := p.lastMachUtil[m]
+		if p.active > 0 {
+			mutil = p.machineUtilLocked(m)
+		}
+		mcum := 0.0
+		if span > 0 && p.machBusyTotal[m] > 0 {
+			mcum = float64(p.machBusyTotal[m]) / (float64(span) * float64(p.slots))
+		}
+		perMach[m] = MachineStat{
+			Machine:        m,
+			Active:         p.activeByMach[m],
+			Utilization:    mutil,
+			CumUtilization: mcum,
+			BusyTotal:      p.machBusyTotal[m],
+		}
 	}
 	return Stats{
 		Slots:          p.slots,
+		Machines:       p.machines,
+		PerMachine:     perMach,
 		Active:         p.active,
 		Pending:        len(p.pending),
 		PeakActive:     p.peakActive,

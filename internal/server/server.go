@@ -584,6 +584,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		serving["pool_busy_vtime_secs"] = ps.BusyTotal.Seconds()
 		serving["pool_grant_wait_vtime_secs"] = ps.GrantWaitTotal.Seconds()
 	}
+	if sh := s.Sys.Sharding; sh != nil {
+		serving["sharding"] = map[string]interface{}{
+			"partitioner":    sh.Partitioner().Name(),
+			"shards":         sh.N,
+			"docs_per_shard": sh.Counts(),
+		}
+	}
 	// Clock domains: serving figures (admission queue waits, uptime) are
 	// monotonic wall time; everything derived from query execution (pool
 	// vtime, query duration histograms, trace and profile durations) is

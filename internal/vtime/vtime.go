@@ -13,6 +13,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -59,6 +61,47 @@ func NewSchedule(llmSlots int) *Schedule {
 
 // ResourceLLM is the canonical resource name for LLM server slots.
 const ResourceLLM = "llm"
+
+// MachineResource names the LLM slot resource of one machine in a
+// simulated cluster. Machine 0 keeps the canonical "llm" name, so a
+// one-machine cluster is byte-identical to the single-machine model.
+func MachineResource(m int) string {
+	if m <= 0 {
+		return ResourceLLM
+	}
+	return fmt.Sprintf("llm@%d", m)
+}
+
+// NewCluster returns a machine model for an M-machine cluster: each
+// machine contributes slotsPer LLM slots as its own limited resource,
+// all sharing one virtual clock. NewCluster(1, s) is NewSchedule(s).
+func NewCluster(machines, slotsPer int) *Schedule {
+	if machines < 1 {
+		machines = 1
+	}
+	if slotsPer < 1 {
+		slotsPer = 1
+	}
+	cap := make(map[string]int, machines)
+	for m := 0; m < machines; m++ {
+		cap[MachineResource(m)] = slotsPer
+	}
+	return &Schedule{Capacity: cap}
+}
+
+// MachineOf reports which cluster machine a resource name belongs to
+// (false for unlimited CPU-style resources).
+func MachineOf(resource string) (int, bool) {
+	if resource == ResourceLLM {
+		return 0, true
+	}
+	if strings.HasPrefix(resource, "llm@") {
+		if m, err := strconv.Atoi(resource[len("llm@"):]); err == nil && m > 0 {
+			return m, true
+		}
+	}
+	return 0, false
+}
 
 // Result reports the outcome of scheduling a task graph.
 type Result struct {

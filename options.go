@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"unify/internal/corpus"
+	"unify/internal/docstore"
 	"unify/internal/faults"
 	"unify/internal/llm"
 	"unify/internal/optimizer"
@@ -63,6 +64,20 @@ func WithSlots(n int) Option {
 // WithBatchSize sets the per-invocation document batch size.
 func WithBatchSize(n int) Option {
 	return func(o *openOptions) { o.cfg.BatchSize = n }
+}
+
+// WithMachines sets the simulated cluster width: M machines of Slots LLM
+// slots each on one shared virtual clock, with the corpus partitioned
+// into M shards (0 or 1 = the paper's single machine).
+func WithMachines(n int) Option {
+	return func(o *openOptions) { o.cfg.Machines = n }
+}
+
+// WithPartitioner overrides the corpus shard assignment policy (nil =
+// hash partitioning by document id). Only consulted when WithMachines
+// selects a multi-machine cluster.
+func WithPartitioner(p docstore.Partitioner) Option {
+	return func(o *openOptions) { o.cfg.Partitioner = p }
 }
 
 // WithMode selects the optimizer strategy for the whole system; see

@@ -59,10 +59,19 @@ type Config struct {
 	NC  int
 	Tau float64
 
-	// Machine model: LLM server slots (paper: 4) and per-invocation
-	// document batch size.
+	// Machine model: LLM server slots per machine (paper: 4) and
+	// per-invocation document batch size.
 	Slots     int
 	BatchSize int
+
+	// Machines sets the simulated cluster width (0 or 1 = the paper's
+	// single machine). With M > 1 the corpus is hash-partitioned into M
+	// shards, queries are admitted round-robin to a home machine, and the
+	// optimizer may scatter shardable operators across the cluster.
+	Machines int
+	// Partitioner overrides the shard assignment policy (nil =
+	// docstore.HashPartitioner). Only consulted when Machines > 1.
+	Partitioner docstore.Partitioner
 
 	// Mode selects the optimizer strategy (CostBased, Rule, GroundTruth
 	// via the optimizer package constants).
@@ -151,6 +160,9 @@ func (c *Config) defaults() {
 	if c.BatchSize == 0 {
 		c.BatchSize = 16
 	}
+	if c.Machines < 1 {
+		c.Machines = 1
+	}
 	if c.SCEBuckets == 0 {
 		c.SCEBuckets = 8
 	}
@@ -182,8 +194,13 @@ type System struct {
 
 	// Pool is the process-global slot pool: every concurrent query of
 	// this system contends for the same simulated LLM slots (paper
-	// §VI-A: one machine, 4 local model instances).
+	// §VI-A: one machine, 4 local model instances). With Config.Machines
+	// > 1 it is the shared cluster of M such pools on one virtual clock.
 	Pool *sched.Pool
+
+	// Sharding is the corpus shard assignment driving scatter execution
+	// (nil on single-machine systems).
+	Sharding *docstore.Sharding
 
 	// Injector is the fault-injecting wrapper around the worker client
 	// (nil unless Config.FaultPlan was set).
@@ -272,16 +289,6 @@ type Answer struct {
 	SchedStart time.Duration
 	// Contended reports that execution shared slots with other queries.
 	Contended bool
-	// QueueWait is always zero.
-	//
-	// Deprecated: admission-queue wait is monotonic wall-clock time and
-	// belongs to the serving layer, while every other Answer duration is
-	// virtual (simulated) time; mixing the domains on one struct made
-	// them look comparable. The HTTP layer reports queue wait as
-	// queue_wait_secs on the query response and via the
-	// unify_serve_queue_wait_seconds histogram instead.
-	QueueWait time.Duration
-
 	// RequestID identifies the query in the trace store and slow-query
 	// log: the caller-installed id (obs.WithRequestID) when present,
 	// otherwise minted from the pool admission sequence ("t-<seq>").
@@ -376,6 +383,7 @@ func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, 
 	est := sce.NewEstimator(store, worker, cfg.SCEBuckets)
 	opt := optimizer.New(store, est, calib, cfg.Slots)
 	opt.Mode = cfg.Mode
+	opt.Machines = cfg.Machines
 	if shared != nil {
 		est.AttachCache(shared)
 		opt.AttachCache(shared)
@@ -394,11 +402,16 @@ func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, 
 		Metrics:       metrics,
 		Cache:         shared,
 		Injector:      injector,
-		Pool:          sched.NewPool(cfg.Slots),
+		Pool:          sched.NewCluster(cfg.Machines, cfg.Slots).Pool,
 	}
 	s.Executor.Slots = cfg.Slots
 	s.Executor.BatchSize = cfg.BatchSize
 	s.Executor.Pool = s.Pool
+	if cfg.Machines > 1 {
+		s.Sharding = store.Shard(cfg.Partitioner, cfg.Machines)
+		s.Executor.Sharding = s.Sharding
+		metrics.EnablePerMachine(cfg.Machines)
+	}
 	s.Executor.NodeErrorBudget = cfg.NodeErrorBudget
 	s.Executor.StrictChecks = cfg.StrictChecks
 	s.Pool.StrictChecks = cfg.StrictChecks
@@ -764,7 +777,7 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 		}
 		facts := check.AnswerFacts{
 			Docs:           s.Store.Len(),
-			Slots:          s.Config.Slots,
+			Slots:          s.clusterSlots(),
 			MaxReplans:     executor.MaxReplans,
 			PlanNodes:      len(plan.Nodes),
 			NodeStats:      len(ans.Nodes),
@@ -850,11 +863,20 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 		m.PlanCacheHits.Inc()
 	}
 	m.RecordDegradation(ans.Replans, ans.SkippedDocs)
-	m.RecordSlots(ans.SlotBusy, ans.ExecDur, s.Config.Slots)
+	m.RecordSlots(ans.SlotBusy, ans.ExecDur, s.clusterSlots())
 	m.RecordGrantWait(ans.RequestID, ans.SlotGrantWait)
 	if s.Pool != nil {
 		ps := s.Pool.Stats()
 		m.RecordPool(ps.Active, ps.Utilization)
+		if ps.Machines > 1 {
+			active := make([]int, len(ps.PerMachine))
+			util := make([]float64, len(ps.PerMachine))
+			for i, pm := range ps.PerMachine {
+				active[i] = pm.Active
+				util[i] = pm.Utilization
+			}
+			m.RecordPoolMachines(active, util)
+		}
 	}
 	m.RecordCacheSize(s.Cache.Bytes(), s.Cache.Len())
 	for _, cli := range []llm.Client{s.PlannerClient, s.WorkerClient} {
@@ -863,6 +885,17 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 			m.RecordSimStats(sim.Profile().Name, calls, unique)
 		}
 	}
+}
+
+// clusterSlots is the cluster-wide slot count: the per-machine Slots
+// times the cluster width (identical to Slots on single-machine
+// systems, so their accounting is untouched).
+func (s *System) clusterSlots() int {
+	m := s.Config.Machines
+	if m < 1 {
+		m = 1
+	}
+	return s.Config.Slots * m
 }
 
 // callTask normalizes a call's task label for metrics.
