@@ -44,6 +44,7 @@ func main() {
 		cacheOut = flag.String("cacheout", "", "write the cache experiment's flat report to this JSON file")
 		faultOut = flag.String("faultsout", "", "write the faults experiment's report to this JSON file")
 		serveOut = flag.String("serveout", "", "write the serve experiment's report to this JSON file")
+		batchOut = flag.String("batchout", "", "write the batch experiment's report to this JSON file")
 		scaleOut = flag.String("scaleout", "", "write the scale experiment's report to this JSON file")
 		machines = flag.Int("machines", 0, "scale experiment: max cluster width (0 = the default 1,2,4,8 sweep)")
 		nQueries = flag.Int("queries", 0, "scale experiment: cap the per-width query batch (0 = full workload)")
@@ -71,7 +72,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true, "faults": true, "serve": true, "scale": true}
+		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true, "faults": true, "serve": true, "scale": true, "batch": true}
 	}
 
 	ctx := context.Background()
@@ -192,6 +193,33 @@ func main() {
 					return err
 				}
 				fmt.Printf("serve report written to %s\n", *serveOut)
+			}
+			return nil
+		})
+	}
+
+	if want["batch"] {
+		run("Continuous batching (batch)", func() error {
+			res, err := bench.RunBatchBench(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintBatchBench(os.Stdout, res)
+			artifacts["batch"] = res
+			for _, p := range res.Points {
+				if !p.AnswersIdentical {
+					return fmt.Errorf("batch: answers at concurrency %d diverge between batching on and off", p.Concurrency)
+				}
+			}
+			if *batchOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*batchOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("batch report written to %s\n", *batchOut)
 			}
 			return nil
 		})

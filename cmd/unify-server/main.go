@@ -36,18 +36,34 @@ func main() {
 		slowQuery = flag.Duration("slow-query", 0,
 			"log queries whose virtual time meets this threshold (0 = off)")
 		machines = flag.Int("machines", 1, "simulated cluster width (1 = the paper's single machine)")
+		batch    = flag.Bool("batch", false,
+			"coalesce compatible operator LLM calls across concurrent queries (continuous batching)")
+		batchWindow = flag.Duration("batch-window", 0,
+			"virtual-time window for joining a freshly granted batch (0 = default)")
+		batchCap = flag.Duration("batch-cap", 0,
+			"fairness cap on a batched invocation's duration (0 = default, negative disables)")
+		maxBatch = flag.Int("max-batch", 0, "max calls per batched invocation (0 = default)")
 	)
 	flag.Parse()
 
-	fmt.Printf("opening %s corpus...\n", *dataset)
-	sys, err := unify.New(
+	opts := []unify.Option{
 		unify.WithDataset(*dataset),
 		unify.WithSize(*size),
 		unify.WithTrainSCE(),
 		unify.WithTraceRetention(*maxTraces, *maxTraceSpans),
 		unify.WithSlowQueryVTime(*slowQuery),
 		unify.WithMachines(*machines),
-	)
+	}
+	if *batch {
+		opts = append(opts,
+			unify.WithBatching(),
+			unify.WithBatchWindow(*batchWindow),
+			unify.WithBatchFairnessCap(*batchCap),
+			unify.WithMaxBatch(*maxBatch),
+		)
+	}
+	fmt.Printf("opening %s corpus...\n", *dataset)
+	sys, err := unify.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -213,6 +213,27 @@ func TestDifferentialDeprecatedConstructorParity(t *testing.T) {
 	}
 }
 
+// Axis "batching" (satellite: batching on/off differential): continuous
+// batching coalesces compatible calls across queries into shared
+// invocations, but answers are computed live before virtual-time replay —
+// so enabling it must never change answer text on the seeded workload
+// slice. Run under -race in CI: the batching wrapper and pool policy are
+// exercised on the concurrent serving path elsewhere, and this test's
+// sequential replay doubles as the data-race canary for the new layers.
+func TestDifferentialBatchingOnOff(t *testing.T) {
+	ds := diffDataset(t)
+	off := diffSystem(t, ds, nil)
+	on := diffSystem(t, ds, func(c *Config) { c.Batching = true })
+	// exactRunner, not textRunner: sequential queries never co-pend, so
+	// cross-query batching must be invisible to virtual latency too.
+	ms := check.Differential(context.Background(), "batching", diffQueries(ds, 6),
+		exactRunner(off), exactRunner(on))
+	assertNoMismatch(t, "batching", ms)
+	if got := len(check.Axes); got != 7 {
+		t.Fatalf("axis registry has %d axes, expected 7 (batching missing?)", got)
+	}
+}
+
 // Axis "optimized-vs-exhaustive": the cost-based optimizer must not give
 // up accuracy relative to the exhaustive baseline (the paper's headline
 // claim); tolerance is one query on this small slice.

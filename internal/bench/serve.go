@@ -94,6 +94,12 @@ func RunServeBench(ctx context.Context, cfg Config) (*ServeResult, error) {
 
 // serveLevel drives the query batch through c concurrent workers.
 func serveLevel(ctx context.Context, sys *unify.System, queries []workload.Query, c int) (ServePoint, error) {
+	return serveLevelCapture(ctx, sys, queries, c, nil)
+}
+
+// serveLevelCapture is serveLevel with an optional answer-text sink
+// (len(queries) slots) for byte-identity comparisons across runs.
+func serveLevelCapture(ctx context.Context, sys *unify.System, queries []workload.Query, c int, texts []string) (ServePoint, error) {
 	pt := ServePoint{Concurrency: c, Queries: len(queries)}
 	type outcome struct {
 		ans *unify.Answer
@@ -123,12 +129,15 @@ func serveLevel(ctx context.Context, sys *unify.System, queries []workload.Query
 	var lats []time.Duration
 	var totalLat, totalWait time.Duration
 	var slowdown float64
-	for _, oc := range results {
+	for i, oc := range results {
 		if oc.err != nil {
 			pt.Errors++
 			continue
 		}
 		a := oc.ans
+		if texts != nil {
+			texts[i] = a.Text
+		}
 		lats = append(lats, a.TotalDur)
 		totalLat += a.TotalDur
 		totalWait += a.SlotGrantWait

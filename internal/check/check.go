@@ -54,6 +54,8 @@ const (
 
 	InvClusterShardComplete = "cluster.shard_complete" // scatter/merge accounts for every shard; no shard silently dropped
 
+	InvBatchFairness = "batch.fairness_bound" // batch sizes, durations, deferrals, and shares respect the policy
+
 	InvProfileAttribution = "profile.vtime_attribution" // per-class vtime shares sum exactly to the Answer vtime
 	InvProfileGlobalBound = "profile.global_bound"      // cumulative profile counters never exceed global counters
 )
@@ -533,6 +535,60 @@ func ShardComplete(op string, shards int, perShard []int, merged int, exact bool
 		}
 	} else if merged > sum {
 		violatef(&vs, InvClusterShardComplete, "%s: merged %d docs exceed the %d the shards produced", op, merged, sum)
+	}
+	return vs
+}
+
+// BatchFairness validates every batched invocation of a schedule against
+// its policy: member counts stay within [1, MaxBatch] with pairwise
+// distinct jobs (batching is cross-query only), a multi-member batch's
+// duration respects the fairness cap (unless the leader's own solo
+// duration exceeds it — a call too big for the cap still has to run),
+// hold-the-door deferral never exceeds the window, member waits equal
+// the batch start minus their ready times, and the members' attributed
+// shares sum exactly to the invocation's duration (conservation).
+func BatchFairness(res vtime.Result, p *vtime.BatchPolicy) []Violation {
+	var vs []Violation
+	if p == nil {
+		return vs
+	}
+	maxBatch := p.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	for i, g := range res.Batches {
+		if len(g.Members) < 1 || len(g.Members) > maxBatch {
+			violatef(&vs, InvBatchFairness, "batch %d has %d members outside [1, %d]", i, len(g.Members), maxBatch)
+			continue
+		}
+		if g.Start < g.GrantAt || g.Start-g.GrantAt > p.Window {
+			violatef(&vs, InvBatchFairness, "batch %d deferred from %v to %v, beyond the %v window", i, g.GrantAt, g.Start, p.Window)
+		}
+		leaderSolo := g.Members[0].Solo
+		if len(g.Members) > 1 && p.FairnessCap > 0 {
+			capLimit := p.FairnessCap
+			if leaderSolo > capLimit {
+				capLimit = leaderSolo
+			}
+			if g.Dur > capLimit {
+				violatef(&vs, InvBatchFairness, "batch %d duration %v exceeds the fairness cap %v", i, g.Dur, capLimit)
+			}
+		}
+		jobs := make(map[int]bool, len(g.Members))
+		var shares time.Duration
+		for _, m := range g.Members {
+			if jobs[m.Job] {
+				violatef(&vs, InvBatchFairness, "batch %d holds two members of job %d", i, m.Job)
+			}
+			jobs[m.Job] = true
+			if m.Wait != g.Start-m.Ready || m.Wait < 0 {
+				violatef(&vs, InvBatchFairness, "batch %d member %q wait %v != start %v - ready %v", i, m.Task, m.Wait, g.Start, m.Ready)
+			}
+			shares += m.Share
+		}
+		if shares != g.Dur {
+			violatef(&vs, InvBatchFairness, "batch %d member shares sum to %v but the invocation took %v", i, shares, g.Dur)
+		}
 	}
 	return vs
 }

@@ -211,6 +211,99 @@ func TestVTimeConservationViolations(t *testing.T) {
 	}
 }
 
+// Satellite (batch.fairness_bound mutation test): a clean batched result
+// passes, and each hand-mutated violation — oversized batch, deferral
+// past the window, duration over the fairness cap, duplicate jobs, wait
+// mismatch, share leakage — fires the invariant.
+func TestBatchFairnessViolations(t *testing.T) {
+	pol := &vtime.BatchPolicy{Window: 100 * time.Millisecond, FairnessCap: 2 * time.Second, MaxBatch: 4}
+	good := func() vtime.Result {
+		return vtime.Result{Batches: []vtime.BatchGrant{{
+			Resource: vtime.ResourceLLM, Key: "k",
+			GrantAt: 0, Start: 50 * time.Millisecond, Dur: 900 * time.Millisecond,
+			Members: []vtime.BatchMember{
+				{Task: "a", Job: 0, Ready: 0, Wait: 50 * time.Millisecond, Solo: 700 * time.Millisecond, Share: 500 * time.Millisecond},
+				{Task: "b", Job: 1, Ready: 50 * time.Millisecond, Wait: 0, Solo: 600 * time.Millisecond, Share: 400 * time.Millisecond},
+			},
+		}}}
+	}
+	if vs := BatchFairness(good(), pol); len(vs) != 0 {
+		t.Fatalf("clean batched result flagged: %v", vs)
+	}
+	if vs := BatchFairness(good(), nil); len(vs) != 0 {
+		t.Fatalf("nil policy must disable the check: %v", vs)
+	}
+
+	mutations := map[string]func(*vtime.Result){
+		"oversized batch": func(r *vtime.Result) {
+			g := &r.Batches[0]
+			for len(g.Members) <= 4 {
+				g.Members = append(g.Members, vtime.BatchMember{Job: 10 + len(g.Members)})
+			}
+		},
+		"deferred past window": func(r *vtime.Result) {
+			r.Batches[0].Start = 200 * time.Millisecond
+			for i := range r.Batches[0].Members {
+				m := &r.Batches[0].Members[i]
+				m.Wait = r.Batches[0].Start - m.Ready
+			}
+		},
+		"over fairness cap": func(r *vtime.Result) {
+			r.Batches[0].Dur = 3 * time.Second
+			r.Batches[0].Members[0].Share = 2600 * time.Millisecond
+		},
+		"duplicate jobs": func(r *vtime.Result) {
+			r.Batches[0].Members[1].Job = r.Batches[0].Members[0].Job
+		},
+		"wait mismatch": func(r *vtime.Result) {
+			r.Batches[0].Members[1].Wait = time.Second
+		},
+		"share leakage": func(r *vtime.Result) {
+			r.Batches[0].Members[0].Share += time.Millisecond
+		},
+	}
+	for name, mutate := range mutations {
+		r := good()
+		mutate(&r)
+		if vs := BatchFairness(r, pol); !hasViolation(vs, InvBatchFairness) {
+			t.Errorf("mutation %q not flagged: %v", name, vs)
+		}
+	}
+}
+
+// A real batched schedule passes the fairness invariant end to end.
+func TestBatchFairnessCleanOnRealSchedule(t *testing.T) {
+	pol := &vtime.BatchPolicy{Window: 100 * time.Millisecond, FairnessCap: 2500 * time.Millisecond, MaxBatch: 8}
+	s := vtime.NewSchedule(4)
+	s.Batching = pol
+	spec := func() *vtime.BatchSpec {
+		return &vtime.BatchSpec{
+			Key: "k", Base: 80 * time.Millisecond, Decode: 200 * time.Millisecond,
+			TemplatePrefill: 30 * time.Millisecond, PayloadPrefill: 100 * time.Millisecond,
+		}
+	}
+	var tasks []vtime.Task
+	for j := 0; j < 5; j++ {
+		tasks = append(tasks, vtime.Task{
+			ID: string(rune('a' + j)), Job: j, Sequential: true,
+			Units: []vtime.Unit{
+				{Dur: 410 * time.Millisecond, Resource: vtime.ResourceLLM, Batch: spec()},
+				{Dur: 410 * time.Millisecond, Resource: vtime.ResourceLLM, Batch: spec()},
+			},
+		})
+	}
+	res, err := s.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Batches) == 0 {
+		t.Fatal("no batch grants recorded on a batched schedule")
+	}
+	if vs := BatchFairness(res, pol); len(vs) != 0 {
+		t.Fatalf("violations on a real batched schedule: %v", vs)
+	}
+}
+
 func TestPoolUtilization(t *testing.T) {
 	if vs := PoolUtilization(0.97); len(vs) != 0 {
 		t.Fatalf("valid utilization flagged: %v", vs)

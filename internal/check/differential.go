@@ -52,6 +52,11 @@ var Axes = []Axis{
 		Description: "cost-based optimized plans vs the exhaustive baseline: workload accuracy within the seed tolerance",
 		Exact:       false,
 	},
+	{
+		Name:        "batching",
+		Description: "continuous batching on vs off: cross-query coalescing changes schedules only, never answer text",
+		Exact:       true,
+	},
 }
 
 // Runner executes one query on one side of an axis and returns a

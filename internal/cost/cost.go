@@ -17,6 +17,9 @@ import (
 type Calibrator struct {
 	mu sync.Mutex
 
+	// frozen stops further history from being recorded (see Freeze).
+	frozen bool
+
 	// Per physical-operator LLM statistics.
 	llmStats map[string]*llmStat
 	// Global per-token time (μ), pooled across operators.
@@ -60,10 +63,24 @@ func NewCalibrator(batchSize int) *Calibrator {
 	return c
 }
 
+// Freeze stops the calibrator from absorbing further execution history;
+// estimates keep serving the state at freeze time. Concurrent benchmarks
+// freeze the cost model after a sequential warmup pass so every query
+// plans against the same converged statistics regardless of the racy
+// wall-clock order in which other queries happen to finish.
+func (c *Calibrator) Freeze() {
+	c.mu.Lock()
+	c.frozen = true
+	c.mu.Unlock()
+}
+
 // RecordLLM feeds one operator execution's recorded calls into the model.
 func (c *Calibrator) RecordLLM(phys string, card int, calls []llm.Call) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.frozen {
+		return
+	}
 	st, ok := c.llmStats[phys]
 	if !ok {
 		st = &llmStat{}
@@ -82,6 +99,9 @@ func (c *Calibrator) RecordLLM(phys string, card int, calls []llm.Call) {
 func (c *Calibrator) RecordPre(phys string, card int, dur time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.frozen {
+		return
+	}
 	st, ok := c.preStats[phys]
 	if !ok {
 		st = &preStat{}

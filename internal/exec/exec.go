@@ -61,6 +61,11 @@ type Executor struct {
 	// pool (identical to the shared pool with no contention).
 	Pool *sched.Pool
 
+	// Batching mirrors the pool's continuous-batching policy: when set,
+	// recorded calls carrying a batch key get their cost decomposition
+	// attached so the scheduler can coalesce them across queries.
+	Batching *vtime.BatchPolicy
+
 	// Sharding is the corpus shard assignment for scatter execution on a
 	// simulated cluster (nil on a single machine). Operators the
 	// optimizer marked "_scatter" fan their document input out per shard,
@@ -161,6 +166,9 @@ type Result struct {
 	PoolStart time.Duration
 	// Contended reports the execution shared slots with other queries.
 	Contended bool
+	// BatchedCalls counts this query's LLM calls that shared a batched
+	// invocation with another query (0 without batching).
+	BatchedCalls int
 	// SkippedDocs counts documents dropped across all nodes by error
 	// budgets: the answer is partial when this is non-zero.
 	SkippedDocs int
@@ -293,7 +301,9 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 	pool := e.Pool
 	tk := sched.TicketFrom(ctx)
 	if pool == nil {
-		pool, tk = sched.NewCluster(e.clusterWidth(), e.slots()).Pool, nil
+		private := sched.NewCluster(e.clusterWidth(), e.slots())
+		private.Batching = e.Batching
+		pool, tk = private.Pool, nil
 	}
 	owned := tk == nil
 	if owned {
@@ -322,6 +332,7 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 	res.SoloMakespan = jr.Solo + replanDur
 	res.PoolStart = jr.Start
 	res.Contended = jr.Contended
+	res.BatchedCalls = jr.BatchedUnits
 	for i := range res.Nodes {
 		nr := &res.Nodes[i]
 		tid := fmt.Sprintf("n%d", nr.NodeID)
@@ -331,6 +342,9 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 		if w, ok := jr.TaskWait[tid]; ok && w > 0 {
 			nr.GrantWait = w
 			nr.Span.SetAttr("grant_wait", w.Round(time.Millisecond).String())
+		}
+		if b := jr.TaskBatched[tid]; b > 0 {
+			nr.Span.SetInt("batched_calls", b)
 		}
 	}
 	ser, err := vtime.NewCluster(pool.Machines(), e.slots()).SerialOperators(tasks)
@@ -654,6 +668,42 @@ func (e *Executor) batch() int {
 	return e.BatchSize
 }
 
+// batchSpec decomposes one recorded call's duration into the
+// continuous-batching cost parts. The parts sum exactly to the call's
+// Dur — Base and Decode come from the worker profile, TemplatePrefill
+// from the stamped template tokens, and PayloadPrefill absorbs the
+// residual (payload prefill plus any folded retry penalties) — so a
+// batch of one costs precisely the unbatched duration. Calls without a
+// batch key, or whose duration is somehow below the profile floor,
+// return nil and never coalesce.
+func (e *Executor) batchSpec(c llm.Call) *vtime.BatchSpec {
+	if c.BatchKey == "" {
+		return nil
+	}
+	prof := e.Worker.Profile()
+	out := c.OutTokens
+	if out < 1 {
+		out = 1
+	}
+	decode := time.Duration(out) * prof.PerOutToken
+	residual := c.Dur - prof.Base - decode
+	if residual < 0 {
+		return nil
+	}
+	tmpl := time.Duration(float64(c.TemplateTokens) * llm.PrefillTokenFactor * float64(prof.PerOutToken))
+	if tmpl > residual {
+		tmpl = residual
+	}
+	return &vtime.BatchSpec{
+		Key:             c.BatchKey,
+		Base:            prof.Base,
+		Decode:          decode,
+		TemplatePrefill: tmpl,
+		PayloadPrefill:  residual - tmpl,
+		PayloadKey:      c.PayloadKey,
+	}
+}
+
 // tasks converts observed node executions into the vtime task graph.
 // Unscattered operators run on the query's home machine; a scattered
 // node expands into one task per shard (shard s on machine s's slots)
@@ -686,7 +736,7 @@ func (e *Executor) tasks(plan *core.Plan, nodes []NodeResult, home, machines int
 					if c.Cached {
 						continue
 					}
-					su = append(su, vtime.Unit{Dur: c.Dur, Resource: vtime.MachineResource(s % machines)})
+					su = append(su, vtime.Unit{Dur: c.Dur, Resource: vtime.MachineResource(s % machines), Batch: e.batchSpec(c)})
 				}
 				id := fmt.Sprintf("n%d.s%d", n.ID, s)
 				shardIDs = append(shardIDs, id)
@@ -717,7 +767,7 @@ func (e *Executor) tasks(plan *core.Plan, nodes []NodeResult, home, machines int
 				// unit, no makespan or SlotBusy contribution.
 				continue
 			}
-			units = append(units, vtime.Unit{Dur: c.Dur, Resource: homeRes})
+			units = append(units, vtime.Unit{Dur: c.Dur, Resource: homeRes, Batch: e.batchSpec(c)})
 		}
 		if nr.PreDur > 0 || len(units) == 0 {
 			units = append(units, vtime.Unit{Dur: nr.PreDur})

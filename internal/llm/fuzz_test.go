@@ -43,6 +43,98 @@ func FuzzParsePrompt(f *testing.F) {
 	})
 }
 
+// FuzzBatchKey checks the batching compatibility key (satellite of the
+// continuous-batching PR): computing keys for arbitrary prompt pairs must
+// never panic; key equality must be symmetric, stable across repeated
+// calls, and must only relate prompts of the same batchable task family,
+// model, and field structure — incompatible prompts never coalesce.
+func FuzzBatchKey(f *testing.F) {
+	f.Add(
+		BuildPrompt("filter_doc", map[string]string{"condition": "related to injury", "doc": "text"}),
+		BuildPrompt("filter_doc", map[string]string{"condition": "mentions football", "doc": "other"}),
+		"sim-llama-8b",
+	)
+	f.Add(
+		BuildPrompt("classify_batch", map[string]string{"classes": "a,b", "docs": "x"}),
+		BuildPrompt("extract_batch", map[string]string{"target": "views", "docs": "x"}),
+		"sim-llama-8b",
+	)
+	f.Add(BuildPrompt("generate", map[string]string{"q": "planner task"}), "plain text", "m")
+	f.Add("", "#TASK filter_doc", "")
+	f.Fuzz(func(t *testing.T, p1, p2, model string) {
+		k1, pk1, tt1, ok1 := BatchKeyFor(p1, model)
+		k2, pk2, tt2, ok2 := BatchKeyFor(p2, model)
+
+		// Stability: the key is a pure function of its inputs.
+		if k1b, pk1b, tt1b, ok1b := BatchKeyFor(p1, model); k1b != k1 || pk1b != pk1 || tt1b != tt1 || ok1b != ok1 {
+			t.Fatalf("BatchKeyFor unstable: (%q,%q,%d,%v) then (%q,%q,%d,%v)", k1, pk1, tt1, ok1, k1b, pk1b, tt1b, ok1b)
+		}
+
+		check := func(p, k, pk string, tt int, ok bool) (task string, names map[string]bool) {
+			if !ok {
+				if k != "" || pk != "" || tt != 0 {
+					t.Fatalf("not-ok key carries data: %q/%q/%d", k, pk, tt)
+				}
+				return "", nil
+			}
+			task, fields, pok := ParsePrompt(p)
+			if !pok || !BatchableTask(task) {
+				t.Fatalf("key issued for unparsable or non-batchable prompt %q (task %q)", p, task)
+			}
+			if tt <= 0 {
+				t.Fatalf("template tokens %d for %q, want > 0", tt, p)
+			}
+			names = make(map[string]bool, len(fields))
+			hasPayload := false
+			for n := range fields {
+				names[n] = true
+				if n == "doc" || n == "docs" {
+					hasPayload = true
+				}
+			}
+			// Payload identity exists exactly when the prompt carries a
+			// payload field.
+			if (pk != "") != hasPayload {
+				t.Fatalf("payload key %q but payload fields present=%v for %q", pk, hasPayload, p)
+			}
+			return task, names
+		}
+		t1, n1 := check(p1, k1, pk1, tt1, ok1)
+		t2, n2 := check(p2, k2, pk2, tt2, ok2)
+
+		// Symmetric compatibility: equal keys require same task family and
+		// same field structure (and vice versa — the key has no other
+		// inputs at a fixed model).
+		if ok1 && ok2 {
+			same := t1 == t2 && len(n1) == len(n2)
+			if same {
+				for n := range n1 {
+					if !n2[n] {
+						same = false
+						break
+					}
+				}
+			}
+			if (k1 == k2) != same {
+				t.Fatalf("key equality %v but structural compatibility %v:\n  %q -> %q\n  %q -> %q",
+					k1 == k2, same, p1, k1, p2, k2)
+			}
+			// Payload singleflight soundness: identical payload fields
+			// (same presence and values) must hash to identical keys.
+			_, f1, _ := ParsePrompt(p1)
+			_, f2, _ := ParsePrompt(p2)
+			d1, dok1 := f1["doc"]
+			d2, dok2 := f2["doc"]
+			g1, gok1 := f1["docs"]
+			g2, gok2 := f2["docs"]
+			samePayload := dok1 == dok2 && gok1 == gok2 && d1 == d2 && g1 == g2 && (dok1 || gok1)
+			if samePayload && pk1 != pk2 {
+				t.Fatalf("equal payloads produced different payload keys: %q vs %q", pk1, pk2)
+			}
+		}
+	})
+}
+
 // FuzzSimComplete feeds arbitrary prompts to the simulated backend: it
 // must never panic or hang, and every failure must be one of the typed
 // error classes.

@@ -17,6 +17,14 @@ import (
 	"time"
 )
 
+// PrefillTokenFactor is the fraction of the per-output-token cost charged
+// for each input (prompt) token: prefill is 1-5% of latency in the paper's
+// §VI-A measurements. It is the amortizable part of a call's cost — a
+// batched invocation pays the shared prompt template's prefill once.
+// Deliberately distinct from the Sim noise model's DefaultFilterNoise,
+// which happens to share the same magnitude.
+const PrefillTokenFactor = 0.015
+
 // Response is the result of one model invocation.
 type Response struct {
 	Text      string
@@ -31,6 +39,21 @@ type Response struct {
 	// Retries counts the failed attempts absorbed by the resilience
 	// layer before this response succeeded (0 on the first try).
 	Retries int
+	// BatchKey is the co-scheduling compatibility key stamped by the
+	// Batching wrapper: calls with equal non-empty keys may share one
+	// batched invocation. Empty when batching is off or the task is not
+	// batchable.
+	BatchKey string
+	// TemplateTokens counts the tokens of the call's prompt scaffold
+	// (directive plus field names, payload values removed) — the part of
+	// prefill a batch pays once. Zero unless BatchKey is set.
+	TemplateTokens int
+	// PayloadKey identifies the call's document payload (a hash of the
+	// doc/docs field values). Co-batched calls with equal payload keys
+	// scan the same documents — different queries over the same corpus
+	// chunk — so the batched invocation prefills that payload once,
+	// singleflight-style. Empty unless BatchKey is set.
+	PayloadKey string
 }
 
 // Profile describes a served model's identity and speed.
@@ -54,7 +77,7 @@ func (p Profile) CallDur(outTokens int) time.Duration {
 func (p Profile) DurFor(inTokens, outTokens int) time.Duration {
 	d := p.CallDur(outTokens)
 	if inTokens > 0 {
-		d += time.Duration(float64(inTokens) * 0.015 * float64(p.PerOutToken))
+		d += time.Duration(float64(inTokens) * PrefillTokenFactor * float64(p.PerOutToken))
 	}
 	return d
 }
@@ -98,6 +121,12 @@ type Call struct {
 	Cached bool
 	// Retries counts failed attempts absorbed before this call succeeded.
 	Retries int
+	// BatchKey, TemplateTokens, and PayloadKey carry the Batching
+	// wrapper's co-scheduling metadata through to the executor (see
+	// Response).
+	BatchKey       string
+	TemplateTokens int
+	PayloadKey     string
 }
 
 // Recorder wraps a Client and records every call. Operators wrap their
@@ -123,7 +152,7 @@ func (r *Recorder) Complete(ctx context.Context, prompt string) (Response, error
 	}
 	task, _, _ := ParsePrompt(prompt)
 	r.mu.Lock()
-	r.calls = append(r.calls, Call{Task: task, InTokens: resp.InTokens, OutTokens: resp.OutTokens, Dur: resp.Dur, Cached: resp.Cached, Retries: resp.Retries})
+	r.calls = append(r.calls, Call{Task: task, InTokens: resp.InTokens, OutTokens: resp.OutTokens, Dur: resp.Dur, Cached: resp.Cached, Retries: resp.Retries, BatchKey: resp.BatchKey, TemplateTokens: resp.TemplateTokens, PayloadKey: resp.PayloadKey})
 	r.mu.Unlock()
 	return resp, nil
 }

@@ -32,13 +32,20 @@ type SimConfig struct {
 	JudgeNoise float64
 }
 
+// DefaultFilterNoise is the default probability that the simulated model
+// flips one semantic yes/no judgment. Its magnitude coincides with the
+// cost model's PrefillTokenFactor (llm.go) by accident, not by design:
+// the two constants are unrelated, and tuning prefill amortization for
+// batching must never alter the noise model.
+const DefaultFilterNoise = 0.015
+
 // DefaultSimConfig returns the configuration used across the experiments:
 // worker-model speed with mild, realistic error rates.
 func DefaultSimConfig() SimConfig {
 	return SimConfig{
 		Profile:     WorkerProfile(),
 		Seed:        1,
-		FilterNoise: 0.015,
+		FilterNoise: DefaultFilterNoise,
 		LabelNoise:  0.008,
 		RerankNoise: 0.05,
 		BindNoise:   0.025,

@@ -57,12 +57,19 @@ type Metrics struct {
 	// single-machine systems never register them, keeping the /metrics
 	// exposition byte-identical to the pre-cluster format (the registry
 	// emits HELP/TYPE for every registered metric, series or not).
-	PoolMachineActive      Gauge     // by machine: queries homed on it
-	PoolMachineUtilization Gauge     // by machine: epoch slot utilization
-	ServeQueueDepth        Gauge     // requests waiting in the admission queue
-	ServeInflight          Gauge     // requests holding an admission slot
-	ServeQueueWait         Histogram // wall-clock admission-queue wait
-	ServeRejected          Counter   // by reason: "queue_full" / "deadline"
+	PoolMachineActive      Gauge // by machine: queries homed on it
+	PoolMachineUtilization Gauge // by machine: epoch slot utilization
+	// Continuous-batching gauges, registered lazily by EnableBatching:
+	// batching-off systems never register them, keeping the /metrics
+	// exposition byte-identical to the pre-batching format.
+	BatchGrants       Gauge     // batchable slot grants (invocations), lifetime
+	BatchedCalls      Gauge     // member calls those grants carried, lifetime
+	BatchOccupancy    Gauge     // mean calls per invocation
+	BatchSavedSeconds Gauge     // slot busy vtime avoided versus solo execution
+	ServeQueueDepth   Gauge     // requests waiting in the admission queue
+	ServeInflight     Gauge     // requests holding an admission slot
+	ServeQueueWait    Histogram // wall-clock admission-queue wait
+	ServeRejected     Counter   // by reason: "queue_full" / "deadline"
 
 	HTTPRequests Counter // by path
 
@@ -391,6 +398,35 @@ func (m *Metrics) EnablePerMachine(machines int) {
 		"Queries currently homed on the machine, by machine index.", "machine")
 	m.PoolMachineUtilization = m.Reg.GaugeVec("unify_pool_machine_utilization",
 		"Epoch slot utilization of the machine, by machine index.", "machine")
+}
+
+// EnableBatching registers the continuous-batching gauges. Systems with
+// batching on call it once at open time; until then RecordBatching is a
+// no-op and the exposition carries no batching metrics at all.
+func (m *Metrics) EnableBatching() {
+	if m == nil || m.Reg == nil || m.BatchGrants.m != nil {
+		return
+	}
+	m.BatchGrants = m.Reg.Gauge("unify_batch_grants",
+		"Slot grants of batchable units (batched invocations), lifetime.")
+	m.BatchedCalls = m.Reg.Gauge("unify_batched_calls",
+		"Operator LLM calls carried by batchable slot grants, lifetime.")
+	m.BatchOccupancy = m.Reg.Gauge("unify_batch_occupancy",
+		"Mean calls per batchable invocation (batched_calls / batch_grants).")
+	m.BatchSavedSeconds = m.Reg.Gauge("unify_batch_saved_vtime_seconds",
+		"Slot busy vtime avoided by batching versus solo execution, lifetime.")
+}
+
+// RecordBatching publishes the pool's continuous-batching state (no-op
+// unless EnableBatching ran).
+func (m *Metrics) RecordBatching(grants, calls int64, occupancy float64, saved time.Duration) {
+	if m == nil {
+		return
+	}
+	m.BatchGrants.Set(float64(grants))
+	m.BatchedCalls.Set(float64(calls))
+	m.BatchOccupancy.Set(occupancy)
+	m.BatchSavedSeconds.Set(saved.Seconds())
 }
 
 // RecordPoolMachines publishes per-machine cluster state (one series per

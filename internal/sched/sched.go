@@ -97,6 +97,11 @@ type JobResult struct {
 	// Contended reports that the query was scheduled against a non-idle
 	// machine (busy slots at admission or co-pending queries).
 	Contended bool
+	// BatchedUnits counts this query's calls that shared a multi-member
+	// batched invocation with another query (0 without batching).
+	BatchedUnits int
+	// TaskBatched breaks BatchedUnits down per task (nil when zero).
+	TaskBatched map[string]int
 }
 
 // MachineStat is one machine's share of a cluster snapshot.
@@ -148,6 +153,19 @@ type Stats struct {
 	SpanVTime time.Duration `json:"-"`
 	// EpochQueries counts queries admitted to the current epoch.
 	EpochQueries int `json:"epoch_queries"`
+
+	// Continuous-batching counters (all zero — and omitted from JSON —
+	// unless the pool has a BatchPolicy). BatchGrants counts slot grants
+	// of batchable units (including single-member grants); BatchedUnits
+	// counts the calls those grants carried; BatchOccupancy is their
+	// ratio (mean calls per invocation); BatchSavedVTime is the slot
+	// busy time avoided versus running every member solo; MaxBatchSize
+	// is the largest invocation formed.
+	BatchGrants     int64         `json:"batch_grants,omitempty"`
+	BatchedUnits    int64         `json:"batched_units,omitempty"`
+	BatchOccupancy  float64       `json:"batch_occupancy,omitempty"`
+	BatchSavedVTime time.Duration `json:"-"`
+	MaxBatchSize    int           `json:"max_batch_size,omitempty"`
 }
 
 // Pool multiplexes concurrent queries onto one slot-limited machine.
@@ -157,6 +175,12 @@ type Pool struct {
 	// the internal/check invariants. Set at construction time alongside
 	// Config.StrictChecks; on in all tests, off by default in prod.
 	StrictChecks bool
+
+	// Batching, when non-nil, enables cross-query continuous batching in
+	// every merged schedule this pool finalizes (see vtime.BatchPolicy).
+	// Set at construction time alongside Config.Batching; never mutated
+	// while queries are in flight.
+	Batching *vtime.BatchPolicy
 
 	mu       sync.Mutex
 	machines int
@@ -178,6 +202,15 @@ type Pool struct {
 	// busy slot when an epoch opens, epochs always start on an idle
 	// machine; committed holds the epoch's already-finalized jobs so
 	// later finalizations replay them for a coherent joint schedule.
+	//
+	// Busy totals use OVERWRITE semantics: each finalization's merged
+	// replay covers every job of the epoch seen so far (committed,
+	// finalizing, and co-pending), so the epoch's busy is taken wholesale
+	// from the latest replay rather than accumulated per job. With
+	// batching, a job's attributed busy depends on which co-pending jobs
+	// share its invocations — summing per-finalization snapshots from
+	// different replays could exceed the slots' physical capacity, while
+	// the latest replay's total is structurally bounded by it.
 	epochStart   time.Duration
 	epochEnd     time.Duration
 	epochBusy    time.Duration
@@ -187,15 +220,26 @@ type Pool struct {
 
 	// Per-machine accounting (index = machine).
 	epochMachBusy []time.Duration
-	machBusyTotal []time.Duration
 	activeByMach  []int
 	lastMachUtil  []float64
+
+	// Current-epoch batching counters, overwritten like epochBusy.
+	epochBatchGrants int64
+	epochBatchUnits  int64
+	epochBatchSaved  time.Duration
+	maxBatchSize     int // lifetime
+
+	// Closed-epoch archives; lifetime totals are archive + current epoch.
+	busyArchive        time.Duration
+	machBusyArchive    []time.Duration
+	batchGrantsArchive int64
+	batchUnitsArchive  int64
+	batchSavedArchive  time.Duration
 
 	origin    time.Duration // first epoch's start time
 	originSet bool
 
 	admitted, completed int64
-	busyTotal           time.Duration
 	waitTotal           time.Duration
 	grantsTotal         int64
 }
@@ -229,16 +273,16 @@ func newPool(machines, slots int) *Pool {
 		free[m] = make([]time.Duration, slots)
 	}
 	return &Pool{
-		machines:      machines,
-		slots:         slots,
-		free:          free,
-		resolved:      map[int64]bool{},
-		tickets:       map[int64]*Ticket{},
-		pending:       map[int64]*pendJob{},
-		epochMachBusy: make([]time.Duration, machines),
-		machBusyTotal: make([]time.Duration, machines),
-		activeByMach:  make([]int, machines),
-		lastMachUtil:  make([]float64, machines),
+		machines:        machines,
+		slots:           slots,
+		free:            free,
+		resolved:        map[int64]bool{},
+		tickets:         map[int64]*Ticket{},
+		pending:         map[int64]*pendJob{},
+		epochMachBusy:   make([]time.Duration, machines),
+		machBusyArchive: make([]time.Duration, machines),
+		activeByMach:    make([]int, machines),
+		lastMachUtil:    make([]float64, machines),
 	}
 }
 
@@ -288,6 +332,15 @@ func (p *Pool) Admit(priority int) *Ticket {
 			p.origin = start
 			p.originSet = true
 		}
+		// Archive the closing epoch's totals before resetting: lifetime
+		// figures are archive + current epoch under overwrite accounting.
+		p.busyArchive += p.epochBusy
+		for m := range p.epochMachBusy {
+			p.machBusyArchive[m] += p.epochMachBusy[m]
+		}
+		p.batchGrantsArchive += p.epochBatchGrants
+		p.batchUnitsArchive += p.epochBatchUnits
+		p.batchSavedArchive += p.epochBatchSaved
 		p.epochStart = start
 		p.epochEnd = start
 		p.epochBusy = 0
@@ -296,6 +349,9 @@ func (p *Pool) Admit(priority int) *Ticket {
 		for m := range p.epochMachBusy {
 			p.epochMachBusy[m] = 0
 		}
+		p.epochBatchGrants = 0
+		p.epochBatchUnits = 0
+		p.epochBatchSaved = 0
 	}
 	tk := &Ticket{
 		Start:    p.vnow,
@@ -434,13 +490,20 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 	for _, pj := range others {
 		merged = append(merged, prefixTasks(pj.tasks, pj.tk.epochJob, pj.tk.Priority)...)
 	}
-	mres, err := vtime.NewCluster(p.machines, p.slots).Run(merged)
+	cluster := vtime.NewCluster(p.machines, p.slots)
+	cluster.Batching = p.Batching
+	mres, err := cluster.Run(merged)
 	if err != nil {
 		return JobResult{}, err
 	}
 	if p.StrictChecks {
 		if err := check.Fail("sched: merged schedule", check.VTimeCluster(mres, p.machines, p.slots), nil); err != nil {
 			return JobResult{}, err
+		}
+		if p.Batching != nil {
+			if err := check.Fail("sched: batch formation", check.BatchFairness(mres, p.Batching), nil); err != nil {
+				return JobResult{}, err
+			}
 		}
 	}
 
@@ -452,6 +515,23 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 		Grants:    mres.JobGrants[ej],
 		Finish:    make(map[string]time.Duration, len(job.tasks)),
 		Contended: contended,
+	}
+	for _, g := range mres.Batches {
+		if len(g.Members) < 2 {
+			continue
+		}
+		for _, m := range g.Members {
+			if m.Job != ej {
+				continue
+			}
+			jr.BatchedUnits++
+			if own, ok := stripJob(m.Task, ej); ok {
+				if jr.TaskBatched == nil {
+					jr.TaskBatched = make(map[string]int)
+				}
+				jr.TaskBatched[own]++
+			}
+		}
 	}
 	for id, f := range mres.Finish {
 		if own, ok := stripJob(id, ej); ok {
@@ -482,15 +562,34 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 		}
 	}
 
-	// Per-machine busy attribution: every limited unit of the finalizing
-	// job names its machine's resource.
-	for _, t := range job.tasks {
-		for _, u := range t.Units {
-			if m, ok := vtime.MachineOf(u.Resource); ok && m < p.machines {
-				p.epochMachBusy[m] += u.Dur
-				p.machBusyTotal[m] += u.Dur
-			}
+	// Overwrite the epoch's busy and batching totals from this replay: it
+	// covers every job of the epoch seen so far, and under batching a
+	// job's attributed busy is only meaningful within one replay's batch
+	// compositions. For a lone job per epoch this equals the old per-job
+	// accumulation exactly.
+	p.epochBusy = 0
+	for m := range p.epochMachBusy {
+		p.epochMachBusy[m] = 0
+	}
+	for resName, b := range mres.Busy {
+		if m, ok := vtime.MachineOf(resName); ok && m < p.machines {
+			p.epochBusy += b
+			p.epochMachBusy[m] += b
 		}
+	}
+	p.epochBatchGrants = int64(len(mres.Batches))
+	p.epochBatchUnits = 0
+	p.epochBatchSaved = 0
+	for _, g := range mres.Batches {
+		p.epochBatchUnits += int64(len(g.Members))
+		if len(g.Members) > p.maxBatchSize {
+			p.maxBatchSize = len(g.Members)
+		}
+		var solos time.Duration
+		for _, m := range g.Members {
+			solos += m.Solo
+		}
+		p.epochBatchSaved += solos - g.Dur
 	}
 
 	// Solo baseline: the same graph on an idle cluster. For an
@@ -509,8 +608,6 @@ func (p *Pool) finalizeLocked(tk *Ticket) (JobResult, error) {
 	if end > p.epochEnd {
 		p.epochEnd = end
 	}
-	p.epochBusy += jr.Busy
-	p.busyTotal += jr.Busy
 	p.waitTotal += jr.GrantWait
 	p.grantsTotal += int64(jr.Grants)
 	p.completed++
@@ -580,9 +677,10 @@ func (p *Pool) Stats() Stats {
 		}
 	}
 	span := maxFree - p.origin
+	busyTotal := p.busyArchive + p.epochBusy
 	cum := 0.0
-	if span > 0 && p.busyTotal > 0 {
-		cum = float64(p.busyTotal) / (float64(span) * float64(p.slots) * float64(p.machines))
+	if span > 0 && busyTotal > 0 {
+		cum = float64(busyTotal) / (float64(span) * float64(p.slots) * float64(p.machines))
 	}
 	perMach := make([]MachineStat, p.machines)
 	for m := range perMach {
@@ -590,35 +688,47 @@ func (p *Pool) Stats() Stats {
 		if p.active > 0 {
 			mutil = p.machineUtilLocked(m)
 		}
+		machBusy := p.machBusyArchive[m] + p.epochMachBusy[m]
 		mcum := 0.0
-		if span > 0 && p.machBusyTotal[m] > 0 {
-			mcum = float64(p.machBusyTotal[m]) / (float64(span) * float64(p.slots))
+		if span > 0 && machBusy > 0 {
+			mcum = float64(machBusy) / (float64(span) * float64(p.slots))
 		}
 		perMach[m] = MachineStat{
 			Machine:        m,
 			Active:         p.activeByMach[m],
 			Utilization:    mutil,
 			CumUtilization: mcum,
-			BusyTotal:      p.machBusyTotal[m],
+			BusyTotal:      machBusy,
 		}
 	}
+	batchGrants := p.batchGrantsArchive + p.epochBatchGrants
+	batchUnits := p.batchUnitsArchive + p.epochBatchUnits
+	occupancy := 0.0
+	if batchGrants > 0 {
+		occupancy = float64(batchUnits) / float64(batchGrants)
+	}
 	return Stats{
-		Slots:          p.slots,
-		Machines:       p.machines,
-		PerMachine:     perMach,
-		Active:         p.active,
-		Pending:        len(p.pending),
-		PeakActive:     p.peakActive,
-		Admitted:       p.admitted,
-		Completed:      p.completed,
-		VirtualNow:     p.vnow,
-		BusyTotal:      p.busyTotal,
-		GrantWaitTotal: p.waitTotal,
-		Grants:         p.grantsTotal,
-		Utilization:    util,
-		CumUtilization: cum,
-		SpanVTime:      span,
-		EpochQueries:   p.epochQueries,
+		Slots:           p.slots,
+		Machines:        p.machines,
+		PerMachine:      perMach,
+		Active:          p.active,
+		Pending:         len(p.pending),
+		PeakActive:      p.peakActive,
+		Admitted:        p.admitted,
+		Completed:       p.completed,
+		VirtualNow:      p.vnow,
+		BusyTotal:       busyTotal,
+		GrantWaitTotal:  p.waitTotal,
+		Grants:          p.grantsTotal,
+		Utilization:     util,
+		CumUtilization:  cum,
+		SpanVTime:       span,
+		EpochQueries:    p.epochQueries,
+		BatchGrants:     batchGrants,
+		BatchedUnits:    batchUnits,
+		BatchOccupancy:  occupancy,
+		BatchSavedVTime: p.batchSavedArchive + p.epochBatchSaved,
+		MaxBatchSize:    p.maxBatchSize,
 	}
 }
 

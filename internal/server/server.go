@@ -583,6 +583,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		serving["pool"] = ps
 		serving["pool_busy_vtime_secs"] = ps.BusyTotal.Seconds()
 		serving["pool_grant_wait_vtime_secs"] = ps.GrantWaitTotal.Seconds()
+		if ps.BatchGrants > 0 {
+			serving["pool_batch_saved_vtime_secs"] = ps.BatchSavedVTime.Seconds()
+		}
 	}
 	if sh := s.Sys.Sharding; sh != nil {
 		serving["sharding"] = map[string]interface{}{
@@ -612,6 +615,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"unify_op_vtime_share_seconds_total":      "virtual",
 		"unify_op_grant_wait_vtime_seconds_total": "virtual",
 		"slow_query_threshold_vtime_secs":         "virtual",
+		"pool_batch_saved_vtime_secs":             "virtual",
+		"unify_batch_saved_vtime_seconds":         "virtual",
 	}
 	// Trace retention and slow-query state, documented next to the rest
 	// of the observability surface so operators can see the bounds that

@@ -23,6 +23,98 @@ import (
 type Unit struct {
 	Dur      time.Duration
 	Resource string // "" means unlimited (CPU-style) resource
+
+	// Batch carries the unit's continuous-batching cost decomposition.
+	// Nil units never coalesce. Ignored unless the schedule has a
+	// BatchPolicy.
+	Batch *BatchSpec
+}
+
+// BatchSpec decomposes a batchable LLM call's duration into the parts
+// the continuous-batching cost model combines. The parts sum to the
+// unit's Dur, so a batch of one costs exactly the unbatched duration.
+type BatchSpec struct {
+	// Key is the co-scheduling compatibility key (task family + model +
+	// prompt template). Only units with equal keys on the same resource
+	// may share an invocation.
+	Key string
+	// Base is the fixed per-invocation overhead — paid once per batch.
+	Base time.Duration
+	// Decode is the output-token generation time. A batch decodes its
+	// members near-concurrently: it pays the largest member's Decode,
+	// inflated by BatchDecodeSlowdown per extra member.
+	Decode time.Duration
+	// TemplatePrefill is the prefill cost of the shared prompt template
+	// (directive + field scaffold) — paid once per batch, at the largest
+	// member's size.
+	TemplatePrefill time.Duration
+	// PayloadPrefill is the prefill cost of the member's own document
+	// payload — paid once per distinct payload (see PayloadKey).
+	PayloadPrefill time.Duration
+	// PayloadKey identifies the member's document payload. Members of
+	// one batch with equal non-empty keys scan the same documents
+	// (different queries over the same corpus chunk), so the batch
+	// prefills that payload once and they share the charge. An empty key
+	// means the payload is unique: it is always charged in full.
+	PayloadKey string
+}
+
+// BatchDecodeSlowdown is the decode-bandwidth interference of continuous
+// batching: a k-member batch's decode phase takes the largest member's
+// decode time scaled by 1 + BatchDecodeSlowdown·(k−1), modeling the
+// shared GPU's per-token throughput dropping as the batch widens (versus
+// k× for fully serialized decoding).
+const BatchDecodeSlowdown = 0.15
+
+// BatchPolicy enables cross-query continuous batching in Run and sets
+// its knobs. A nil policy (the default) disables coalescing entirely;
+// the schedule is then byte-identical to the pre-batching scheduler.
+type BatchPolicy struct {
+	// Window is the virtual-time hold-the-door interval: when a slot is
+	// granted to a batchable unit at time g, compatible units becoming
+	// ready in (g, g+Window] may join, and the batch starts at the
+	// latest member's ready time (never later than g+Window).
+	Window time.Duration
+	// FairnessCap bounds a multi-member batch's duration (unless the
+	// leader's own solo duration already exceeds it), so one heavy
+	// scan's chunks cannot grow batches that monopolize a slot and
+	// starve light queries queued behind it. 0 means uncapped.
+	FairnessCap time.Duration
+	// MaxBatch bounds the member count of one invocation. 0 means 1
+	// (no coalescing).
+	MaxBatch int
+}
+
+// BatchGrant records one slot grant of a batchable unit: the invocation
+// that occupied the slot and every member call folded into it. Grants
+// with a single member ran unbatched at exactly their solo duration.
+type BatchGrant struct {
+	Resource string
+	Key      string
+	// GrantAt is the instant the slot was granted to the leader;
+	// Start is the batch's actual start after hold-the-door deferral
+	// (Start − GrantAt ≤ the policy window); Dur is the batched
+	// invocation's total duration.
+	GrantAt time.Duration
+	Start   time.Duration
+	Dur     time.Duration
+	// Members lists the coalesced calls, leader first. Jobs are
+	// pairwise distinct: batching is cross-query only.
+	Members []BatchMember
+}
+
+// BatchMember is one call inside a batched invocation.
+type BatchMember struct {
+	Task string
+	Job  int
+	// Ready is when the unit became eligible; Wait = Start − Ready is
+	// its slot-grant delay; Solo is its unbatched duration; Share is
+	// its attributed slice of the batch duration (shares sum exactly
+	// to the grant's Dur).
+	Ready time.Duration
+	Wait  time.Duration
+	Solo  time.Duration
+	Share time.Duration
 }
 
 // Task is a schedulable node: typically one physical operator execution.
@@ -49,6 +141,12 @@ type Task struct {
 // present are treated as unlimited.
 type Schedule struct {
 	Capacity map[string]int
+
+	// Batching, when non-nil, lets compatible units of DIFFERENT jobs
+	// coalesce into one slot grant (continuous batching). Formation is a
+	// pure function of the task graph and the deterministic grant order,
+	// so batched schedules replay bit-for-bit.
+	Batching *BatchPolicy
 }
 
 // NewSchedule returns a machine model with the given number of LLM slots.
@@ -124,9 +222,18 @@ type Result struct {
 	// contention to individual operators (sums to the JobWait totals).
 	TaskWait map[string]time.Duration
 
+	// JobResBusy breaks each job's slot busy time down per limited
+	// resource (machine), attributing a batched invocation's duration to
+	// its members by solo-duration-weighted shares.
+	JobResBusy map[int]map[string]time.Duration
+
 	// SlotFree reports, per limited resource, the time each slot becomes
 	// free after the schedule (ascending). Unlimited resources are absent.
 	SlotFree map[string][]time.Duration
+
+	// Batches records every slot grant of a batchable unit (including
+	// single-member grants) in grant order. Empty without a BatchPolicy.
+	Batches []BatchGrant
 }
 
 type pendingUnit struct {
@@ -138,21 +245,27 @@ type pendingUnit struct {
 	job     int           // owning job (round-robin across jobs on ties)
 }
 
+// unitLess is the deterministic grant order: earliest ready first, then
+// higher priority, then per-job FIFO sequence, then job index. The heap
+// and batch-candidate selection share it so batch composition follows
+// exactly the order units would have been granted solo.
+func unitLess(a, b pendingUnit) bool {
+	if a.ready != b.ready {
+		return a.ready < b.ready
+	}
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	if a.jseq != b.jseq {
+		return a.jseq < b.jseq
+	}
+	return a.job < b.job
+}
+
 type unitHeap []pendingUnit
 
-func (h unitHeap) Len() int { return len(h) }
-func (h unitHeap) Less(i, j int) bool {
-	if h[i].ready != h[j].ready {
-		return h[i].ready < h[j].ready
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio > h[j].prio
-	}
-	if h[i].jseq != h[j].jseq {
-		return h[i].jseq < h[j].jseq
-	}
-	return h[i].job < h[j].job
-}
+func (h unitHeap) Len() int            { return len(h) }
+func (h unitHeap) Less(i, j int) bool  { return unitLess(h[i], h[j]) }
 func (h unitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *unitHeap) Push(x interface{}) { *h = append(*h, x.(pendingUnit)) }
 func (h *unitHeap) Pop() interface{} {
@@ -236,13 +349,22 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 
 	busy := map[string]time.Duration{}
 	res := Result{
-		Finish:    make(map[string]time.Duration, len(tasks)),
-		Busy:      busy,
-		JobBusy:   map[int]time.Duration{},
-		JobWait:   map[int]time.Duration{},
-		JobGrants: map[int]int{},
-		JobEnd:    map[int]time.Duration{},
-		TaskWait:  map[string]time.Duration{},
+		Finish:     make(map[string]time.Duration, len(tasks)),
+		Busy:       busy,
+		JobBusy:    map[int]time.Duration{},
+		JobWait:    map[int]time.Duration{},
+		JobGrants:  map[int]int{},
+		JobEnd:     map[int]time.Duration{},
+		TaskWait:   map[string]time.Duration{},
+		JobResBusy: map[int]map[string]time.Duration{},
+	}
+	jobResBusy := func(job int, resName string, d time.Duration) {
+		m := res.JobResBusy[job]
+		if m == nil {
+			m = map[string]time.Duration{}
+			res.JobResBusy[job] = m
+		}
+		m[resName] += d
 	}
 
 	// completeTask marks a task finished at time t and releases successors.
@@ -306,11 +428,21 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 				start = slotFree
 			}
 		}
+
+		if h != nil && s.Batching != nil && u.Batch != nil && u.Batch.Key != "" {
+			// Continuous batching: this slot grant may absorb compatible
+			// pending units of other jobs. The helper pushes the slot's
+			// next free time and performs all accounting for the members.
+			s.grantBatch(pu, u, start, h, pend, tasks, seqs, remaining, finish, busy, &res, jobResBusy, completeTask, &scheduled)
+			continue
+		}
+
 		end := start + u.Dur
 		if h != nil {
 			heap.Push(h, end)
 			busy[u.Resource] += u.Dur
 			res.JobBusy[t.Job] += u.Dur
+			jobResBusy(t.Job, u.Resource, u.Dur)
 			res.JobWait[t.Job] += start - pu.ready
 			res.TaskWait[t.ID] += start - pu.ready
 			res.JobGrants[t.Job]++
@@ -347,6 +479,205 @@ func (s *Schedule) Run(tasks []Task) (Result, error) {
 		res.SlotFree[name] = times
 	}
 	return res, nil
+}
+
+// batchedDur is the continuous-batching cost model: a k-member batch
+// pays the largest member's base and template prefill once, each
+// distinct payload's prefill once (sumPayload — members sharing a
+// PayloadKey share the charge), and the largest member's decode inflated
+// by BatchDecodeSlowdown per extra member.
+func batchedDur(maxBase, maxTmpl, maxDecode, sumPayload time.Duration, k int) time.Duration {
+	scaled := time.Duration(float64(maxDecode) * (1 + BatchDecodeSlowdown*float64(k-1)))
+	return maxBase + maxTmpl + sumPayload + scaled
+}
+
+// payloadCharge returns the payload prefill a joining member adds to a
+// batch whose per-key payload maxima are in groups. A member whose
+// PayloadKey another member already brought charges only its excess over
+// the largest same-key payload (zero for the identical payloads the key
+// guarantees in practice); unique and keyless payloads charge in full.
+func payloadCharge(groups map[string]time.Duration, sp *BatchSpec) time.Duration {
+	if sp.PayloadKey == "" {
+		return sp.PayloadPrefill
+	}
+	if prev, ok := groups[sp.PayloadKey]; ok {
+		if sp.PayloadPrefill > prev {
+			return sp.PayloadPrefill - prev
+		}
+		return 0
+	}
+	return sp.PayloadPrefill
+}
+
+// payloadCommit records a member's payload in groups after it joins.
+func payloadCommit(groups map[string]time.Duration, sp *BatchSpec) {
+	if sp.PayloadKey == "" {
+		return
+	}
+	if prev, ok := groups[sp.PayloadKey]; !ok || sp.PayloadPrefill > prev {
+		groups[sp.PayloadKey] = sp.PayloadPrefill
+	}
+}
+
+// grantBatch handles one slot grant of a batchable unit under a
+// BatchPolicy: it selects co-schedulable pending units of other jobs
+// (same key and resource, ready within the hold-the-door window, taken
+// in the deterministic grant order), removes them from the pending
+// queue, and schedules the whole batch as a single invocation. grantAt
+// is the instant the slot was granted to the leader (slot free time
+// already applied). Selection is greedy with two guards: a member joins
+// only if it strictly shrinks total busy time versus running solo, and
+// only while the batch duration respects the fairness cap.
+func (s *Schedule) grantBatch(
+	pu pendingUnit, u Unit, grantAt time.Duration, h *durHeap,
+	pend *unitHeap, tasks []Task, seqs map[int]int,
+	remaining []int, finish []time.Duration,
+	busy map[string]time.Duration, res *Result,
+	jobResBusy func(int, string, time.Duration),
+	completeTask func(int, time.Duration), scheduled *int,
+) {
+	p := s.Batching
+	maxMembers := p.MaxBatch
+	if maxMembers < 1 {
+		maxMembers = 1
+	}
+	type memberRef struct {
+		pu   pendingUnit
+		unit Unit
+	}
+	members := []memberRef{{pu, u}}
+	jobsIn := map[int]bool{tasks[pu.taskIdx].Job: true}
+	maxBase, maxTmpl, maxDecode := u.Batch.Base, u.Batch.TemplatePrefill, u.Batch.Decode
+	sumPayload := u.Batch.PayloadPrefill
+	payloads := map[string]time.Duration{}
+	payloadCommit(payloads, u.Batch)
+	// The fairness cap never undercuts the leader's own solo duration:
+	// a call too big to fit the cap alone still has to run.
+	capLimit := p.FairnessCap
+	if capLimit > 0 && u.Dur > capLimit {
+		capLimit = u.Dur
+	}
+
+	if maxMembers > 1 {
+		windowEnd := grantAt + p.Window
+		var cands []pendingUnit
+		for _, c := range *pend {
+			cu := tasks[c.taskIdx].Units[c.unitIdx]
+			if cu.Batch == nil || cu.Batch.Key != u.Batch.Key || cu.Resource != u.Resource {
+				continue
+			}
+			if c.ready > windowEnd || jobsIn[c.job] {
+				continue
+			}
+			cands = append(cands, c)
+		}
+		sort.Slice(cands, func(i, j int) bool { return unitLess(cands[i], cands[j]) })
+		taken := make(map[[2]int]bool)
+		for _, c := range cands {
+			if len(members) >= maxMembers {
+				break
+			}
+			if jobsIn[c.job] { // one unit per job: cross-query batching only
+				continue
+			}
+			cu := tasks[c.taskIdx].Units[c.unitIdx]
+			nb, nt, nd := maxBase, maxTmpl, maxDecode
+			if cu.Batch.Base > nb {
+				nb = cu.Batch.Base
+			}
+			if cu.Batch.TemplatePrefill > nt {
+				nt = cu.Batch.TemplatePrefill
+			}
+			if cu.Batch.Decode > nd {
+				nd = cu.Batch.Decode
+			}
+			np := sumPayload + payloadCharge(payloads, cu.Batch)
+			newD := batchedDur(nb, nt, nd, np, len(members)+1)
+			if newD-batchedDur(maxBase, maxTmpl, maxDecode, sumPayload, len(members)) >= cu.Dur {
+				continue // joining would not shrink total busy time
+			}
+			if capLimit > 0 && newD > capLimit {
+				continue
+			}
+			maxBase, maxTmpl, maxDecode, sumPayload = nb, nt, nd, np
+			payloadCommit(payloads, cu.Batch)
+			members = append(members, memberRef{c, cu})
+			jobsIn[c.job] = true
+			taken[[2]int{c.taskIdx, c.unitIdx}] = true
+		}
+		if len(taken) > 0 {
+			kept := (*pend)[:0]
+			for _, c := range *pend {
+				if !taken[[2]int{c.taskIdx, c.unitIdx}] {
+					kept = append(kept, c)
+				}
+			}
+			*pend = kept
+			heap.Init(pend)
+		}
+	}
+
+	// Hold the door: the batch starts once its latest member is ready
+	// (bounded by grantAt + Window through candidate eligibility).
+	bstart := grantAt
+	for _, m := range members {
+		if m.pu.ready > bstart {
+			bstart = m.pu.ready
+		}
+	}
+	D := batchedDur(maxBase, maxTmpl, maxDecode, sumPayload, len(members))
+	if len(members) == 1 {
+		// A batch of one costs exactly the unbatched duration even if
+		// the spec's parts carry rounding drift.
+		D = u.Dur
+	}
+	end := bstart + D
+	heap.Push(h, end)
+	busy[u.Resource] += D
+
+	// Attribute the invocation to members by solo-duration-weighted
+	// shares; the rounding residue lands on the leader so the shares sum
+	// exactly to D (conservation invariant).
+	var wsum time.Duration
+	for _, m := range members {
+		wsum += m.unit.Dur
+	}
+	shares := make([]time.Duration, len(members))
+	var ssum time.Duration
+	for i, m := range members {
+		if wsum > 0 {
+			shares[i] = time.Duration(float64(D) * float64(m.unit.Dur) / float64(wsum))
+		}
+		ssum += shares[i]
+	}
+	shares[0] += D - ssum
+
+	grant := BatchGrant{Resource: u.Resource, Key: u.Batch.Key, GrantAt: grantAt, Start: bstart, Dur: D}
+	for i, m := range members {
+		mt := &tasks[m.pu.taskIdx]
+		wait := bstart - m.pu.ready
+		res.JobBusy[mt.Job] += shares[i]
+		jobResBusy(mt.Job, u.Resource, shares[i])
+		res.JobWait[mt.Job] += wait
+		res.TaskWait[mt.ID] += wait
+		res.JobGrants[mt.Job]++
+		grant.Members = append(grant.Members, BatchMember{
+			Task: mt.ID, Job: mt.Job, Ready: m.pu.ready, Wait: wait, Solo: m.unit.Dur, Share: shares[i],
+		})
+		*scheduled++
+		remaining[m.pu.taskIdx]--
+		if mt.Sequential && m.pu.unitIdx+1 < len(mt.Units) {
+			heap.Push(pend, pendingUnit{m.pu.taskIdx, m.pu.unitIdx + 1, end, mt.Priority, seqs[mt.Job], mt.Job})
+			seqs[mt.Job]++
+		}
+		if end > finish[m.pu.taskIdx] {
+			finish[m.pu.taskIdx] = end
+		}
+		if remaining[m.pu.taskIdx] == 0 {
+			completeTask(m.pu.taskIdx, finish[m.pu.taskIdx])
+		}
+	}
+	res.Batches = append(res.Batches, grant)
 }
 
 // durHeap is a min-heap of slot-free times.

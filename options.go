@@ -73,6 +73,35 @@ func WithMachines(n int) Option {
 	return func(o *openOptions) { o.cfg.Machines = n }
 }
 
+// WithBatching enables cross-query continuous batching of operator LLM
+// calls: compatible per-document calls from different queries co-pending
+// on the shared pool coalesce into one batched invocation occupying a
+// single slot. Answers are byte-identical with batching on or off; only
+// schedules and costs change. Off by default.
+func WithBatching() Option {
+	return func(o *openOptions) { o.cfg.Batching = true }
+}
+
+// WithBatchWindow sets the virtual-time hold-the-door window within which
+// compatible calls may join a freshly granted batch (0 = the default;
+// implies nothing unless WithBatching is set).
+func WithBatchWindow(d time.Duration) Option {
+	return func(o *openOptions) { o.cfg.BatchWindow = d }
+}
+
+// WithBatchFairnessCap bounds a multi-member batch's duration so a heavy
+// scan cannot grow invocations that starve light queries (0 = the
+// default; negative disables the cap).
+func WithBatchFairnessCap(d time.Duration) Option {
+	return func(o *openOptions) { o.cfg.BatchFairnessCap = d }
+}
+
+// WithMaxBatch bounds the number of calls coalesced into one batched
+// invocation (0 = the default).
+func WithMaxBatch(n int) Option {
+	return func(o *openOptions) { o.cfg.MaxBatch = n }
+}
+
 // WithPartitioner overrides the corpus shard assignment policy (nil =
 // hash partitioning by document id). Only consulted when WithMachines
 // selects a multi-machine cluster.

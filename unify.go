@@ -40,6 +40,7 @@ import (
 	"unify/internal/sce"
 	"unify/internal/sched"
 	"unify/internal/values"
+	"unify/internal/vtime"
 )
 
 // Version identifies this build of the reproduction (reported by
@@ -72,6 +73,27 @@ type Config struct {
 	// Partitioner overrides the shard assignment policy (nil =
 	// docstore.HashPartitioner). Only consulted when Machines > 1.
 	Partitioner docstore.Partitioner
+
+	// Batching enables cross-query continuous batching of operator LLM
+	// calls: compatible per-document calls (same task family, model, and
+	// prompt template) from different queries that are co-pending on the
+	// shared pool coalesce into one batched invocation occupying a
+	// single slot, amortizing base and template-prefill cost. Off by
+	// default; batch formation is deterministic given the admission and
+	// submission sequence, and answers are byte-identical either way.
+	Batching bool
+	// BatchWindow is the virtual-time hold-the-door window: compatible
+	// calls becoming ready within it after a slot grant may join the
+	// batch (0 selects DefaultBatchWindow when Batching is on).
+	BatchWindow time.Duration
+	// BatchFairnessCap bounds a multi-member batch's duration so one
+	// heavy scan cannot grow invocations that monopolize a slot and
+	// starve light queries (0 selects DefaultBatchFairnessCap; negative
+	// disables the cap).
+	BatchFairnessCap time.Duration
+	// MaxBatch bounds the calls coalesced into one invocation (0
+	// selects DefaultMaxBatch when Batching is on).
+	MaxBatch int
 
 	// Mode selects the optimizer strategy (CostBased, Rule, GroundTruth
 	// via the optimizer package constants).
@@ -141,6 +163,21 @@ type Config struct {
 // DefaultCacheBytes is the default shared-cache budget (64 MiB).
 const DefaultCacheBytes = 64 << 20
 
+// Continuous-batching defaults, applied when Config.Batching is on.
+const (
+	// DefaultBatchWindow holds a granted slot briefly for compatible
+	// calls about to become ready — long enough to catch lockstep
+	// chains slightly out of phase, short against the ~300ms-and-up
+	// worker calls it defers.
+	DefaultBatchWindow = 100 * time.Millisecond
+	// DefaultBatchFairnessCap bounds one invocation to a few worker
+	// calls' worth of slot time.
+	DefaultBatchFairnessCap = 2500 * time.Millisecond
+	// DefaultMaxBatch mirrors typical continuous-batching widths at the
+	// simulated worker's scale.
+	DefaultMaxBatch = 8
+)
+
 func (c *Config) defaults() {
 	if c.Dataset == "" {
 		c.Dataset = "sports"
@@ -162,6 +199,17 @@ func (c *Config) defaults() {
 	}
 	if c.Machines < 1 {
 		c.Machines = 1
+	}
+	if c.Batching {
+		if c.BatchWindow == 0 {
+			c.BatchWindow = DefaultBatchWindow
+		}
+		if c.BatchFairnessCap == 0 {
+			c.BatchFairnessCap = DefaultBatchFairnessCap
+		}
+		if c.MaxBatch == 0 {
+			c.MaxBatch = DefaultMaxBatch
+		}
 	}
 	if c.SCEBuckets == 0 {
 		c.SCEBuckets = 8
@@ -289,6 +337,9 @@ type Answer struct {
 	SchedStart time.Duration
 	// Contended reports that execution shared slots with other queries.
 	Contended bool
+	// BatchedCalls counts this query's operator LLM calls that rode in
+	// multi-member batched invocations (0 unless batching is enabled).
+	BatchedCalls int
 	// RequestID identifies the query in the trace store and slow-query
 	// log: the caller-installed id (obs.WithRequestID) when present,
 	// otherwise minted from the pool admission sequence ("t-<seq>").
@@ -379,6 +430,13 @@ func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, 
 		pol.HedgeAfter = cfg.HedgeAfter
 		worker = llm.NewResilient(worker, pol, metrics.RecordResilience)
 	}
+	if cfg.Batching {
+		// Top of the worker stack: stamps batch-compatibility metadata
+		// (key + template tokens) on responses so the executor's
+		// per-query recorder carries it into virtual-time replay, where
+		// batch formation actually happens. Answers are untouched.
+		worker = llm.NewBatching(worker)
+	}
 	calib := cost.NewCalibrator(cfg.BatchSize)
 	est := sce.NewEstimator(store, worker, cfg.SCEBuckets)
 	opt := optimizer.New(store, est, calib, cfg.Slots)
@@ -415,6 +473,20 @@ func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, 
 	s.Executor.NodeErrorBudget = cfg.NodeErrorBudget
 	s.Executor.StrictChecks = cfg.StrictChecks
 	s.Pool.StrictChecks = cfg.StrictChecks
+	if cfg.Batching {
+		cap := cfg.BatchFairnessCap
+		if cap < 0 {
+			cap = 0 // negative disables the cap
+		}
+		pol := &vtime.BatchPolicy{
+			Window:      cfg.BatchWindow,
+			FairnessCap: cap,
+			MaxBatch:    cfg.MaxBatch,
+		}
+		s.Pool.Batching = pol
+		s.Executor.Batching = pol
+		metrics.EnableBatching()
+	}
 	// Observability retention: trace store, cumulative profiler, and the
 	// slow-query log. The profiler is always on (pure counters); the
 	// trace store honors the retention config.
@@ -683,6 +755,9 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 		espan.SetAttr("contended", "true")
 		espan.SetAttr("grant_wait", res.GrantWait.Round(time.Millisecond).String())
 	}
+	if res.BatchedCalls > 0 {
+		espan.SetInt("batched_calls", res.BatchedCalls)
+	}
 	espan.End()
 
 	ans := &Answer{
@@ -738,6 +813,7 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 	ans.SoloExecDur = res.SoloMakespan
 	ans.SchedStart = res.PoolStart
 	ans.Contended = res.Contended
+	ans.BatchedCalls = res.BatchedCalls
 
 	// Per-operator cost attribution: phase classes plus one class per
 	// operator identity (Op/Phys). Attribute splits the execution
@@ -876,6 +952,9 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 				util[i] = pm.Utilization
 			}
 			m.RecordPoolMachines(active, util)
+		}
+		if s.Config.Batching {
+			m.RecordBatching(ps.BatchGrants, ps.BatchedUnits, ps.BatchOccupancy, ps.BatchSavedVTime)
 		}
 	}
 	m.RecordCacheSize(s.Cache.Bytes(), s.Cache.Len())
