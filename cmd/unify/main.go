@@ -45,6 +45,7 @@ func main() {
 		topN        = flag.Int("topn", 8, "queries to run for the top subcommand")
 		slowQuery   = flag.Duration("slow-query", 0, "log queries whose virtual time meets this threshold (0 = off)")
 		machines    = flag.Int("machines", 1, "simulated cluster width (1 = the paper's single machine)")
+		lang        = flag.String("lang", "auto", "query language: auto, nl, or usql")
 	)
 	flag.Parse()
 
@@ -55,7 +56,12 @@ func main() {
 	query := strings.Join(flag.Args(), " ")
 	top := flag.Arg(0) == "top" && flag.NArg() == 1
 	if strings.TrimSpace(query) == "" && !*interactive {
-		fmt.Fprintln(os.Stderr, "usage: unify [-dataset name] [-size n] [-v|-plan|-i] \"<natural language query>\" | top")
+		fmt.Fprintln(os.Stderr, "usage: unify [-dataset name] [-size n] [-lang auto|nl|usql] [-v|-plan|-i] \"<query>\" | top")
+		os.Exit(2)
+	}
+	language, err := unify.ParseLanguage(*lang)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lang:", err)
 		os.Exit(2)
 	}
 
@@ -79,7 +85,7 @@ func main() {
 		return
 	}
 	if *planOnly || *dotOut {
-		plan, dur, err := sys.Plan(context.Background(), query)
+		plan, dur, err := sys.Plan(context.Background(), query, unify.WithLanguage(language))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "plan:", err)
 			os.Exit(1)
@@ -93,7 +99,7 @@ func main() {
 		return
 	}
 	ctx := context.Background()
-	var opts []unify.QueryOption
+	opts := []unify.QueryOption{unify.WithLanguage(language)}
 	if *analyze {
 		ctx = obs.WithTracer(ctx, obs.NewTracer())
 	}

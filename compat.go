@@ -1,0 +1,36 @@
+package unify
+
+// Deprecated constructors, kept for source compatibility with pre-0.2
+// callers. unify.New with functional options is the only supported
+// entry point; each shim below is a pure rewrite onto it (parity is
+// pinned by TestDifferentialDeprecatedConstructorParity in
+// compat_test.go) and adds no behavior of its own.
+
+import (
+	"unify/internal/corpus"
+	"unify/internal/llm"
+)
+
+// Open builds a system over a named built-in dataset.
+//
+// Deprecated: use New with functional options, e.g.
+// unify.New(unify.WithConfig(cfg)) or unify.New(unify.WithDataset(name)).
+func Open(cfg Config) (*System, error) {
+	return New(WithConfig(cfg))
+}
+
+// OpenDataset builds a system over an already-generated dataset.
+//
+// Deprecated: use New(unify.WithConfig(cfg), unify.WithCorpus(ds)).
+func OpenDataset(ds *corpus.Dataset, cfg Config) (*System, error) {
+	return New(WithConfig(cfg), WithCorpus(ds))
+}
+
+// OpenWithClients builds a system with caller-provided model clients (the
+// extension point for real LLM backends).
+//
+// Deprecated: use New(unify.WithConfig(cfg), unify.WithCorpus(ds),
+// unify.WithClients(planner, worker)).
+func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, error) {
+	return New(WithConfig(cfg), WithCorpus(ds), WithClients(planner, worker))
+}

@@ -1,0 +1,73 @@
+package unify
+
+import (
+	"context"
+	"testing"
+
+	"unify/internal/check"
+	"unify/internal/llm"
+)
+
+// Axis "constructors" (satellite: deprecated-wrapper parity): the
+// deprecated Open/OpenDataset/OpenWithClients constructors must produce
+// byte-identical answers to the equivalent unify.New call on a seeded
+// workload slice.
+func TestDifferentialDeprecatedConstructorParity(t *testing.T) {
+	ds := diffDataset(t)
+	sim := llm.SimConfig{Profile: llm.WorkerProfile(), Seed: 1}
+	cfg := Config{Dataset: "sports", Sim: &sim, StrictChecks: true}
+	queries := diffQueries(ds, 4)
+
+	pcfg := sim
+	pcfg.Profile = llm.PlannerProfile()
+	wcfg := sim
+	wcfg.Profile = llm.WorkerProfile()
+
+	pairs := []struct {
+		name       string
+		deprecated func() (*System, error)
+		modern     func() (*System, error)
+	}{
+		{
+			name:       "OpenDataset",
+			deprecated: func() (*System, error) { return OpenDataset(ds, cfg) },
+			modern:     func() (*System, error) { return New(WithConfig(cfg), WithCorpus(ds)) },
+		},
+		{
+			name: "Open",
+			deprecated: func() (*System, error) {
+				c := cfg
+				c.Size = 150
+				return Open(c)
+			},
+			modern: func() (*System, error) {
+				c := cfg
+				c.Size = 150
+				return New(WithConfig(c))
+			},
+		},
+		{
+			name: "OpenWithClients",
+			deprecated: func() (*System, error) {
+				return OpenWithClients(ds, cfg, llm.NewSim(pcfg), llm.NewSim(wcfg))
+			},
+			modern: func() (*System, error) {
+				return New(WithConfig(cfg), WithCorpus(ds),
+					WithClients(llm.NewSim(pcfg), llm.NewSim(wcfg)))
+			},
+		},
+	}
+	for _, pair := range pairs {
+		dep, err := pair.deprecated()
+		if err != nil {
+			t.Fatalf("%s: %v", pair.name, err)
+		}
+		mod, err := pair.modern()
+		if err != nil {
+			t.Fatalf("%s (modern): %v", pair.name, err)
+		}
+		ms := check.Differential(context.Background(), "constructors/"+pair.name, queries,
+			exactRunner(dep), exactRunner(mod))
+		assertNoMismatch(t, "constructors/"+pair.name, ms)
+	}
+}

@@ -149,70 +149,6 @@ func TestDifferentialModeOverride(t *testing.T) {
 	assertNoMismatch(t, "mode-override", ms)
 }
 
-// Axis "constructors" (satellite: deprecated-wrapper parity): the
-// deprecated Open/OpenDataset/OpenWithClients constructors must produce
-// byte-identical answers to the equivalent unify.New call on a seeded
-// workload slice.
-func TestDifferentialDeprecatedConstructorParity(t *testing.T) {
-	ds := diffDataset(t)
-	sim := llm.SimConfig{Profile: llm.WorkerProfile(), Seed: 1}
-	cfg := Config{Dataset: "sports", Sim: &sim, StrictChecks: true}
-	queries := diffQueries(ds, 4)
-
-	pcfg := sim
-	pcfg.Profile = llm.PlannerProfile()
-	wcfg := sim
-	wcfg.Profile = llm.WorkerProfile()
-
-	pairs := []struct {
-		name       string
-		deprecated func() (*System, error)
-		modern     func() (*System, error)
-	}{
-		{
-			name:       "OpenDataset",
-			deprecated: func() (*System, error) { return OpenDataset(ds, cfg) },
-			modern:     func() (*System, error) { return New(WithConfig(cfg), WithCorpus(ds)) },
-		},
-		{
-			name: "Open",
-			deprecated: func() (*System, error) {
-				c := cfg
-				c.Size = 150
-				return Open(c)
-			},
-			modern: func() (*System, error) {
-				c := cfg
-				c.Size = 150
-				return New(WithConfig(c))
-			},
-		},
-		{
-			name: "OpenWithClients",
-			deprecated: func() (*System, error) {
-				return OpenWithClients(ds, cfg, llm.NewSim(pcfg), llm.NewSim(wcfg))
-			},
-			modern: func() (*System, error) {
-				return New(WithConfig(cfg), WithCorpus(ds),
-					WithClients(llm.NewSim(pcfg), llm.NewSim(wcfg)))
-			},
-		},
-	}
-	for _, pair := range pairs {
-		dep, err := pair.deprecated()
-		if err != nil {
-			t.Fatalf("%s: %v", pair.name, err)
-		}
-		mod, err := pair.modern()
-		if err != nil {
-			t.Fatalf("%s (modern): %v", pair.name, err)
-		}
-		ms := check.Differential(context.Background(), "constructors/"+pair.name, queries,
-			exactRunner(dep), exactRunner(mod))
-		assertNoMismatch(t, "constructors/"+pair.name, ms)
-	}
-}
-
 // Axis "batching" (satellite: batching on/off differential): continuous
 // batching coalesces compatible calls across queries into shared
 // invocations, but answers are computed live before virtual-time replay —
@@ -229,8 +165,65 @@ func TestDifferentialBatchingOnOff(t *testing.T) {
 	ms := check.Differential(context.Background(), "batching", diffQueries(ds, 6),
 		exactRunner(off), exactRunner(on))
 	assertNoMismatch(t, "batching", ms)
-	if got := len(check.Axes); got != 7 {
-		t.Fatalf("axis registry has %d axes, expected 7 (batching missing?)", got)
+	if got := len(check.Axes); got != 8 {
+		t.Fatalf("axis registry has %d axes, expected 8 (batching or usql_vs_nl missing?)", got)
+	}
+}
+
+// Axis "usql_vs_nl": the USQL parser route and the LLM planner route
+// are two independent compilers onto the same logical operators, so on
+// every workload query that exists in both forms they must produce
+// byte-identical answers with identical estimation + execution virtual
+// time (planning time legitimately differs: the parsed route has none).
+// The USQL side's planner client is wrapped in a recorder BELOW the
+// response cache, so the test also proves the parsed route never
+// invokes the planner LLM at all — zero planner-task calls, cold or
+// warm.
+func TestDifferentialUSQLVsNL(t *testing.T) {
+	ds := diffDataset(t)
+	nl := diffSystem(t, ds, nil)
+
+	sim := llm.SimConfig{Profile: llm.WorkerProfile(), Seed: 1}
+	cfg := Config{Dataset: "sports", Sim: &sim, StrictChecks: true}
+	pcfg := sim
+	pcfg.Profile = llm.PlannerProfile()
+	prec := llm.NewRecorder(llm.NewSim(pcfg))
+	us, err := New(WithConfig(cfg), WithCorpus(ds), WithClients(prec, llm.NewSim(sim)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	toUSQL := map[string]string{}
+	var queries []string
+	for _, q := range workload.Generate(ds, 1, 42) {
+		if q.USQL == "" {
+			continue
+		}
+		queries = append(queries, q.Text)
+		toUSQL[q.Text] = q.USQL
+	}
+	if len(queries) < 10 {
+		t.Fatalf("only %d dual-form workload queries, expected at least 10", len(queries))
+	}
+	// Fingerprint: answer text plus estimation+execution vtime. Left
+	// runs the NL text through the planner; right runs the USQL twin
+	// through the parser, pinned to LangUSQL so a detection bug cannot
+	// silently fall back to the planner.
+	fingerprint := func(sys *System, rewrite func(string) string, opts ...QueryOption) check.Runner {
+		return func(ctx context.Context, q string) (string, error) {
+			ans, err := sys.Query(ctx, rewrite(q), opts...)
+			if err != nil {
+				return "", err
+			}
+			return ans.Text + " @" + (ans.EstimationDur + ans.ExecDur).String(), nil
+		}
+	}
+	ms := check.Differential(context.Background(), "usql_vs_nl", queries,
+		fingerprint(nl, func(q string) string { return q }),
+		fingerprint(us, func(q string) string { return toUSQL[q] }, WithLanguage(LangUSQL)))
+	assertNoMismatch(t, "usql_vs_nl", ms)
+	if calls := prec.Calls(); len(calls) != 0 {
+		t.Fatalf("USQL route made %d planner-LLM calls (first task %q), want 0", len(calls), calls[0].Task)
 	}
 }
 

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunUSQLBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("usql bench smoke is slow")
+	}
+	cfg := Config{Datasets: []string{"sports"}, Size: 200, PerTemplate: 1, Seed: 7, MaxQueries: 6}
+	res, err := RunUSQLBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].Round != "cold" || res.Points[1].Round != "warm" {
+		t.Fatalf("points = %+v, want cold then warm", res.Points)
+	}
+	if res.PlannerLLMCalls != 0 {
+		t.Fatalf("planner LLM calls = %d, want 0", res.PlannerLLMCalls)
+	}
+	cold, warm := res.Points[0], res.Points[1]
+	// RunUSQLBench itself enforces these; re-assert so the test fails
+	// loudly if the self-checks are ever weakened.
+	if cold.Speedup <= 1.0 {
+		t.Errorf("cold speedup %f, want > 1 (planner vtime must drop out)", cold.Speedup)
+	}
+	if warm.USQLPlanCacheHitRate != 1.0 {
+		t.Errorf("warm USQL plan-cache hit rate %f, want 1.0", warm.USQLPlanCacheHitRate)
+	}
+	if !cold.AnswersIdentical || !warm.AnswersIdentical {
+		t.Error("answers not identical between routes")
+	}
+	if cold.USQLMeanPlanningSecs != 0 {
+		t.Errorf("USQL mean planning %fs, want 0", cold.USQLMeanPlanningSecs)
+	}
+	var sb strings.Builder
+	PrintUSQLBench(&sb, res)
+	if !strings.Contains(sb.String(), "USQL vs NL planning") {
+		t.Errorf("PrintUSQLBench output missing header:\n%s", sb.String())
+	}
+}
+
+// TestUSQLArtifactParses keeps the checked-in BENCH_usql.json honest: it
+// must parse, cover both rounds at concurrency 8, and show the
+// properties the experiment exists to demonstrate.
+func TestUSQLArtifactParses(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_usql.json")
+	if err != nil {
+		t.Skipf("BENCH_usql.json not present: %v", err)
+	}
+	var res USQLResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_usql.json does not parse: %v", err)
+	}
+	if res.Dataset == "" || res.Slots <= 0 || res.Queries <= 0 {
+		t.Fatalf("BENCH_usql.json missing header fields: %+v", res)
+	}
+	if res.Concurrency != 8 {
+		t.Fatalf("concurrency %d, want 8", res.Concurrency)
+	}
+	if res.PlannerLLMCalls != 0 {
+		t.Fatalf("planner LLM calls %d, want 0", res.PlannerLLMCalls)
+	}
+	if len(res.Points) != 2 || res.Points[0].Round != "cold" || res.Points[1].Round != "warm" {
+		t.Fatalf("points %+v, want cold then warm", res.Points)
+	}
+	cold, warm := res.Points[0], res.Points[1]
+	if cold.USQLQueriesPerVSec <= cold.NLQueriesPerVSec {
+		t.Errorf("cold USQL throughput %f not above NL %f", cold.USQLQueriesPerVSec, cold.NLQueriesPerVSec)
+	}
+	if warm.USQLPlanCacheHitRate != 1.0 {
+		t.Errorf("warm USQL plan-cache hit rate %f, want 1.0", warm.USQLPlanCacheHitRate)
+	}
+	for _, p := range res.Points {
+		if !p.AnswersIdentical {
+			t.Errorf("%s round: answers not identical", p.Round)
+		}
+	}
+}

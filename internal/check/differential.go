@@ -57,6 +57,11 @@ var Axes = []Axis{
 		Description: "continuous batching on vs off: cross-query coalescing changes schedules only, never answer text",
 		Exact:       true,
 	},
+	{
+		Name:        "usql_vs_nl",
+		Description: "USQL-parsed vs LLM-planned routes on dual-form workload queries: byte-identical answers, and the parsed side makes zero planner-LLM calls",
+		Exact:       true,
+	},
 }
 
 // Runner executes one query on one side of an axis and returns a

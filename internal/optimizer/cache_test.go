@@ -56,6 +56,68 @@ func TestPlanCacheHitOnRepeatedOptimize(t *testing.T) {
 	}
 }
 
+// TestParsedSignatureKeyedByConfig is the regression test for the
+// USQL cache-key bug class: a parsed plan optimized under one cluster
+// width or optimizer mode must never be served from the cache under
+// another. The key has to cover everything planSignature covers plus
+// the canonical query text.
+func TestParsedSignatureKeyedByConfig(t *testing.T) {
+	o, _ := setup(t, 400)
+	c := cache.New(8 << 20)
+	o.AttachCache(c)
+	ctx := context.Background()
+	const canon = "SELECT COUNT(*) FROM sports WHERE 'related to golf' AND views > 500"
+
+	if _, s1, err := o.OptimizeParsed(ctx, canon, filterCountPlan()); err != nil {
+		t.Fatal(err)
+	} else if s1.PlanCacheHit {
+		t.Fatal("cold OptimizeParsed reported a plan-cache hit")
+	}
+	if _, s2, err := o.OptimizeParsed(ctx, canon, filterCountPlan()); err != nil {
+		t.Fatal(err)
+	} else if !s2.PlanCacheHit {
+		t.Fatal("repeat OptimizeParsed missed the plan cache")
+	}
+
+	// Same canonical text, wider simulated cluster: the sharded physical
+	// choice differs, so the cached single-machine plan must not be hit.
+	base := o.Machines
+	sigBase := o.ParsedSignature(canon)
+	o.Machines = 4
+	if o.ParsedSignature(canon) == sigBase {
+		t.Fatal("ParsedSignature ignores Machines")
+	}
+	if _, s3, err := o.OptimizeParsed(ctx, canon, filterCountPlan()); err != nil {
+		t.Fatal(err)
+	} else if s3.PlanCacheHit {
+		t.Fatal("OptimizeParsed with Machines=4 reused the Machines=1 cached plan")
+	}
+	o.Machines = base
+
+	// Different optimizer mode: Rule-mode must not see CostBased entries.
+	if o.ParsedSignature(canon) == o.WithMode(Rule).ParsedSignature(canon) {
+		t.Fatal("ParsedSignature ignores optimizer mode")
+	}
+	if _, s4, err := o.WithMode(Rule).OptimizeParsed(ctx, canon, filterCountPlan()); err != nil {
+		t.Fatal(err)
+	} else if s4.PlanCacheHit {
+		t.Fatal("Rule-mode OptimizeParsed reused a CostBased cached plan")
+	}
+
+	// Parsed keys live in a separate namespace from NL planner keys, even
+	// when the compiled plan is identical to a planned candidate.
+	if o.ParsedSignature(canon) == o.planSignature([]*core.Plan{filterCountPlan()}) {
+		t.Fatal("parsed and NL plan-cache namespaces collide")
+	}
+}
+
+func TestOptimizeParsedNilPlan(t *testing.T) {
+	o, _ := setup(t, 200)
+	if _, _, err := o.OptimizeParsed(context.Background(), "SELECT COUNT(*) FROM sports", nil); err == nil {
+		t.Fatal("OptimizeParsed accepted a nil plan")
+	}
+}
+
 func TestSelectivityCacheBounded(t *testing.T) {
 	o, _ := setup(t, 200)
 	// Tiny budget: the selectivity layer must evict rather than grow.

@@ -1,15 +1,29 @@
 // Package server exposes a Unify system over HTTP: a small JSON API for
-// submitting natural-language analytics queries, inspecting plans
-// (EXPLAIN), profiling them (EXPLAIN ANALYZE via ?analyze=1), browsing
-// the operator registry, and scraping process metrics — the shape a
-// deployed instance of the paper's system would take.
+// submitting analytics queries in natural language or USQL (the "lang"
+// request field selects the dialect; the default auto-detects), inspecting
+// plans (EXPLAIN via /v1/plan or "plan_only"), profiling them (EXPLAIN
+// ANALYZE via ?analyze=1), browsing the operator registry, and scraping
+// process metrics — the shape a deployed instance of the paper's system
+// would take.
 //
 // Serving model: requests pass a bounded admission queue (at most
 // MaxConcurrent executing, MaxQueue waiting; the rest get HTTP 429 with
-// Retry-After) and then contend for the system's shared slot pool. All
-// error responses share one envelope:
+// Retry-After) and then contend for the system's shared slot pool.
+//
+// # Error envelope (version 1)
+//
+// All error responses share one envelope, versioned with the API path
+// prefix (/v1) and reported as api_version by /v1/health. Version 1 is
+// frozen: the three fields below never change meaning, and new fields
+// may only be added, never removed or repurposed.
 //
 //	{"error": {"code": "...", "message": "...", "request_id": "..."}}
+//
+// "code" is one of: bad_request (malformed body, unknown lang, USQL
+// syntax errors), not_found, method_not_allowed, deadline_exceeded,
+// queue_full, internal. "message" is human-readable and NOT stable;
+// branch on "code". "request_id" matches the id echoed on success
+// responses and keyed into /v1/traces/{id}.
 package server
 
 import (
@@ -27,6 +41,7 @@ import (
 	"unify/internal/core"
 	"unify/internal/obs"
 	"unify/internal/ops"
+	"unify/internal/usql"
 )
 
 // Server wraps a System with HTTP handlers.
@@ -101,6 +116,14 @@ type QueryRequest struct {
 	// Priority favors this query in slot-grant tie-breaks on the shared
 	// pool (higher wins).
 	Priority int `json:"priority,omitempty"`
+	// Lang selects the query dialect: "nl" (natural language, LLM-planned),
+	// "usql" (typed dialect, parsed and compiled deterministically), or
+	// ""/"auto" (detect: statements starting with SELECT are USQL).
+	Lang string `json:"lang,omitempty"`
+	// PlanOnly compiles and optimizes the query and returns the logical
+	// plan without executing it (a body-level EXPLAIN; /v1/plan is the
+	// endpoint-level equivalent).
+	PlanOnly bool `json:"plan_only,omitempty"`
 }
 
 // PlanNode is the JSON form of one plan operator.
@@ -129,6 +152,7 @@ type QueryResponse struct {
 	LLMCalls      int        `json:"llm_calls"`
 	CachedCalls   int        `json:"cached_llm_calls"`
 	PlanCacheHit  bool       `json:"plan_cache_hit"`
+	Lang          string     `json:"lang"`
 	Fallback      bool       `json:"fallback"`
 	Adjusted      bool       `json:"adjusted"`
 	SkippedDocs   int        `json:"skipped_docs,omitempty"`
@@ -150,9 +174,11 @@ type QueryResponse struct {
 	Profile map[string]obs.OpCostJSON `json:"profile,omitempty"`
 }
 
-// PlanResponse is the body returned by POST /v1/plan.
+// PlanResponse is the body returned by POST /v1/plan and by
+// POST /v1/query with "plan_only": true.
 type PlanResponse struct {
 	RequestID    string     `json:"request_id"`
+	Lang         string     `json:"lang"`
 	Plan         []PlanNode `json:"plan"`
 	PlanningSecs float64    `json:"planning_secs"`
 }
@@ -215,25 +241,49 @@ func (s *Server) nextRequestID() string {
 	return fmt.Sprintf("q-%d", s.reqID.Add(1))
 }
 
-func (s *Server) readQuery(w http.ResponseWriter, r *http.Request, rid string) (QueryRequest, bool) {
+func (s *Server) readQuery(w http.ResponseWriter, r *http.Request, rid string) (QueryRequest, unify.Language, bool) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, rid, "POST required")
-		return QueryRequest{}, false
+		return QueryRequest{}, unify.LangAuto, false
 	}
 	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, rid, "malformed body: %v", err)
-		return QueryRequest{}, false
+		return QueryRequest{}, unify.LangAuto, false
 	}
 	if req.Query == "" {
 		writeError(w, http.StatusBadRequest, rid, "empty query")
-		return QueryRequest{}, false
+		return QueryRequest{}, unify.LangAuto, false
 	}
 	if req.TimeoutMS < 0 {
 		writeError(w, http.StatusBadRequest, rid, "negative timeout_ms")
-		return QueryRequest{}, false
+		return QueryRequest{}, unify.LangAuto, false
 	}
-	return req, true
+	lang, err := unify.ParseLanguage(req.Lang)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, rid, "%v", err)
+		return QueryRequest{}, unify.LangAuto, false
+	}
+	return req, lang, true
+}
+
+// resolved labels a response with the dialect the query actually ran as.
+func resolved(lang unify.Language, query string) unify.Language {
+	if lang == unify.LangAuto {
+		return unify.DetectLanguage(query)
+	}
+	return lang
+}
+
+// queryStatus maps a failed Query/Plan call to an HTTP status: USQL
+// syntax and compile errors are the client's fault (400); everything
+// else is internal.
+func queryStatus(err error) int {
+	var perr *usql.Error
+	if errors.As(err, &perr) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
 }
 
 // requestTimeout resolves a request's effective deadline: the server
@@ -276,12 +326,19 @@ func analyzeRequested(r *http.Request) bool {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	rid := s.nextRequestID()
-	req, ok := s.readQuery(w, r, rid)
+	req, lang, ok := s.readQuery(w, r, rid)
 	if !ok {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 	defer cancel()
+	if req.PlanOnly {
+		// Body-level EXPLAIN: compile and optimize under the requested
+		// dialect, return the logical plan, execute nothing. Skips
+		// admission like /v1/plan does — there is no slot-pool work.
+		s.servePlan(ctx, w, rid, req, lang)
+		return
+	}
 	// The request id rides down into the system so the retained trace is
 	// keyed by the same id the response (and error envelope) carries.
 	ctx = obs.WithRequestID(ctx, rid)
@@ -318,13 +375,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}()
 	m.RecordAdmission(queueWait)
 
-	ans, err := s.Sys.Query(ctx, req.Query, unify.WithPriority(req.Priority))
+	ans, err := s.Sys.Query(ctx, req.Query, unify.WithPriority(req.Priority), unify.WithLanguage(lang))
 	if err != nil {
 		if ctx.Err() != nil {
 			writeError(w, http.StatusRequestTimeout, rid, "query deadline exceeded: %v", err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, rid, "query failed: %v", err)
+		writeError(w, queryStatus(err), rid, "query failed: %v", err)
 		return
 	}
 	// queueWait is wall time and stays in the serving layer
@@ -332,6 +389,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// writing wall time into one mixed the two domains.
 	resp := QueryResponse{
 		RequestID:     rid,
+		Lang:          ans.Lang.String(),
 		Answer:        ans.Text,
 		Plan:          planNodes(ans.Plan),
 		PlanningSecs:  ans.PlanningDur.Seconds(),
@@ -363,22 +421,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	rid := s.nextRequestID()
-	req, ok := s.readQuery(w, r, rid)
+	req, lang, ok := s.readQuery(w, r, rid)
 	if !ok {
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req))
 	defer cancel()
-	plan, dur, err := s.Sys.Plan(ctx, req.Query)
+	s.servePlan(ctx, w, rid, req, lang)
+}
+
+// servePlan backs both /v1/plan and plan_only /v1/query requests.
+func (s *Server) servePlan(ctx context.Context, w http.ResponseWriter, rid string, req QueryRequest, lang unify.Language) {
+	plan, dur, err := s.Sys.Plan(ctx, req.Query, unify.WithLanguage(lang))
 	if err != nil {
 		if ctx.Err() != nil {
 			writeError(w, http.StatusRequestTimeout, rid, "planning deadline exceeded: %v", err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, rid, "planning failed: %v", err)
+		writeError(w, queryStatus(err), rid, "planning failed: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PlanResponse{RequestID: rid, Plan: planNodes(plan), PlanningSecs: dur.Seconds()})
+	writeJSON(w, http.StatusOK, PlanResponse{
+		RequestID:    rid,
+		Lang:         resolved(lang, req.Query).String(),
+		Plan:         planNodes(plan),
+		PlanningSecs: dur.Seconds(),
+	})
 }
 
 // handleNotFound routes unknown paths through the uniform envelope.
@@ -524,6 +592,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":         "ok",
 		"version":        unify.Version,
+		"api_version":    1,
 		"dataset":        s.Sys.Dataset.Name,
 		"documents":      s.Sys.Store.Len(),
 		"uptime_secs":    time.Since(s.started).Seconds(),

@@ -274,3 +274,131 @@ func TestBadRequests(t *testing.T) {
 		t.Errorf("garbage body -> %d", resp.StatusCode)
 	}
 }
+
+// postReq sends an arbitrary QueryRequest body and returns the response.
+func postReq(t *testing.T, url string, req QueryRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestQueryUSQLAutoDetected(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	resp, raw := post(t, srv.URL+"/v1/query", "SELECT COUNT(*) FROM sports WHERE 'related to tennis'")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out QueryResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Lang != "usql" {
+		t.Errorf("lang %q, want usql (auto-detect)", out.Lang)
+	}
+	if out.Answer == "" || len(out.Plan) == 0 {
+		t.Errorf("incomplete response: %+v", out)
+	}
+	if out.PlanningSecs != 0 {
+		t.Errorf("USQL query charged %v planning secs, want 0 (no planner LLM)", out.PlanningSecs)
+	}
+}
+
+func TestQueryLangField(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	// NL query, explicit lang pin.
+	resp, raw := postReq(t, srv.URL+"/v1/query",
+		QueryRequest{Query: "How many questions are about tennis?", Lang: "nl"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out QueryResponse
+	json.Unmarshal(raw, &out)
+	if out.Lang != "nl" {
+		t.Errorf("lang %q, want nl", out.Lang)
+	}
+	// Unknown lang value: 400 with the bad_request code.
+	resp, raw = postReq(t, srv.URL+"/v1/query",
+		QueryRequest{Query: "SELECT COUNT(*) FROM sports", Lang: "sql"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown lang: status %d, want 400: %s", resp.StatusCode, raw)
+	}
+	var e ErrorResponse
+	json.Unmarshal(raw, &e)
+	if e.Error.Code != "bad_request" || !strings.Contains(e.Error.Message, "sql") {
+		t.Errorf("error envelope %+v", e)
+	}
+}
+
+func TestQueryUSQLSyntaxErrorIs400(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	resp, raw := postReq(t, srv.URL+"/v1/query",
+		QueryRequest{Query: "SELECT BOGUS(views) FROM sports", Lang: "usql"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, raw)
+	}
+	var e ErrorResponse
+	json.Unmarshal(raw, &e)
+	if e.Error.Code != "bad_request" || !strings.Contains(e.Error.Message, "usql:7:") {
+		t.Errorf("error envelope lacks positioned usql error: %+v", e)
+	}
+}
+
+func TestQueryPlanOnly(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	resp, raw := postReq(t, srv.URL+"/v1/query",
+		QueryRequest{Query: "SELECT AVG(score) FROM sports WHERE 'related to injury'", PlanOnly: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out PlanResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Lang != "usql" {
+		t.Errorf("lang %q, want usql", out.Lang)
+	}
+	if len(out.Plan) != 2 {
+		t.Fatalf("plan has %d nodes, want 2 (Filter, Average): %+v", len(out.Plan), out.Plan)
+	}
+	if out.Plan[0].Op != "Filter" || out.Plan[1].Op != "Average" {
+		t.Errorf("ops %s,%s want Filter,Average", out.Plan[0].Op, out.Plan[1].Op)
+	}
+	for _, n := range out.Plan {
+		if n.Physical == "" {
+			t.Errorf("node %d missing physical operator", n.ID)
+		}
+	}
+	// plan_only must not execute: the answer-shaped fields are absent
+	// from the envelope entirely (it is a PlanResponse).
+	if bytes.Contains(raw, []byte(`"answer"`)) {
+		t.Error("plan_only response contains an answer field")
+	}
+}
+
+func TestHealthAPIVersion(t *testing.T) {
+	srv := testServer(t)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := out["api_version"].(float64); !ok || v != 1 {
+		t.Errorf("api_version = %v, want 1", out["api_version"])
+	}
+}

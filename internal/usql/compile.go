@@ -1,0 +1,324 @@
+package usql
+
+import (
+	"fmt"
+	"strings"
+
+	"unify/internal/core"
+	"unify/internal/ops"
+)
+
+// Env is the compilation environment: the dataset the system serves and
+// its entity word, which seeds the first node's Entity binding exactly
+// as the LLM planner's rewrites do.
+type Env struct {
+	Dataset string // dataset name the FROM clause must match
+	Entity  string // corpus entity word ("questions", "articles")
+}
+
+// fieldCanon maps the typed-field surface vocabulary to the canonical
+// document fields, mirroring internal/nlcond: the views group and the
+// score group (upvotes/points are score synonyms), plus year for the
+// posted-date predicates.
+var fieldCanon = map[string]string{
+	"view": "views", "views": "views",
+	"upvote": "score", "upvotes": "score",
+	"point": "score", "points": "score",
+	"score": "score",
+}
+
+// Compile lowers a parsed query onto the core logical DAG, emitting the
+// same node conventions (operator names, logical representations, Args
+// bindings, variable wiring) the LLM planner produces so the shared
+// optimizer lowers both routes to identical physical plans. Errors are
+// *Error values anchored to the clause that cannot be compiled.
+func Compile(q *Query, env Env) (*core.Plan, error) {
+	if !strings.EqualFold(q.From, env.Dataset) {
+		return nil, errf(q.FromPos, "unknown dataset %q (this system serves %q)", q.From, env.Dataset)
+	}
+	c := &compiler{env: env}
+	if q.GroupBy != "" {
+		if err := c.compileGroupBy(q); err != nil {
+			return nil, err
+		}
+	} else if err := c.compileSimple(q); err != nil {
+		return nil, err
+	}
+	return &core.Plan{Query: q.String(), Nodes: c.nodes}, nil
+}
+
+type compiler struct {
+	env   Env
+	nodes []*core.Node
+}
+
+// cur is the variable produced by the last node, as consumed by the
+// next one ("dataset" before any node exists).
+func (c *compiler) cur() string {
+	if len(c.nodes) == 0 {
+		return "dataset"
+	}
+	return "{" + c.nodes[len(c.nodes)-1].OutVar + "}"
+}
+
+// curEntity is the Entity binding for the next node: the corpus entity
+// word at the chain head, the previous variable afterwards.
+func (c *compiler) curEntity() string {
+	if len(c.nodes) == 0 {
+		return c.env.Entity
+	}
+	return c.cur()
+}
+
+// add appends a node consuming the previous node's output.
+func (c *compiler) add(op, lr string, args ops.Args, desc string) {
+	id := len(c.nodes)
+	n := &core.Node{
+		ID:     id,
+		Op:     op,
+		LR:     lr,
+		Args:   args,
+		OutVar: fmt.Sprintf("v%d", id+1),
+		Desc:   desc,
+	}
+	if id == 0 {
+		n.Inputs = []string{"dataset"}
+	} else {
+		n.Inputs = []string{c.cur()}
+		n.Deps = []int{id - 1}
+	}
+	c.nodes = append(c.nodes, n)
+}
+
+// addFilters lowers the WHERE predicates to a Filter chain. The
+// optimizer reorders the chain's conditions by selectivity afterwards,
+// so the written order is cosmetic, exactly as for planned queries.
+func (c *compiler) addFilters(preds []Pred) error {
+	for _, pred := range preds {
+		cond, err := renderCond(pred)
+		if err != nil {
+			return err
+		}
+		ent := c.curEntity()
+		c.add("Filter", "[Entity] that [Condition]",
+			ops.Args{"Entity": ent, "Condition": cond}, ent+" "+cond)
+	}
+	return nil
+}
+
+// renderCond renders one predicate in the condition surface grammar of
+// internal/nlcond, so structured clauses lower to the exact-expr
+// physical filters and key the same selectivity-cache entries as their
+// natural-language twins. Semantic (quoted) predicates pass through
+// verbatim.
+func renderCond(pred Pred) (string, error) {
+	switch p := pred.(type) {
+	case Sem:
+		return p.Text, nil
+	case Cmp:
+		if p.Field == "year" {
+			word, ok := map[string]string{">": "after", ">=": "since", "<": "before", "=": "in"}[p.Op]
+			if !ok {
+				return "", errf(p.Pos, "operator %s is not supported for year (use > >= < = or BETWEEN)", p.Op)
+			}
+			if p.Value < 1000 || p.Value > 9999 {
+				return "", errf(p.Pos, "year must be a 4-digit number")
+			}
+			return fmt.Sprintf("posted %s %d", word, p.Value), nil
+		}
+		if _, ok := fieldCanon[p.Field]; !ok {
+			return "", errf(p.Pos, "unknown field %q (use views, upvotes, points, score, or year)", p.Field)
+		}
+		word, ok := map[string]string{">": "more than", ">=": "at least", "<": "fewer than", "<=": "at most", "=": "exactly"}[p.Op]
+		if !ok {
+			return "", errf(p.Pos, "operator %s is not supported for %s", p.Op, p.Field)
+		}
+		return fmt.Sprintf("with %s %d %s", word, p.Value, p.Field), nil
+	case Range:
+		if p.Field != "year" {
+			return "", errf(p.Pos, "BETWEEN is only supported for year")
+		}
+		if p.Lo < 1000 || p.Lo > 9999 || p.Hi < 1000 || p.Hi > 9999 {
+			return "", errf(p.Pos, "year must be a 4-digit number")
+		}
+		return fmt.Sprintf("posted between %d and %d", p.Lo, p.Hi), nil
+	default:
+		return "", errf(pred.pos(), "unsupported predicate")
+	}
+}
+
+// aggField canonicalizes an aggregate argument field.
+func aggField(a *Agg, pos int) (string, error) {
+	f, ok := fieldCanon[a.Field]
+	if !ok {
+		return "", errf(pos, "cannot aggregate over %q (use views, upvotes, points, or score)", a.Field)
+	}
+	return f, nil
+}
+
+// compileSimple handles every non-GROUP-BY form: aggregates, top-k
+// document lists (SELECT * ... ORDER BY f DESC LIMIT k), the
+// title-of-best extraction (SELECT title ... ORDER BY f DESC LIMIT 1),
+// and plain filtered document lists.
+func (c *compiler) compileSimple(q *Query) error {
+	if err := c.addFilters(q.Where); err != nil {
+		return err
+	}
+	switch {
+	case q.Select.Agg != nil:
+		if q.OrderBy != nil {
+			return errf(q.OrderBy.Pos, "ORDER BY cannot be combined with an aggregate")
+		}
+		if q.Limit >= 0 {
+			return errf(q.LimitPos, "LIMIT cannot be combined with an aggregate")
+		}
+		return c.addAgg(q.Select.Agg, q.Select.Pos)
+	case q.Select.Star:
+		if q.OrderBy == nil && q.Limit < 0 {
+			if len(q.Where) == 0 {
+				return errf(q.End, "SELECT * requires a WHERE clause or ORDER BY ... LIMIT")
+			}
+			return nil // filtered document list; the last filter is the sink
+		}
+		return c.addTopK(q)
+	case q.Select.Column == "title":
+		if q.OrderBy == nil || q.Limit < 0 {
+			return errf(q.End, "SELECT title requires ORDER BY <field> DESC LIMIT n")
+		}
+		if err := c.addTopK(q); err != nil {
+			return err
+		}
+		cur := c.cur()
+		c.add("Extract", "extract [Entity] from [Entity]",
+			ops.Args{"Attribute": "title", "Entity": "the title", "Entity2": cur},
+			"the title of "+cur)
+		return nil
+	default:
+		return errf(q.Select.Pos, "unknown column %q (use *, title, an aggregate, or a GROUP BY column)", q.Select.Column)
+	}
+}
+
+// addTopK lowers ORDER BY <field> DESC LIMIT n to a TopK node.
+func (c *compiler) addTopK(q *Query) error {
+	if q.OrderBy == nil {
+		return errf(q.LimitPos, "LIMIT requires ORDER BY")
+	}
+	if q.Limit < 0 {
+		return errf(q.OrderBy.Pos, "ORDER BY requires LIMIT")
+	}
+	if q.OrderBy.CountStar {
+		return errf(q.OrderBy.Pos, "ORDER BY COUNT(*) requires GROUP BY")
+	}
+	if !q.OrderBy.Desc {
+		return errf(q.OrderBy.Pos, "ascending order is not supported (use DESC)")
+	}
+	field, ok := fieldCanon[q.OrderBy.Field]
+	if !ok {
+		return errf(q.OrderBy.Pos, "cannot sort by %q (use views, upvotes, points, or score)", q.OrderBy.Field)
+	}
+	ent := c.curEntity()
+	c.add("TopK", "the top [Number] [Entity]",
+		ops.Args{"Condition": "descending", "Entity": ent, "Field": field, "Number": fmt.Sprintf("%d", q.Limit)},
+		fmt.Sprintf("the top %d of %s by %s", q.Limit, ent, field))
+	return nil
+}
+
+// addAgg lowers an aggregate select item onto the current chain.
+func (c *compiler) addAgg(a *Agg, pos int) error {
+	ent := c.curEntity()
+	if a.Fn == "COUNT" {
+		c.add("Count", "number of [Entity]", ops.Args{"Entity": ent}, "the number of "+ent)
+		return nil
+	}
+	field, err := aggField(a, pos)
+	if err != nil {
+		return err
+	}
+	// fieldNoun phrases the field the way the planner's descriptions do.
+	fieldNoun := field
+	if field == "views" {
+		fieldNoun = "number of views"
+	}
+	switch a.Fn {
+	case "AVG":
+		c.add("Average", "the average [Field] of [Entity]",
+			ops.Args{"Entity": ent, "Field": field},
+			fmt.Sprintf("the average %s of %s", field, ent))
+	case "SUM":
+		c.add("Sum", "the total sum of [Entity]",
+			ops.Args{"Entity": ent, "Field": field},
+			fmt.Sprintf("the total %s of %s", fieldNoun, ent))
+	case "MAX":
+		c.add("Max", "the maximum of [Entity]",
+			ops.Args{"Entity": ent, "Field": field},
+			fmt.Sprintf("the maximum %s of %s", field, ent))
+	case "MIN":
+		c.add("Min", "the minimum of [Entity]",
+			ops.Args{"Entity": ent, "Field": field},
+			fmt.Sprintf("the minimum %s of %s", field, ent))
+	case "MEDIAN":
+		c.add("Median", "the median of [Entity]",
+			ops.Args{"Entity": ent, "Field": field},
+			fmt.Sprintf("the median %s of %s", fieldNoun, ent))
+	case "PERCENTILE":
+		c.add("Percentile", "the k-th percentile for [Entity]",
+			ops.Args{"Entity": ent, "Field": field, "Number": fmt.Sprintf("%d", a.P)},
+			fmt.Sprintf("the %s percentile of %s of %s", ordinal(a.P), field, ent))
+	default:
+		return errf(pos, "unknown aggregate function %q", a.Fn)
+	}
+	return nil
+}
+
+// compileGroupBy handles `SELECT <col> ... GROUP BY <col> ORDER BY
+// COUNT(*) DESC LIMIT n`: a semantic GroupBy over the whole dataset,
+// the WHERE filters applied per group, a per-group Count, and an
+// arg-max (LIMIT 1) or top-k (LIMIT n) over the group counts.
+func (c *compiler) compileGroupBy(q *Query) error {
+	if q.Select.Agg != nil || q.Select.Star || q.Select.Column != q.GroupBy {
+		return errf(q.Select.Pos, "SELECT must name the GROUP BY column %q", q.GroupBy)
+	}
+	if q.OrderBy == nil || !q.OrderBy.CountStar {
+		return errf(q.End, "GROUP BY requires ORDER BY COUNT(*) DESC")
+	}
+	if !q.OrderBy.Desc {
+		return errf(q.OrderBy.Pos, "ascending order is not supported (use DESC)")
+	}
+	if q.Limit < 0 {
+		return errf(q.End, "GROUP BY requires LIMIT")
+	}
+	c.add("GroupBy", "among [Entity], which [Attribute] has the highest [Entity]",
+		ops.Args{"Attribute": q.GroupBy, "Entity": c.env.Entity, "Entity2": c.env.Entity},
+		fmt.Sprintf("the groups of %s by %s", c.env.Entity, q.GroupBy))
+	if err := c.addFilters(q.Where); err != nil {
+		return err
+	}
+	ent := c.curEntity()
+	c.add("Count", "number of [Entity]", ops.Args{"Entity": ent}, "the number of "+ent)
+	cur := c.cur()
+	if q.Limit == 1 {
+		c.add("Max", "the entry of [Entity] with the highest value",
+			ops.Args{"Condition": "descending", "Entity": cur, "Number": "1"},
+			fmt.Sprintf("which entry of %s is the highest", cur))
+		return nil
+	}
+	c.add("TopK", "the top [Number] [Entity]",
+		ops.Args{"Condition": "descending", "Entity": cur, "Number": fmt.Sprintf("%d", q.Limit)},
+		fmt.Sprintf("the top %d entries of %s", q.Limit, cur))
+	return nil
+}
+
+// ordinal renders 75 as "75th", 1 as "1st", etc.
+func ordinal(n int) string {
+	suffix := "th"
+	switch {
+	case n%100 >= 11 && n%100 <= 13:
+	case n%10 == 1:
+		suffix = "st"
+	case n%10 == 2:
+		suffix = "nd"
+	case n%10 == 3:
+		suffix = "rd"
+	}
+	return fmt.Sprintf("%d%s", n, suffix)
+}

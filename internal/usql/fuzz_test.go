@@ -1,0 +1,53 @@
+package usql
+
+import (
+	"testing"
+)
+
+// FuzzUSQLParse asserts two properties over arbitrary input:
+//
+//  1. the parser never panics — all rejections are *Error values with a
+//     byte position inside the input;
+//  2. parse→print→parse is a fixpoint: the canonical printed form of an
+//     accepted query reparses to the same canonical form, so plan-cache
+//     keys built from it are stable.
+func FuzzUSQLParse(f *testing.F) {
+	seeds := []string{
+		"SELECT COUNT(*) FROM sports WHERE 'related to baseball' AND views > 140",
+		"SELECT AVG(score) FROM sports WHERE 'related to equipment'",
+		"SELECT PERCENTILE(views, 90) FROM sports WHERE \"related to baseball\"",
+		"SELECT * FROM sports WHERE year BETWEEN 2013 AND 2015 ORDER BY views DESC LIMIT 3",
+		"SELECT title FROM sports WHERE 'related to baseball' ORDER BY score DESC LIMIT 1",
+		"SELECT sport FROM sports WHERE upvotes >= 4 GROUP BY sport ORDER BY COUNT(*) DESC LIMIT 1",
+		"select median(views) from sports where year = 2015",
+		"SELECT",
+		"SELECT COUNT(*) FROM sports WHERE 'unterminated",
+		"SELECT COUNT(*) FROM sports WHERE views ~ 3",
+		"How many questions mention baseball?",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			perr, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("Parse(%q) returned %T, want *Error", src, err)
+			}
+			if perr.Pos < 0 || perr.Pos > len(src) {
+				t.Fatalf("Parse(%q) error position %d outside [0,%d]", src, perr.Pos, len(src))
+			}
+			return
+		}
+		c1 := q.String()
+		q2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical form of %q does not reparse: %q: %v", src, c1, err)
+		}
+		if c2 := q2.String(); c1 != c2 {
+			t.Fatalf("parse-print-parse not a fixpoint for %q:\n c1 %q\n c2 %q", src, c1, c2)
+		}
+	})
+}

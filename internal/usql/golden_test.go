@@ -1,0 +1,147 @@
+package usql
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"unify/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current parser/compiler output")
+
+// readQueries loads one query per line from a testdata corpus file,
+// skipping blanks and # comments.
+func readQueries(t *testing.T, name string) []string {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if trimmed := strings.TrimSpace(line); trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+type validGolden struct {
+	Query     string     `json:"query"`
+	Canonical string     `json:"canonical"`
+	Plan      *core.Plan `json:"plan"`
+}
+
+type invalidGolden struct {
+	Query string `json:"query"`
+	Error string `json:"error"`
+}
+
+func goldenCompare[T any](t *testing.T, file string, got []T) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	raw, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *update {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if string(want) != string(raw) {
+		t.Errorf("%s is stale: parser/compiler output changed (rerun with -update and review the diff)", path)
+		// Pinpoint the first diverging entry for a readable failure.
+		var old []json.RawMessage
+		if json.Unmarshal(want, &old) == nil {
+			var cur []json.RawMessage
+			_ = json.Unmarshal(raw, &cur)
+			for i := range got {
+				if i >= len(old) || i >= len(cur) || string(old[i]) != string(cur[i]) {
+					t.Errorf("first divergence at entry %d:\n  golden: %s\n  got:    %s",
+						i, entryOrMissing(old, i), entryOrMissing(cur, i))
+					break
+				}
+			}
+		}
+	}
+}
+
+func entryOrMissing(entries []json.RawMessage, i int) string {
+	if i >= len(entries) {
+		return "<missing>"
+	}
+	return string(entries[i])
+}
+
+// TestGoldenValid pins, for every valid corpus query, both the canonical
+// printed form and the exact logical plan JSON the compiler emits. Any
+// change to node shapes breaks usql_vs_nl equivalence with the planner
+// route, so changes here should be deliberate and reviewed.
+func TestGoldenValid(t *testing.T) {
+	queries := readQueries(t, "valid_queries.txt")
+	if len(queries) < 15 {
+		t.Fatalf("valid corpus has only %d queries; keep it broad", len(queries))
+	}
+	got := make([]validGolden, 0, len(queries))
+	for _, src := range queries {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("valid corpus query failed to parse: %q: %v", src, err)
+		}
+		plan, err := Compile(q, testEnv)
+		if err != nil {
+			t.Fatalf("valid corpus query failed to compile: %q: %v", src, err)
+		}
+		canon := q.String()
+		if plan.Query != canon {
+			t.Errorf("plan.Query %q != canonical %q", plan.Query, canon)
+		}
+		got = append(got, validGolden{Query: src, Canonical: canon, Plan: plan})
+	}
+	goldenCompare(t, "valid_golden.json", got)
+}
+
+// TestGoldenInvalid pins the error message — including the byte
+// position in the usql:<pos>: prefix — for every invalid corpus query.
+func TestGoldenInvalid(t *testing.T) {
+	queries := readQueries(t, "invalid_queries.txt")
+	if len(queries) < 15 {
+		t.Fatalf("invalid corpus has only %d queries; keep it broad", len(queries))
+	}
+	got := make([]invalidGolden, 0, len(queries))
+	for _, src := range queries {
+		var msg string
+		q, err := Parse(src)
+		if err == nil {
+			_, err = Compile(q, testEnv)
+		}
+		if err == nil {
+			t.Fatalf("invalid corpus query was accepted: %q", src)
+		}
+		if _, ok := err.(*Error); !ok {
+			t.Fatalf("invalid corpus query %q returned %T, want *Error", src, err)
+		}
+		msg = err.Error()
+		got = append(got, invalidGolden{Query: src, Error: msg})
+	}
+	goldenCompare(t, "invalid_golden.json", got)
+}

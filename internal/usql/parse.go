@@ -1,0 +1,372 @@
+package usql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Query is the parsed AST of one USQL statement.
+type Query struct {
+	Select   Select
+	From     string
+	FromPos  int
+	Where    []Pred
+	GroupBy  string // lowercased group column; "" when absent
+	OrderBy  *OrderBy
+	Limit    int // -1 when absent
+	LimitPos int
+	End      int // length of the source text, for missing-clause errors
+}
+
+// Select is the SELECT item. Exactly one of Star, Column, Agg is set.
+type Select struct {
+	Pos    int
+	Star   bool
+	Column string // bare column, lowercased ("title" or the group column)
+	Agg    *Agg
+}
+
+// Agg is an aggregate select item.
+type Agg struct {
+	Fn    string // canonical upper-case: COUNT AVG SUM MAX MIN MEDIAN PERCENTILE
+	Field string // lowercased argument field; "*" for COUNT(*)
+	P     int    // percentile rank, PERCENTILE only
+}
+
+// OrderBy is the ORDER BY clause.
+type OrderBy struct {
+	Pos       int
+	CountStar bool   // ORDER BY COUNT(*)
+	Field     string // lowercased sort field when not CountStar
+	Desc      bool
+}
+
+// Pred is one WHERE predicate, joined to its neighbors by AND.
+type Pred interface{ pos() int }
+
+// Sem is a quoted natural-language predicate, evaluated semantically.
+type Sem struct {
+	Pos  int
+	Text string
+}
+
+// Cmp is a structured comparison over a typed field.
+type Cmp struct {
+	Pos   int
+	Field string // lowercased surface word as written (views, upvotes, ...)
+	Op    string // > >= < <= = !=
+	Value int
+}
+
+// Range is `field BETWEEN lo AND hi`.
+type Range struct {
+	Pos    int
+	Field  string
+	Lo, Hi int
+}
+
+func (p Sem) pos() int   { return p.Pos }
+func (p Cmp) pos() int   { return p.Pos }
+func (p Range) pos() int { return p.Pos }
+
+// aggFns is the aggregate function vocabulary.
+var aggFns = map[string]bool{
+	"COUNT": true, "AVG": true, "SUM": true, "MAX": true,
+	"MIN": true, "MEDIAN": true, "PERCENTILE": true,
+}
+
+// Parse parses one USQL statement. Errors are always *Error values
+// carrying the byte offset of the offending token.
+func Parse(src string) (*Query, error) {
+	p := &parser{sc: &scanner{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseQuery()
+}
+
+type parser struct {
+	sc  *scanner
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.sc.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// kw reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) kw(word string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, word)
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kw(word) {
+		return errf(p.tok.pos, "expected %s, got %s", word, describe(p.tok))
+	}
+	return p.advance()
+}
+
+func (p *parser) expectPunct(ch string) error {
+	if p.tok.kind != tokPunct || p.tok.text != ch {
+		return errf(p.tok.pos, "expected %q, got %s", ch, describe(p.tok))
+	}
+	return p.advance()
+}
+
+// number consumes a number token, rejecting values that overflow int.
+func (p *parser) number(what string) (int, error) {
+	if p.tok.kind != tokNumber {
+		return 0, errf(p.tok.pos, "expected %s, got %s", what, describe(p.tok))
+	}
+	n, err := strconv.Atoi(p.tok.text)
+	if err != nil {
+		return 0, errf(p.tok.pos, "number %q out of range", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// ident consumes an identifier token and returns it verbatim.
+func (p *parser) ident(what string) (token, error) {
+	if p.tok.kind != tokIdent {
+		return token{}, errf(p.tok.pos, "expected %s, got %s", what, describe(p.tok))
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func describe(t token) string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%s %q", t.kind, t.text)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if !p.kw("SELECT") {
+		return nil, errf(p.tok.pos, "expected SELECT, got %s", describe(p.tok))
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	q.Select = sel
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	q.FromPos = p.tok.pos
+	from, err := p.ident("dataset name")
+	if err != nil {
+		return nil, err
+	}
+	q.From = from.text
+	if p.kw("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if !p.kw("AND") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.kw("GROUP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident("group column")
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = strings.ToLower(col.text)
+	}
+	if p.kw("ORDER") {
+		ob := &OrderBy{Pos: p.tok.pos}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		if p.kw("COUNT") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("*"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			ob.CountStar = true
+		} else {
+			f, err := p.ident("sort field")
+			if err != nil {
+				return nil, err
+			}
+			ob.Field = strings.ToLower(f.text)
+		}
+		if p.kw("DESC") {
+			ob.Desc = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.kw("ASC") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		q.OrderBy = ob
+	}
+	if p.kw("LIMIT") {
+		q.LimitPos = p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pos := p.tok.pos
+		n, err := p.number("limit count")
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, errf(pos, "LIMIT must be at least 1")
+		}
+		q.Limit = n
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errf(p.tok.pos, "unexpected %s after end of query", describe(p.tok))
+	}
+	q.End = len(p.sc.src)
+	return q, nil
+}
+
+func (p *parser) parseSelect() (Select, error) {
+	sel := Select{Pos: p.tok.pos}
+	switch {
+	case p.tok.kind == tokPunct && p.tok.text == "*":
+		sel.Star = true
+		return sel, p.advance()
+	case p.tok.kind == tokIdent:
+		name := p.tok
+		if err := p.advance(); err != nil {
+			return sel, err
+		}
+		if !(p.tok.kind == tokPunct && p.tok.text == "(") {
+			sel.Column = strings.ToLower(name.text)
+			return sel, nil
+		}
+		fn := strings.ToUpper(name.text)
+		if !aggFns[fn] {
+			return sel, errf(name.pos, "unknown aggregate function %q", name.text)
+		}
+		if err := p.advance(); err != nil {
+			return sel, err
+		}
+		agg := &Agg{Fn: fn}
+		if fn == "COUNT" {
+			if err := p.expectPunct("*"); err != nil {
+				return sel, err
+			}
+			agg.Field = "*"
+		} else {
+			f, err := p.ident("field name")
+			if err != nil {
+				return sel, err
+			}
+			agg.Field = strings.ToLower(f.text)
+			if fn == "PERCENTILE" {
+				if err := p.expectPunct(","); err != nil {
+					return sel, err
+				}
+				pos := p.tok.pos
+				rank, err := p.number("percentile rank")
+				if err != nil {
+					return sel, err
+				}
+				if rank < 1 || rank > 99 {
+					return sel, errf(pos, "percentile rank must be between 1 and 99")
+				}
+				agg.P = rank
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return sel, err
+		}
+		sel.Agg = agg
+		return sel, nil
+	default:
+		return sel, errf(p.tok.pos, "expected select list, got %s", describe(p.tok))
+	}
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	switch p.tok.kind {
+	case tokString:
+		pred := Sem{Pos: p.tok.pos, Text: p.tok.text}
+		return pred, p.advance()
+	case tokIdent:
+		field := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name := strings.ToLower(field.text)
+		if p.kw("BETWEEN") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			lo, err := p.number("range start")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.number("range end")
+			if err != nil {
+				return nil, err
+			}
+			return Range{Pos: field.pos, Field: name, Lo: lo, Hi: hi}, nil
+		}
+		if p.tok.kind != tokOp {
+			return nil, errf(p.tok.pos, "expected comparison operator or BETWEEN after %q, got %s", field.text, describe(p.tok))
+		}
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.number("comparison value")
+		if err != nil {
+			return nil, err
+		}
+		return Cmp{Pos: field.pos, Field: name, Op: op, Value: v}, nil
+	default:
+		return nil, errf(p.tok.pos, "expected predicate, got %s", describe(p.tok))
+	}
+}

@@ -1,0 +1,87 @@
+package usql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the canonical form of the query: upper-case keywords,
+// single spaces, lowercased identifiers, explicit sort direction. The
+// canonical form is a parse fixpoint (parsing it and printing again
+// yields the same string), and it is the text the optimizer hashes for
+// the exact USQL plan-cache key — so `select  Count(*)` and
+// `SELECT COUNT(*)` share one cache entry while remaining distinct from
+// every other query.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case q.Select.Star:
+		b.WriteString("*")
+	case q.Select.Agg != nil:
+		a := q.Select.Agg
+		if a.Fn == "PERCENTILE" {
+			fmt.Fprintf(&b, "PERCENTILE(%s, %d)", a.Field, a.P)
+		} else {
+			fmt.Fprintf(&b, "%s(%s)", a.Fn, a.Field)
+		}
+	default:
+		b.WriteString(q.Select.Column)
+	}
+	fmt.Fprintf(&b, " FROM %s", strings.ToLower(q.From))
+	for i, pred := range q.Where {
+		if i == 0 {
+			b.WriteString(" WHERE ")
+		} else {
+			b.WriteString(" AND ")
+		}
+		switch p := pred.(type) {
+		case Sem:
+			b.WriteString(quote(p.Text))
+		case Cmp:
+			fmt.Fprintf(&b, "%s %s %d", p.Field, p.Op, p.Value)
+		case Range:
+			fmt.Fprintf(&b, "%s BETWEEN %d AND %d", p.Field, p.Lo, p.Hi)
+		}
+	}
+	if q.GroupBy != "" {
+		fmt.Fprintf(&b, " GROUP BY %s", q.GroupBy)
+	}
+	if q.OrderBy != nil {
+		b.WriteString(" ORDER BY ")
+		if q.OrderBy.CountStar {
+			b.WriteString("COUNT(*)")
+		} else {
+			b.WriteString(q.OrderBy.Field)
+		}
+		if q.OrderBy.Desc {
+			b.WriteString(" DESC")
+		} else {
+			b.WriteString(" ASC")
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+// quote renders a semantic predicate as a string literal. A scanned
+// string body never contains both quote characters (its own terminator
+// ends it), so one of the two forms always round-trips.
+func quote(s string) string {
+	if strings.Contains(s, "'") {
+		return `"` + s + `"`
+	}
+	return "'" + s + "'"
+}
+
+// Canonical parses src and returns its canonical form. It is the
+// cache-key normalization used by the query path.
+func Canonical(src string) (string, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return q.String(), nil
+}

@@ -1,0 +1,163 @@
+// Package usql implements USQL, the typed query-language frontend of the
+// redesigned multi-language query API: a small SQL dialect over one
+// unstructured document collection —
+//
+//	SELECT COUNT(*) FROM sports WHERE 'related to baseball' AND views > 140
+//	SELECT sport FROM sports WHERE upvotes >= 4 GROUP BY sport
+//	    ORDER BY COUNT(*) DESC LIMIT 1
+//	SELECT * FROM sports WHERE 'related to baseball' ORDER BY views DESC LIMIT 3
+//
+// parsed with a hand-rolled scanner/parser (elseql shape) and compiled
+// directly to the core logical plan DAG, bypassing the planner LLM
+// entirely. Quoted string predicates are natural-language (semantic)
+// conditions lowered to SemanticFilter/classify nodes; comparisons over
+// the typed fields (views, score/upvotes/points, year) are structured
+// clauses lowered to the exact-expr operators. Parsing is deterministic,
+// so one USQL text always compiles to one logical plan — the property
+// that gives USQL traffic exact (non-NL-normalized) plan-cache keys.
+//
+// Every parse or compile failure is an *Error carrying the byte offset of
+// the offending token, so programmatic clients can point at the exact
+// position in the submitted text.
+package usql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a parse or compile error anchored to a byte offset in the
+// query text.
+type Error struct {
+	Pos int // byte offset of the offending token
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("usql:%d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// kind classifies a scanned token.
+type kind int
+
+const (
+	tokEOF kind = iota
+	tokIdent
+	tokNumber
+	tokString // quoted NL predicate; text holds the unquoted body
+	tokOp     // > >= < <= = !=
+	tokPunct  // ( ) , *
+)
+
+func (k kind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokOp:
+		return "comparison operator"
+	default:
+		return "punctuation"
+	}
+}
+
+// token is one scanned lexeme with its byte position.
+type token struct {
+	kind kind
+	text string
+	pos  int
+}
+
+// scanner is a hand-rolled lexer over the raw query bytes; it reports
+// byte positions (not rune or line positions) because USQL errors are
+// aimed at programmatic clients that index into the submitted string.
+type scanner struct {
+	src string
+	off int
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdent(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' || c == '-' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// next scans one token. The returned error is always an *Error.
+func (s *scanner) next() (token, error) {
+	for s.off < len(s.src) && isSpace(s.src[s.off]) {
+		s.off++
+	}
+	if s.off >= len(s.src) {
+		return token{kind: tokEOF, pos: len(s.src)}, nil
+	}
+	start := s.off
+	c := s.src[s.off]
+	switch {
+	case isIdentStart(c):
+		for s.off < len(s.src) && isIdent(s.src[s.off]) {
+			s.off++
+		}
+		return token{kind: tokIdent, text: s.src[start:s.off], pos: start}, nil
+	case isDigit(c):
+		for s.off < len(s.src) && isDigit(s.src[s.off]) {
+			s.off++
+		}
+		return token{kind: tokNumber, text: s.src[start:s.off], pos: start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		s.off++
+		for s.off < len(s.src) && s.src[s.off] != quote {
+			s.off++
+		}
+		if s.off >= len(s.src) {
+			return token{}, errf(start, "unterminated string literal")
+		}
+		body := s.src[start+1 : s.off]
+		s.off++ // closing quote
+		if strings.TrimSpace(body) == "" {
+			return token{}, errf(start, "empty string literal")
+		}
+		return token{kind: tokString, text: body, pos: start}, nil
+	case c == '>' || c == '<':
+		s.off++
+		if s.off < len(s.src) && s.src[s.off] == '=' {
+			s.off++
+		}
+		return token{kind: tokOp, text: s.src[start:s.off], pos: start}, nil
+	case c == '=':
+		s.off++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case c == '!':
+		if s.off+1 < len(s.src) && s.src[s.off+1] == '=' {
+			s.off += 2
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, errf(start, "unexpected character %q", string(c))
+	case c == '(' || c == ')' || c == ',' || c == '*':
+		s.off++
+		return token{kind: tokPunct, text: string(c), pos: start}, nil
+	default:
+		return token{}, errf(start, "unexpected character %q", string(c))
+	}
+}
+
+// Detect reports whether a query string looks like USQL rather than
+// natural language: its first token is the SELECT keyword. This is the
+// language auto-detection rule — no natural-language workload query
+// begins with SELECT, and every USQL query must.
+func Detect(q string) bool {
+	s := &scanner{src: q}
+	t, err := s.next()
+	return err == nil && t.kind == tokIdent && strings.EqualFold(t.text, "SELECT")
+}

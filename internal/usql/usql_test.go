@@ -1,0 +1,206 @@
+package usql
+
+import (
+	"strings"
+	"testing"
+
+	"unify/internal/core"
+)
+
+var testEnv = Env{Dataset: "sports", Entity: "questions"}
+
+func mustCompile(t *testing.T, src string) *core.Plan {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	plan, err := Compile(q, testEnv)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return plan
+}
+
+func TestDetect(t *testing.T) {
+	for _, q := range []string{
+		"SELECT COUNT(*) FROM sports",
+		"select * from sports where views > 3 order by views desc limit 2",
+		"  \tSeLeCt title FROM sports ORDER BY score DESC LIMIT 1",
+	} {
+		if !Detect(q) {
+			t.Errorf("Detect(%q) = false, want true", q)
+		}
+	}
+	for _, q := range []string{
+		"How many questions about baseball have more than 140 views?",
+		"Count the questions about baseball.",
+		"",
+		"'select' is a keyword",
+	} {
+		if Detect(q) {
+			t.Errorf("Detect(%q) = true, want false", q)
+		}
+	}
+}
+
+func TestParseErrorsCarryBytePositions(t *testing.T) {
+	cases := []struct {
+		src string
+		pos int
+	}{
+		{"", 0},
+		{"EXPLAIN SELECT", 0},
+		{"SELECT", 6},
+		{"SELECT COUNT(*) FROM sports WHERE views ~ 3", 40},
+		{"SELECT COUNT(*) FROM sports WHERE 'unterminated", 34},
+		{"SELECT COUNT(*) FROM sports trailing", 28},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c.src)
+			continue
+		}
+		perr, ok := err.(*Error)
+		if !ok {
+			t.Errorf("Parse(%q) error type %T, want *Error", c.src, err)
+			continue
+		}
+		if perr.Pos != c.pos {
+			t.Errorf("Parse(%q) error at %d, want %d (%v)", c.src, perr.Pos, c.pos, err)
+		}
+		if !strings.HasPrefix(err.Error(), "usql:") {
+			t.Errorf("Parse(%q) error %q lacks usql: prefix", c.src, err)
+		}
+	}
+}
+
+func TestCompileCountShape(t *testing.T) {
+	plan := mustCompile(t, "SELECT COUNT(*) FROM sports WHERE 'related to baseball' AND views > 140")
+	if len(plan.Nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3", len(plan.Nodes))
+	}
+	f1, f2, cnt := plan.Nodes[0], plan.Nodes[1], plan.Nodes[2]
+	if f1.Op != "Filter" || f1.Args.Get("Condition") != "related to baseball" ||
+		f1.Args.Get("Entity") != "questions" || f1.Inputs[0] != "dataset" {
+		t.Errorf("node 0 wrong: %+v", f1)
+	}
+	if f2.Op != "Filter" || f2.Args.Get("Condition") != "with more than 140 views" ||
+		f2.Args.Get("Entity") != "{v1}" || f2.Inputs[0] != "{v1}" {
+		t.Errorf("node 1 wrong: %+v", f2)
+	}
+	if cnt.Op != "Count" || cnt.LR != "number of [Entity]" || cnt.Args.Get("Entity") != "{v2}" {
+		t.Errorf("node 2 wrong: %+v", cnt)
+	}
+}
+
+func TestCompileGroupByArgMaxShape(t *testing.T) {
+	plan := mustCompile(t, "SELECT sport FROM sports WHERE upvotes >= 4 GROUP BY sport ORDER BY COUNT(*) DESC LIMIT 1")
+	ops := make([]string, len(plan.Nodes))
+	for i, n := range plan.Nodes {
+		ops[i] = n.Op
+	}
+	if got, want := strings.Join(ops, ","), "GroupBy,Filter,Count,Max"; got != want {
+		t.Fatalf("ops %s, want %s", got, want)
+	}
+	gb := plan.Nodes[0]
+	if gb.Args.Get("Attribute") != "sport" || gb.Args.Get("Entity") != "questions" ||
+		gb.Args.Get("Entity2") != "questions" {
+		t.Errorf("GroupBy args wrong: %v", gb.Args)
+	}
+	if cond := plan.Nodes[1].Args.Get("Condition"); cond != "with at least 4 upvotes" {
+		t.Errorf("filter condition %q", cond)
+	}
+	argmax := plan.Nodes[3]
+	if argmax.LR != "the entry of [Entity] with the highest value" ||
+		argmax.Args.Get("Number") != "1" || argmax.Args.Get("Condition") != "descending" {
+		t.Errorf("argmax wrong: %+v", argmax)
+	}
+}
+
+func TestCompileConditionSurfaces(t *testing.T) {
+	cases := []struct {
+		pred string
+		cond string
+	}{
+		{"views > 140", "with more than 140 views"},
+		{"views >= 140", "with at least 140 views"},
+		{"upvotes < 5", "with fewer than 5 upvotes"},
+		{"points <= 8", "with at most 8 points"},
+		{"score = 7", "with exactly 7 score"},
+		{"year > 2013", "posted after 2013"},
+		{"year >= 2013", "posted since 2013"},
+		{"year < 2013", "posted before 2013"},
+		{"year = 2013", "posted in 2013"},
+		{"year BETWEEN 2013 AND 2015", "posted between 2013 and 2015"},
+	}
+	for _, c := range cases {
+		plan := mustCompile(t, "SELECT COUNT(*) FROM sports WHERE "+c.pred)
+		if got := plan.Nodes[0].Args.Get("Condition"); got != c.cond {
+			t.Errorf("%s: condition %q, want %q", c.pred, got, c.cond)
+		}
+	}
+}
+
+func TestCanonicalIsFixpoint(t *testing.T) {
+	srcs := []string{
+		"select  count(*)  from  SPORTS  where  'related to baseball'  and  views>140",
+		"SELECT percentile(Views, 90) FROM sports WHERE \"has a 'quoted' aside\"",
+		"select SPORT from sports group by Sport order by count ( * ) desc limit 2",
+		"select * from sports where year between 2013 and 2015 order by UPVOTES desc limit 10",
+	}
+	for _, src := range srcs {
+		c1, err := Canonical(src)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", src, err)
+		}
+		c2, err := Canonical(c1)
+		if err != nil {
+			t.Fatalf("Canonical(%q) [reparse]: %v", c1, err)
+		}
+		if c1 != c2 {
+			t.Errorf("not a fixpoint:\n src %q\n c1 %q\n c2 %q", src, c1, c2)
+		}
+	}
+}
+
+func TestCanonicalNormalizesSpelling(t *testing.T) {
+	a, err := Canonical("select count(*) from Sports where views>140 and 'related to baseball'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonical("SELECT COUNT(*) FROM sports WHERE views > 140 AND \"related to baseball\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("canonical forms differ: %q vs %q", a, b)
+	}
+	if want := "SELECT COUNT(*) FROM sports WHERE views > 140 AND 'related to baseball'"; a != want {
+		t.Errorf("canonical %q, want %q", a, want)
+	}
+}
+
+func TestCompileRejectsWrongDataset(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM wiki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Compile(q, testEnv)
+	if err == nil {
+		t.Fatal("Compile accepted wrong dataset")
+	}
+	if perr, ok := err.(*Error); !ok || perr.Pos != 21 {
+		t.Fatalf("error %v, want *Error at byte 21", err)
+	}
+}
+
+func TestOrdinal(t *testing.T) {
+	cases := map[int]string{1: "1st", 2: "2nd", 3: "3rd", 4: "4th", 11: "11th", 12: "12th", 13: "13th", 21: "21st", 75: "75th", 90: "90th", 95: "95th"}
+	for n, want := range cases {
+		if got := ordinal(n); got != want {
+			t.Errorf("ordinal(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -49,6 +49,11 @@ type Query struct {
 	// Conditions lists the semantic filter conditions the query contains
 	// (the SCE evaluation of Table III runs on these).
 	Conditions []string
+	// USQL is the typed-dialect twin of Text for templates the USQL
+	// grammar can express ("" otherwise). Both forms must produce
+	// byte-identical answers — the usql_vs_nl differential axis runs on
+	// these pairs.
+	USQL string
 }
 
 // Generate builds perTemplate instances of each of the 20 templates for
@@ -282,6 +287,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("Count the %s about %s with over %d views.", ent, cat, nViews),
 			fmt.Sprintf("What is the number of %s regarding %s that have more than %d views?", ent, cat, nViews),
 		)
+		q.USQL = fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE 'related to %s' AND views > %d", g.ds.Name, cat, nViews)
 		q.Conditions = []string{"related to " + cat}
 		q.Truth = num(float64(g.count(all(g.catPred(cat), func(h corpus.Hidden) bool { return h.Views > nViews }))))
 	case 2:
@@ -289,6 +295,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("What is the average score of %s related to %s?", ent, a1),
 			fmt.Sprintf("Compute the mean score of %s about %s.", ent, a1),
 		)
+		q.USQL = fmt.Sprintf("SELECT AVG(score) FROM %s WHERE 'related to %s'", g.ds.Name, a1)
 		q.Conditions = []string{"related to " + a1}
 		q.Truth = num(aggVals("avg", fieldVals(g.docsWhere(g.aspPred(a1)), "score"), 0))
 	case 3:
@@ -316,6 +323,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("List the top %d most viewed %s about %s.", k, ent, cat),
 			fmt.Sprintf("What are the %d %s about %s with the most views?", k, ent, cat),
 		)
+		q.USQL = fmt.Sprintf("SELECT * FROM %s WHERE 'related to %s' ORDER BY views DESC LIMIT %d", g.ds.Name, cat, k)
 		q.Conditions = []string{"related to " + cat}
 		docs := g.docsWhere(g.catPred(cat))
 		sort.Slice(docs, func(x, y int) bool {
@@ -347,6 +355,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("What is the maximum score among %s about %s?", ent, cat),
 			fmt.Sprintf("What is the highest score of any %s about %s?", strings.TrimSuffix(ent, "s"), cat),
 		)
+		q.USQL = fmt.Sprintf("SELECT MAX(score) FROM %s WHERE 'related to %s'", g.ds.Name, cat)
 		q.Conditions = []string{"related to " + cat}
 		q.Truth = num(aggVals("max", fieldVals(g.docsWhere(g.catPred(cat)), "score"), 0))
 	case 7:
@@ -354,6 +363,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("How many %s posted after %d discuss %s?", ent, year, a1),
 			fmt.Sprintf("Count the %s posted after %d that are related to %s.", ent, year, a1),
 		)
+		q.USQL = fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE year > %d AND 'related to %s'", g.ds.Name, year, a1)
 		q.Conditions = []string{"related to " + a1}
 		q.Truth = num(float64(g.count(all(g.aspPred(a1), func(h corpus.Hidden) bool { return h.Year > year }))))
 	case 8:
@@ -361,6 +371,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("What is the median number of views for %s about %s?", ent, cat),
 			fmt.Sprintf("What is the median views of %s about %s?", ent, cat),
 		)
+		q.USQL = fmt.Sprintf("SELECT MEDIAN(views) FROM %s WHERE 'related to %s'", g.ds.Name, cat)
 		q.Conditions = []string{"related to " + cat}
 		q.Truth = num(aggVals("median", fieldVals(g.docsWhere(g.catPred(cat)), "views"), 0))
 	case 9:
@@ -368,6 +379,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("Which %s has the most %s with at least %d upvotes?", cw, ent, nScore),
 			fmt.Sprintf("Which %s has the largest number of %s with at least %d upvotes?", cw, ent, nScore),
 		)
+		q.USQL = fmt.Sprintf("SELECT %s FROM %s WHERE upvotes >= %d GROUP BY %s ORDER BY COUNT(*) DESC LIMIT 1", cw, g.ds.Name, nScore, cw)
 		vec := map[string]float64{}
 		for _, c := range cats {
 			vec[c] = float64(g.count(all(g.catPred(c), func(h corpus.Hidden) bool { return h.Score >= nScore })))
@@ -386,6 +398,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("How many %s about %s are related to %s?", ent, cat, a1),
 			fmt.Sprintf("Count the %s about %s that are related to %s.", ent, cat, a1),
 		)
+		q.USQL = fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE 'related to %s' AND 'related to %s'", g.ds.Name, cat, a1)
 		q.Conditions = []string{"related to " + cat, "related to " + a1}
 		q.Truth = num(float64(g.count(all(g.catPred(cat), g.aspPred(a1)))))
 	case 12:
@@ -418,14 +431,17 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("What is the total number of views across %s about %s?", ent, cat),
 			fmt.Sprintf("What is the total number of views of %s about %s?", ent, cat),
 		)
+		q.USQL = fmt.Sprintf("SELECT SUM(views) FROM %s WHERE 'related to %s'", g.ds.Name, cat)
 		q.Conditions = []string{"related to " + cat}
 		q.Truth = num(aggVals("sum", fieldVals(g.docsWhere(g.catPred(cat)), "views"), 0))
 	case 15:
 		q.Text = fmt.Sprintf("What is the %dth percentile of views for %s related to %s?", p, ent, a1)
+		q.USQL = fmt.Sprintf("SELECT PERCENTILE(views, %d) FROM %s WHERE 'related to %s'", p, g.ds.Name, a1)
 		q.Conditions = []string{"related to " + a1}
 		q.Truth = num(aggVals("percentile", fieldVals(g.docsWhere(g.aspPred(a1)), "views"), p))
 	case 16:
 		q.Text = fmt.Sprintf("Rank the %ss by their number of %s-related %s and report the top 3.", cw, a1, ent)
+		q.USQL = fmt.Sprintf("SELECT %s FROM %s WHERE 'related to %s' GROUP BY %s ORDER BY COUNT(*) DESC LIMIT 3", cw, g.ds.Name, a1, cw)
 		q.Conditions = []string{"related to " + a1}
 		vec := map[string]float64{}
 		for _, c := range cats {
@@ -452,6 +468,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 		q.Truth = Truth{Kind: Labels, Accept: top}
 	case 17:
 		q.Text = fmt.Sprintf("Which %s about %s has the highest score?", strings.TrimSuffix(ent, "s"), cat)
+		q.USQL = fmt.Sprintf("SELECT title FROM %s WHERE 'related to %s' ORDER BY score DESC LIMIT 1", g.ds.Name, cat)
 		q.Conditions = []string{"related to " + cat}
 		docs := g.docsWhere(g.catPred(cat))
 		if len(docs) == 0 {
@@ -470,6 +487,7 @@ func (g *gen) instantiate(tpl, i int) (Query, bool) {
 			fmt.Sprintf("How many %s about %s were posted before %d?", ent, cat, year),
 			fmt.Sprintf("Count the %s about %s posted before %d.", ent, cat, year),
 		)
+		q.USQL = fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE 'related to %s' AND year < %d", g.ds.Name, cat, year)
 		q.Conditions = []string{"related to " + cat}
 		q.Truth = num(float64(g.count(all(g.catPred(cat), func(h corpus.Hidden) bool { return h.Year < year }))))
 	case 19:

@@ -1,6 +1,7 @@
 package unify
 
 import (
+	"fmt"
 	"time"
 
 	"unify/internal/corpus"
@@ -232,6 +233,50 @@ func New(opts ...Option) (*System, error) {
 	return open(ds, o.cfg, planner, worker)
 }
 
+// Language selects the query frontend: the natural-language route
+// through the LLM planner, or the USQL typed dialect compiled directly
+// to the logical DAG without any planner calls.
+type Language int
+
+// Query languages.
+const (
+	// LangAuto detects the language per query: statements whose first
+	// token is SELECT parse as USQL, everything else plans as natural
+	// language.
+	LangAuto Language = iota
+	// LangNL forces the natural-language planner route.
+	LangNL
+	// LangUSQL forces the USQL parser route; queries that do not parse
+	// fail instead of falling back to the planner.
+	LangUSQL
+)
+
+// String renders the wire form used by the server's lang field.
+func (l Language) String() string {
+	switch l {
+	case LangNL:
+		return "nl"
+	case LangUSQL:
+		return "usql"
+	default:
+		return "auto"
+	}
+}
+
+// ParseLanguage parses the wire form of a Language ("" means auto).
+func ParseLanguage(s string) (Language, error) {
+	switch s {
+	case "", "auto":
+		return LangAuto, nil
+	case "nl":
+		return LangNL, nil
+	case "usql":
+		return LangUSQL, nil
+	default:
+		return LangAuto, fmt.Errorf("unknown query language %q (use auto, nl, or usql)", s)
+	}
+}
+
 // QueryOptions carries per-query execution options; construct it through
 // QueryOption values passed to System.Query or System.Plan.
 type QueryOptions struct {
@@ -247,6 +292,8 @@ type QueryOptions struct {
 	// Mode, when non-nil, overrides the optimizer strategy for this
 	// query only.
 	Mode *optimizer.Mode
+	// Language selects the query frontend (default LangAuto).
+	Language Language
 }
 
 // QueryOption configures one query.
@@ -270,6 +317,11 @@ func WithAnalyze() QueryOption {
 // WithModeOverride overrides the optimizer strategy for this query only.
 func WithModeOverride(m optimizer.Mode) QueryOption {
 	return func(o *QueryOptions) { o.Mode = &m }
+}
+
+// WithLanguage pins the query frontend instead of auto-detecting it.
+func WithLanguage(l Language) QueryOption {
+	return func(o *QueryOptions) { o.Language = l }
 }
 
 func buildQueryOptions(opts []QueryOption) QueryOptions {

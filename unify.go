@@ -39,6 +39,7 @@ import (
 	"unify/internal/optimizer"
 	"unify/internal/sce"
 	"unify/internal/sched"
+	"unify/internal/usql"
 	"unify/internal/values"
 	"unify/internal/vtime"
 )
@@ -288,6 +289,10 @@ type Answer struct {
 	Text  string
 	Value values.Value
 	Plan  *core.Plan
+	// Lang is the resolved query language the frontend dispatched on:
+	// LangUSQL for parsed statements (zero planner-LLM work), LangNL
+	// for planner-generated plans. Never LangAuto on a completed query.
+	Lang Language
 	// Nodes reports per-operator execution statistics in plan order.
 	Nodes []NodeStat
 	// Unresolved lists sub-queries the planner could not reduce (the
@@ -359,30 +364,6 @@ type Answer struct {
 	// Call logs by phase, kept for metrics accounting.
 	planCalls []llm.Call
 	execCalls []llm.Call
-}
-
-// Open builds a system over a named built-in dataset.
-//
-// Deprecated: use New with functional options, e.g.
-// unify.New(unify.WithConfig(cfg)) or unify.New(unify.WithDataset(name)).
-func Open(cfg Config) (*System, error) {
-	return New(WithConfig(cfg))
-}
-
-// OpenDataset builds a system over an already-generated dataset.
-//
-// Deprecated: use New(unify.WithConfig(cfg), unify.WithCorpus(ds)).
-func OpenDataset(ds *corpus.Dataset, cfg Config) (*System, error) {
-	return New(WithConfig(cfg), WithCorpus(ds))
-}
-
-// OpenWithClients builds a system with caller-provided model clients (the
-// extension point for real LLM backends).
-//
-// Deprecated: use New(unify.WithConfig(cfg), unify.WithCorpus(ds),
-// unify.WithClients(planner, worker)).
-func OpenWithClients(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, error) {
-	return New(WithConfig(cfg), WithCorpus(ds), WithClients(planner, worker))
 }
 
 // open assembles the system; every constructor funnels through here with
@@ -545,6 +526,17 @@ func (s *System) Plan(ctx context.Context, q string, opts ...QueryOption) (*core
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
 	}
+	if resolveLanguage(o.Language, q) == LangUSQL {
+		compiled, canonical, err := s.compileUSQL(q)
+		if err != nil {
+			return nil, 0, err
+		}
+		plan, ostats, err := s.optimizerFor(o).OptimizeParsed(ctx, canonical, compiled)
+		if err != nil {
+			return nil, 0, fmt.Errorf("unify: optimizing %q: %w", q, err)
+		}
+		return plan, ostats.Duration / time.Duration(s.Config.Slots), nil
+	}
 	plans, pstats, err := s.Planner.GeneratePlans(ctx, q)
 	if err != nil {
 		return nil, 0, fmt.Errorf("unify: planning %q: %w", q, err)
@@ -554,6 +546,41 @@ func (s *System) Plan(ctx context.Context, q string, opts ...QueryOption) (*core
 		return nil, 0, fmt.Errorf("unify: optimizing %q: %w", q, err)
 	}
 	return plan, pstats.Duration + ostats.Duration/time.Duration(s.Config.Slots), nil
+}
+
+// DetectLanguage reports which dialect auto-detection treats a query
+// string as: LangUSQL when its first token is SELECT (case-insensitive),
+// LangNL otherwise. It never returns LangAuto.
+func DetectLanguage(q string) Language {
+	if usql.Detect(q) {
+		return LangUSQL
+	}
+	return LangNL
+}
+
+// resolveLanguage applies the auto-detection rule: an explicit choice
+// wins, otherwise DetectLanguage decides.
+func resolveLanguage(l Language, q string) Language {
+	if l != LangAuto {
+		return l
+	}
+	return DetectLanguage(q)
+}
+
+// compileUSQL parses and compiles a USQL statement against this
+// system's dataset, returning the logical plan and the canonical query
+// text (the exact plan-cache key input). Errors carry byte positions
+// from internal/usql.
+func (s *System) compileUSQL(q string) (*core.Plan, string, error) {
+	uq, err := usql.Parse(q)
+	if err != nil {
+		return nil, "", fmt.Errorf("unify: parsing %q: %w", q, err)
+	}
+	plan, err := usql.Compile(uq, usql.Env{Dataset: s.Dataset.Name, Entity: s.Dataset.EntityWord})
+	if err != nil {
+		return nil, "", fmt.Errorf("unify: compiling %q: %w", q, err)
+	}
+	return plan, uq.String(), nil
 }
 
 // optimizerFor resolves a per-query optimizer-mode override to a shallow
@@ -694,13 +721,36 @@ func (s *System) checkProfileBound(q string, qspan *obs.Span) error {
 }
 
 func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOptions) (*Answer, error) {
-	pspan := qspan.StartChild("planning", obs.KindPhase)
-	plans, pstats, err := s.Planner.GeneratePlans(obs.WithSpan(ctx, pspan), q)
-	if err != nil {
-		return nil, fmt.Errorf("unify: planning %q: %w", q, err)
+	lang := resolveLanguage(o.Language, q)
+	var (
+		plans     []*core.Plan
+		pstats    *core.PlanStats
+		canonical string // canonical USQL text; "" on the planner route
+	)
+	if lang == LangUSQL {
+		// The parsed route: deterministic scan/parse/compile straight to
+		// the logical DAG — no planner LLM calls, zero planning vtime.
+		pspan := qspan.StartChild("parse", obs.KindPhase)
+		compiled, canon, err := s.compileUSQL(q)
+		if err != nil {
+			return nil, err
+		}
+		canonical = canon
+		pspan.SetAttr("lang", "usql")
+		pspan.SetAttr("canonical", canonical)
+		pspan.End()
+		plans = []*core.Plan{compiled}
+		pstats = &core.PlanStats{}
+	} else {
+		pspan := qspan.StartChild("planning", obs.KindPhase)
+		var err error
+		plans, pstats, err = s.Planner.GeneratePlans(obs.WithSpan(ctx, pspan), q)
+		if err != nil {
+			return nil, fmt.Errorf("unify: planning %q: %w", q, err)
+		}
+		pspan.SetVDur(pstats.Duration)
+		pspan.End()
 	}
-	pspan.SetVDur(pstats.Duration)
-	pspan.End()
 	if s.Config.StrictChecks {
 		for i, lp := range plans {
 			if err := check.Fail(fmt.Sprintf("unify: logical plan %d for %q", i, q),
@@ -720,7 +770,18 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 	}
 
 	ospan := qspan.StartChild("optimize", obs.KindPhase)
-	plan, ostats, err := opt.Optimize(obs.WithSpan(ctx, ospan), plans)
+	var (
+		plan   *core.Plan
+		ostats *optimizer.Stats
+		err    error
+	)
+	if canonical != "" {
+		// Exact plan-cache key over the canonical text: repeated
+		// parameterized USQL traffic always hits.
+		plan, ostats, err = opt.OptimizeParsed(obs.WithSpan(ctx, ospan), canonical, plans[0])
+	} else {
+		plan, ostats, err = opt.Optimize(obs.WithSpan(ctx, ospan), plans)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("unify: optimizing %q: %w", q, err)
 	}
@@ -763,6 +824,7 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 	ans := &Answer{
 		Value:         res.Answer,
 		Plan:          plan,
+		Lang:          lang,
 		PlanningDur:   pstats.Duration,
 		EstimationDur: estDur,
 		ExecDur:       res.Makespan,
