@@ -12,6 +12,7 @@
 //	unify-bench -exp scale -size 300 -per 2 -datasets sports -scaleout BENCH_scale.json
 //	unify-bench -exp scale -machines 2 -queries 4 -size 300 -datasets sports   # CI smoke
 //	unify-bench -exp usql -size 400 -per 2 -datasets sports -usqlout BENCH_usql.json
+//	unify-bench -exp views -size 400 -per 2 -datasets sports -viewsout BENCH_views.json
 //
 // Experiments: fig4 (accuracy+latency, Fig. 4a-h), table3 (SCE q-errors,
 // Table III), fig5a (logical optimization), fig5b (physical optimization),
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiments to run: fig4,table3,fig5a,fig5b,cache,faults,serve,batch,scale,usql,all")
+		exp      = flag.String("exp", "all", "experiments to run: fig4,table3,fig5a,fig5b,cache,faults,serve,batch,scale,usql,views,all")
 		size     = flag.Int("size", 0, "corpus size override (0 = paper sizes)")
 		per      = flag.Int("per", 5, "query instances per template (paper: 5)")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset")
@@ -48,6 +49,7 @@ func main() {
 		batchOut = flag.String("batchout", "", "write the batch experiment's report to this JSON file")
 		scaleOut = flag.String("scaleout", "", "write the scale experiment's report to this JSON file")
 		usqlOut  = flag.String("usqlout", "", "write the usql experiment's report to this JSON file")
+		viewsOut = flag.String("viewsout", "", "write the views experiment's report to this JSON file")
 		machines = flag.Int("machines", 0, "scale experiment: max cluster width (0 = the default 1,2,4,8 sweep)")
 		nQueries = flag.Int("queries", 0, "scale experiment: cap the per-width query batch (0 = full workload)")
 	)
@@ -74,7 +76,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true, "faults": true, "serve": true, "scale": true, "batch": true, "usql": true}
+		want = map[string]bool{"fig4": true, "table3": true, "fig5a": true, "fig5b": true, "cache": true, "faults": true, "serve": true, "scale": true, "batch": true, "usql": true, "views": true}
 	}
 
 	ctx := context.Background()
@@ -271,6 +273,28 @@ func main() {
 					return err
 				}
 				fmt.Printf("usql report written to %s\n", *usqlOut)
+			}
+			return nil
+		})
+	}
+
+	if want["views"] {
+		run("Materialized views across ingest (views)", func() error {
+			res, err := bench.RunViewsBench(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintViewsBench(os.Stdout, res)
+			artifacts["views"] = res
+			if *viewsOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*viewsOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("views report written to %s\n", *viewsOut)
 			}
 			return nil
 		})

@@ -43,6 +43,8 @@ func main() {
 		batchCap = flag.Duration("batch-cap", 0,
 			"fairness cap on a batched invocation's duration (0 = default, negative disables)")
 		maxBatch = flag.Int("max-batch", 0, "max calls per batched invocation (0 = default)")
+		views    = flag.Bool("views", false,
+			"materialize semantic views (serve repeated per-doc work from content-hash-keyed columns)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,9 @@ func main() {
 			unify.WithBatchFairnessCap(*batchCap),
 			unify.WithMaxBatch(*maxBatch),
 		)
+	}
+	if *views {
+		opts = append(opts, unify.WithViews())
 	}
 	fmt.Printf("opening %s corpus...\n", *dataset)
 	sys, err := unify.New(opts...)

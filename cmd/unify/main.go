@@ -46,6 +46,7 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "log queries whose virtual time meets this threshold (0 = off)")
 		machines    = flag.Int("machines", 1, "simulated cluster width (1 = the paper's single machine)")
 		lang        = flag.String("lang", "auto", "query language: auto, nl, or usql")
+		views       = flag.Bool("views", false, "materialize semantic views (serve repeated per-doc work from content-hash-keyed columns)")
 	)
 	flag.Parse()
 
@@ -65,13 +66,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := unify.New(
+	sysOpts := []unify.Option{
 		unify.WithDataset(*dataset),
 		unify.WithSize(*size),
 		unify.WithTrainSCE(),
 		unify.WithSlowQueryVTime(*slowQuery),
 		unify.WithMachines(*machines),
-	)
+	}
+	if *views {
+		sysOpts = append(sysOpts, unify.WithViews())
+	}
+	sys, err := unify.New(sysOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
@@ -117,6 +122,9 @@ func main() {
 		ans.ExecDur.Seconds(), ans.LLMCalls)
 	if ans.Fallback {
 		fmt.Println("note: the planner fell back to the Generate (RAG) operator")
+	}
+	if ans.ViewHits > 0 {
+		fmt.Printf("views: %d per-document judgments served from materialized columns\n", ans.ViewHits)
 	}
 	if *analyze && ans.Trace != nil {
 		fmt.Println("EXPLAIN ANALYZE:")
@@ -177,6 +185,28 @@ func runTop(sys *unify.System, n int) {
 		for _, pm := range ps.PerMachine {
 			fmt.Printf("  machine %d: util %5.1f%%  cum %5.1f%%  active %d\n",
 				pm.Machine, 100*pm.Utilization, 100*pm.CumUtilization, pm.Active)
+		}
+	}
+	if v := sys.Views; v != nil {
+		st := v.Stats()
+		fmt.Printf("\nmaterialized views: %d columns, %d rows, hit rate %.1f%% (%d hits / %d misses, %d backfills, %d invalidated)\n",
+			st.Columns, st.Rows, 100*st.HitRate(), st.Hits, st.Misses, st.Backfills, st.Invalidated)
+		cols := v.Columns()
+		sort.Slice(cols, func(i, j int) bool {
+			if cols[i].Rows != cols[j].Rows {
+				return cols[i].Rows > cols[j].Rows
+			}
+			return cols[i].Op+cols[i].Target < cols[j].Op+cols[j].Target
+		})
+		if len(cols) > 5 {
+			cols = cols[:5]
+		}
+		for _, c := range cols {
+			target := c.Target
+			if len(target) > 48 {
+				target = target[:45] + "..."
+			}
+			fmt.Printf("  %-9s %5d rows  %s\n", c.Op, c.Rows, target)
 		}
 	}
 	if sl := sys.SlowLog; sl != nil {

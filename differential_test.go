@@ -165,9 +165,39 @@ func TestDifferentialBatchingOnOff(t *testing.T) {
 	ms := check.Differential(context.Background(), "batching", diffQueries(ds, 6),
 		exactRunner(off), exactRunner(on))
 	assertNoMismatch(t, "batching", ms)
-	if got := len(check.Axes); got != 8 {
-		t.Fatalf("axis registry has %d axes, expected 8 (batching or usql_vs_nl missing?)", got)
+	if got := len(check.Axes); got != 9 {
+		t.Fatalf("axis registry has %d axes, expected 9 (batching, usql_vs_nl, or ingest missing?)", got)
 	}
+}
+
+// Axis "ingest": a corpus grown incrementally (a base prefix at open plus
+// an Ingest of the remainder) must be indistinguishable from one built
+// statically over the full collection — byte-identical answers AND
+// virtual latency. This leans on the docstore guarantee that AddDocs
+// appends through the exact indexing sequence New uses (same vectors,
+// same HNSW insertion order and RNG stream, same sentence ids).
+func TestDifferentialIngest(t *testing.T) {
+	full := diffDataset(t)
+	static := diffSystem(t, full, nil)
+
+	// The corpus generator is prefix-stable: the first 135 documents of a
+	// 150-document corpus are the 135-document corpus.
+	base, err := corpus.GenerateN("sports", 135)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr := diffSystem(t, base, nil)
+	res, err := incr.Ingest(full.Documents()[135:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Added != 15 || res.Generation != 1 || res.Docs != 150 {
+		t.Fatalf("unexpected ingest result %+v", res)
+	}
+
+	ms := check.Differential(context.Background(), "ingest", diffQueries(full, 6),
+		exactRunner(static), exactRunner(incr))
+	assertNoMismatch(t, "ingest", ms)
 }
 
 // Axis "usql_vs_nl": the USQL parser route and the LLM planner route

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunViewsBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("views bench smoke is slow")
+	}
+	cfg := Config{Datasets: []string{"sports"}, Size: 200, PerTemplate: 1, Seed: 7, MaxQueries: 8}
+	res, err := RunViewsBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 4 {
+		t.Fatalf("phases = %+v, want populate/warm/post_ingest/post_ingest_warm", res.Phases)
+	}
+	if res.IngestedDocs != 20 || res.TotalDocs != 220 || res.Generation != 1 {
+		t.Errorf("mutation bookkeeping off: %+v", res)
+	}
+	// RunViewsBench itself enforces these; re-assert so the test fails
+	// loudly if the self-checks are ever weakened.
+	if res.PostIngestHitRate < 0.9 {
+		t.Errorf("post-ingest hit rate %.3f, want >= 0.9", res.PostIngestHitRate)
+	}
+	if !res.AnswersIdentical {
+		t.Error("answers not identical to the cold mutated-corpus run")
+	}
+	populate, warm := res.Phases[0], res.Phases[1]
+	if populate.Backfills == 0 {
+		t.Error("populate pass backfilled nothing")
+	}
+	if warm.HitRate != 1.0 || warm.Backfills != 0 {
+		t.Errorf("warm pass should be all hits with no backfills: %+v", warm)
+	}
+	var sb strings.Builder
+	PrintViewsBench(&sb, res)
+	if !strings.Contains(sb.String(), "Materialized views across ingest") {
+		t.Errorf("PrintViewsBench output missing header:\n%s", sb.String())
+	}
+}
+
+// TestViewsArtifactParses keeps the checked-in BENCH_views.json honest:
+// it must parse, cover all four workload passes, and show the two
+// acceptance properties — post-ingest hit rate >= 0.9 and answers
+// byte-identical to a cold run on the mutated corpus.
+func TestViewsArtifactParses(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_views.json")
+	if err != nil {
+		t.Skipf("BENCH_views.json not present: %v", err)
+	}
+	var res ViewsResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_views.json does not parse: %v", err)
+	}
+	if res.Dataset == "" || res.BaseDocs <= 0 || res.Queries <= 0 {
+		t.Fatalf("artifact missing header fields: %+v", res)
+	}
+	if res.IngestedDocs == 0 || res.TotalDocs != res.BaseDocs+res.IngestedDocs {
+		t.Errorf("ingest bookkeeping off: base %d + added %d != total %d",
+			res.BaseDocs, res.IngestedDocs, res.TotalDocs)
+	}
+	if res.Generation == 0 {
+		t.Error("artifact records no corpus mutation")
+	}
+	if len(res.Phases) != 4 {
+		t.Fatalf("artifact has %d phases, want 4", len(res.Phases))
+	}
+	for i, want := range []string{"populate", "warm", "post_ingest", "post_ingest_warm"} {
+		if res.Phases[i].Phase != want {
+			t.Errorf("phase %d = %q, want %q", i, res.Phases[i].Phase, want)
+		}
+	}
+	if res.PostIngestHitRate < 0.9 {
+		t.Errorf("post-ingest hit rate %.3f, want >= 0.9", res.PostIngestHitRate)
+	}
+	if !res.AnswersIdentical {
+		t.Error("artifact records diverging answers")
+	}
+}

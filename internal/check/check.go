@@ -58,6 +58,8 @@ const (
 
 	InvProfileAttribution = "profile.vtime_attribution" // per-class vtime shares sum exactly to the Answer vtime
 	InvProfileGlobalBound = "profile.global_bound"      // cumulative profile counters never exceed global counters
+
+	InvViewColumnFresh = "views.column_fresh" // every view row served during a query matched its document's live content hash
 )
 
 // Violation is one failed invariant.
@@ -535,6 +537,19 @@ func ShardComplete(op string, shards int, perShard []int, merged int, exact bool
 		}
 	} else if merged > sum {
 		violatef(&vs, InvClusterShardComplete, "%s: merged %d docs exceed the %d the shards produced", op, merged, sum)
+	}
+	return vs
+}
+
+// ViewsFresh validates the views.column_fresh invariant from an audit of
+// the rows a query actually served: the view store compares each served
+// row's stored content hash against the document's live hash, and any
+// divergence (a stale row reaching an answer) is a violation. stale is
+// the audit's violation list, one "column/doc" description per stale row.
+func ViewsFresh(stale []string) []Violation {
+	var vs []Violation
+	for _, s := range stale {
+		violatef(&vs, InvViewColumnFresh, "stale view row served: %s", s)
 	}
 	return vs
 }

@@ -62,6 +62,11 @@ var Axes = []Axis{
 		Description: "USQL-parsed vs LLM-planned routes on dual-form workload queries: byte-identical answers, and the parsed side makes zero planner-LLM calls",
 		Exact:       true,
 	},
+	{
+		Name:        "ingest",
+		Description: "corpus built incrementally (base + AddDocs) vs statically over the full collection: byte-identical answers on the same workload",
+		Exact:       true,
+	},
 }
 
 // Runner executes one query on one side of an axis and returns a

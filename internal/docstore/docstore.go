@@ -11,6 +11,7 @@ import (
 	"unify/internal/cache"
 	"unify/internal/embedding"
 	"unify/internal/vector"
+	"unify/internal/views"
 )
 
 // Document is one unstructured item. Text is everything the analytics
@@ -29,6 +30,14 @@ type Store struct {
 	embedder *embedding.Embedder
 	docVecs  [][]float32
 	byID     map[int]int
+
+	// Incremental-ingestion state: the construction options (so AddDocs
+	// and UpdateDoc reindex exactly as New would), per-document content
+	// hashes, and the corpus generation — bumped on every mutation and
+	// threaded into every cache namespace key so nothing stale survives.
+	opts       options
+	hashes     map[int]uint64
+	generation atomic.Uint64
 
 	flat *vector.Flat
 	hnsw *vector.HNSW
@@ -81,41 +90,119 @@ func New(name string, docs []Document, opts ...Option) (*Store, error) {
 	}
 	s := &Store{
 		Name:     name,
-		Docs:     docs,
 		embedder: embedding.New(o.dim),
 		byID:     make(map[int]int, len(docs)),
 		flat:     vector.NewFlat(),
 		hnsw:     vector.NewHNSW(o.hnswCfg),
-	}
-	s.docVecs = make([][]float32, len(docs))
-	for i, d := range docs {
-		if _, dup := s.byID[d.ID]; dup {
-			return nil, fmt.Errorf("docstore: duplicate document id %d", d.ID)
-		}
-		s.byID[d.ID] = i
-		v := s.embedder.Embed(d.Text)
-		s.docVecs[i] = v
-		if err := s.flat.Add(d.ID, v); err != nil {
-			return nil, err
-		}
-		if err := s.hnsw.Add(d.ID, v); err != nil {
-			return nil, err
-		}
+		opts:     o,
+		hashes:   make(map[int]uint64, len(docs)),
 	}
 	if o.withSent {
 		s.sentIndex = vector.NewFlat()
-		sid := 0
+	}
+	if err := s.indexDocs(docs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// indexDocs appends docs to every index: document embeddings first (in
+// order), then the sentence structures for the same span. AddDocs uses
+// the identical sequence, so building a corpus incrementally produces
+// byte-for-byte the same vectors, HNSW graph (same insertion order,
+// same RNG stream), and sentence ids as a one-shot New over the full
+// collection in the same order.
+func (s *Store) indexDocs(docs []Document) error {
+	for _, d := range docs {
+		if _, dup := s.byID[d.ID]; dup {
+			return fmt.Errorf("docstore: duplicate document id %d", d.ID)
+		}
+	}
+	for _, d := range docs {
+		s.byID[d.ID] = len(s.Docs)
+		s.Docs = append(s.Docs, d)
+		v := s.embedder.Embed(d.Text)
+		s.docVecs = append(s.docVecs, v)
+		if err := s.flat.Add(d.ID, v); err != nil {
+			return err
+		}
+		if err := s.hnsw.Add(d.ID, v); err != nil {
+			return err
+		}
+		s.hashes[d.ID] = views.DocHash(d.Title, d.Text)
+	}
+	if s.sentIndex != nil {
+		sid := len(s.sentences)
 		for _, d := range docs {
 			for _, sent := range SplitSentences(d.Text) {
 				s.sentences = append(s.sentences, Sentence{DocID: d.ID, Text: sent})
 				if err := s.sentIndex.Add(sid, s.embedder.Embed(sent)); err != nil {
-					return nil, err
+					return err
 				}
 				sid++
 			}
 		}
 	}
-	return s, nil
+	return nil
+}
+
+// AddDocs ingests new documents into every index (document vectors,
+// HNSW, sentence retrieval) and bumps the corpus generation. Ids must
+// be new; use UpdateDoc to change an existing document. The caller is
+// responsible for quiescing queries during the mutation (unify.System
+// serializes ingests and runs them outside any query).
+func (s *Store) AddDocs(docs []Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	if err := s.indexDocs(docs); err != nil {
+		return err
+	}
+	s.generation.Add(1)
+	return nil
+}
+
+// UpdateDoc replaces an existing document's content and deterministically
+// reindexes the store from scratch (HNSW has no delete; a full rebuild
+// in collection order with a fresh level RNG is byte-identical to a cold
+// build over the mutated corpus, which is exactly the equivalence the
+// ingest determinism tests pin). Bumps the corpus generation.
+func (s *Store) UpdateDoc(d Document) error {
+	i, ok := s.byID[d.ID]
+	if !ok {
+		return fmt.Errorf("docstore: update of unknown document id %d", d.ID)
+	}
+	s.Docs[i] = d
+
+	docs := s.Docs
+	s.Docs = nil
+	s.docVecs = nil
+	s.byID = make(map[int]int, len(docs))
+	s.hashes = make(map[int]uint64, len(docs))
+	s.flat = vector.NewFlat()
+	s.hnsw = vector.NewHNSW(s.opts.hnswCfg)
+	if s.sentIndex != nil {
+		s.sentIndex = vector.NewFlat()
+		s.sentences = nil
+	}
+	if err := s.indexDocs(docs); err != nil {
+		return err
+	}
+	s.generation.Add(1)
+	return nil
+}
+
+// Generation reports how many times the corpus has been mutated since
+// construction (0 for a static corpus, persisted across Save/Load).
+// Every plan/selectivity/SCE cache key embeds it, so a mutation
+// invalidates all derived state at once.
+func (s *Store) Generation() uint64 { return s.generation.Load() }
+
+// ContentHash returns the live content hash of a document, the
+// freshness token for materialized view rows.
+func (s *Store) ContentHash(id int) (uint64, bool) {
+	h, ok := s.hashes[id]
+	return h, ok
 }
 
 // AttachCache routes query embeddings and distance maps through the
@@ -187,8 +274,18 @@ func (s *Store) SearchDocsExact(query string, k int) []vector.Result {
 // Distances returns cosine distances from the query text to every
 // document, keyed by document id (used by cardinality estimation). The
 // returned map is shared when a cache is attached: treat it as read-only.
+// The cache key embeds the corpus generation — a distance map enumerates
+// every document, so one computed before an ingest must never be reused
+// after it. (Query EMBEDDINGS stay keyed by text alone: embedding is a
+// pure function of the text and survives corpus mutations.) Generation
+// zero keeps the bare-text key so static corpora — and the byte-pinned
+// seed goldens, cache accounting included — are untouched.
 func (s *Store) Distances(query string) map[int]float64 {
-	m, _, _ := s.distMaps.GetOrCompute(query, func() (map[int]float64, error) {
+	key := query
+	if g := s.generation.Load(); g != 0 {
+		key = fmt.Sprintf("g%d|%s", g, query)
+	}
+	m, _, _ := s.distMaps.GetOrCompute(key, func() (map[int]float64, error) {
 		s.distScans.Add(1)
 		return s.flat.Distances(s.embed(query)), nil
 	})

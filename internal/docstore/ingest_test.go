@@ -1,0 +1,239 @@
+package docstore
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// storeFingerprint captures every byte of derived index state: the
+// exported HNSW graph (vectors, links, levels, RNG position), the flat
+// index order, sentences, and content hashes.
+func storeFingerprint(t *testing.T, s *Store) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestAddDocsMatchesStaticBuild(t *testing.T) {
+	docs := mkDocs(60)
+	static, err := New("static", docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := New("static", docs[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := incr.AddDocs(docs[40:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := incr.AddDocs(docs[50:]); err != nil {
+		t.Fatal(err)
+	}
+	if incr.Generation() != 2 {
+		t.Fatalf("generation = %d after two ingests", incr.Generation())
+	}
+
+	// Force both generations equal before comparing persisted bytes:
+	// everything else — vectors, HNSW graph and RNG, sentences — must
+	// be byte-identical between the static and incremental builds.
+	static.generation.Store(incr.Generation())
+	if storeFingerprint(t, static) != storeFingerprint(t, incr) {
+		t.Fatal("incremental build diverges from static build")
+	}
+
+	// Search behavior is identical too.
+	for _, q := range []string{"tennis serve", "chemistry theory", "football match"} {
+		a := static.SearchDocs(q, 7)
+		b := incr.SearchDocs(q, 7)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("SearchDocs(%q) diverges: %v vs %v", q, a, b)
+		}
+	}
+}
+
+func TestAddDocsRejectsDuplicatesAtomically(t *testing.T) {
+	s, err := New("d", mkDocs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Len()
+	add := []Document{{ID: 100, Text: "new"}, {ID: 5, Text: "dup"}}
+	if err := s.AddDocs(add); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if s.Len() != before || s.Generation() != 0 {
+		t.Fatalf("failed ingest mutated the store: len %d gen %d", s.Len(), s.Generation())
+	}
+}
+
+func TestUpdateDocMatchesColdBuild(t *testing.T) {
+	docs := mkDocs(40)
+	s, err := New("u", docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := Document{ID: 13, Title: "doc 13 v2", Text: "Title: doc 13 v2\nViews: 999\nBody: now about archery."}
+	if err := s.UpdateDoc(mutated); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != 1 {
+		t.Fatalf("generation = %d after update", s.Generation())
+	}
+	coldDocs := append([]Document(nil), docs...)
+	coldDocs[13] = mutated
+	cold, err := New("u", coldDocs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.generation.Store(1)
+	if storeFingerprint(t, s) != storeFingerprint(t, cold) {
+		t.Fatal("update path diverges from a cold build over the mutated corpus")
+	}
+
+	h, ok := s.ContentHash(13)
+	if !ok {
+		t.Fatal("no content hash for updated doc")
+	}
+	hc, _ := cold.ContentHash(13)
+	if h != hc {
+		t.Fatal("content hash differs from cold build")
+	}
+	if err := s.UpdateDoc(Document{ID: 999}); err == nil {
+		t.Fatal("update of unknown id accepted")
+	}
+}
+
+func TestRoundTripPreservesMutationState(t *testing.T) {
+	docs := mkDocs(50)
+	live, err := New("rt", docs[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := live.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-load ingestion must be byte-identical to ingestion into the
+	// never-persisted store: same options, hashes, HNSW RNG position.
+	if err := live.AddDocs(docs[40:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.AddDocs(docs[40:]); err != nil {
+		t.Fatal(err)
+	}
+	if storeFingerprint(t, live) != storeFingerprint(t, loaded) {
+		t.Fatal("post-load ingest diverges from never-persisted ingest")
+	}
+	if loaded.Generation() != live.Generation() {
+		t.Fatalf("generation %d vs %d", loaded.Generation(), live.Generation())
+	}
+
+	// UpdateDoc needs the reconstructed construction options.
+	upd := Document{ID: 3, Title: "doc 3 v2", Text: "Body: rewritten."}
+	if err := live.UpdateDoc(upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.UpdateDoc(upd); err != nil {
+		t.Fatal(err)
+	}
+	if storeFingerprint(t, live) != storeFingerprint(t, loaded) {
+		t.Fatal("post-load update diverges from never-persisted update")
+	}
+
+	// A second round-trip carries the bumped generation.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Generation() != loaded.Generation() {
+		t.Fatalf("generation dropped by round-trip: %d vs %d", again.Generation(), loaded.Generation())
+	}
+}
+
+func TestRoundTripPreservesEmptySentenceIndex(t *testing.T) {
+	// A store whose documents produce no sentences still has a sentence
+	// index; gob encodes the empty vector slice as nil, which used to
+	// disable sentence retrieval (and sentence ingestion) after a
+	// round-trip.
+	s, err := New("empty-sent", []Document{{ID: 1, Title: "t", Text: ""}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.sentIndex == nil {
+		t.Fatal("precondition: sentence index missing")
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.sentIndex == nil {
+		t.Fatal("round-trip dropped the (empty) sentence index")
+	}
+	if err := loaded.AddDocs([]Document{{ID: 2, Title: "u", Text: "One sentence."}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.SearchSentences("sentence", 1); len(got) != 1 {
+		t.Fatalf("sentence retrieval broken after round-trip ingest: %v", got)
+	}
+}
+
+func TestShardingExtendFreezesExistingAssignments(t *testing.T) {
+	docs := mkDocs(80)
+	s, err := New("sh", docs[:60])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := s.Shard(nil, 4)
+	before := sh.Assignment()
+
+	if err := s.AddDocs(docs[60:]); err != nil {
+		t.Fatal(err)
+	}
+	sh.Extend(docs[60:])
+	after := sh.Assignment()
+	if len(after) <= len(before) || after[:len(before)] != before {
+		t.Fatalf("Extend rewrote existing assignments:\nbefore %q\nafter  %q", before, after)
+	}
+	// Every new id is assigned, and to the same shard a static sharding
+	// of the full corpus would choose (the partitioner is pure).
+	full, err := New("sh", docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := after, full.Shard(nil, 4).Assignment(); got != want {
+		t.Fatalf("extended assignment diverges from static:\n%q\n%q", got, want)
+	}
+	counts := 0
+	for _, c := range sh.Counts() {
+		counts += c
+	}
+	if counts != 80 {
+		t.Fatalf("extended sharding covers %d docs, want 80", counts)
+	}
+	// Extend is idempotent for already-assigned ids.
+	sh.Extend(docs)
+	if sh.Assignment() != after {
+		t.Fatal("re-Extend mutated the assignment")
+	}
+	_ = fmt.Sprint(sh)
+}

@@ -74,6 +74,26 @@ func (s *Store) Shard(p Partitioner, shards int) *Sharding {
 // Partitioner reports the partitioner behind the assignment.
 func (sh *Sharding) Partitioner() Partitioner { return sh.part }
 
+// Extend appends shard assignments for newly ingested documents.
+// Existing assignments are frozen — the determinism goldens pin the
+// Assignment() prefix, and moving a resident document between shards
+// would break scatter's shard_complete accounting mid-flight — so only
+// unseen ids are assigned, in the given (ingest) order. Updates to
+// existing documents never change their shard.
+func (sh *Sharding) Extend(docs []Document) {
+	for _, d := range docs {
+		if _, ok := sh.byDoc[d.ID]; ok {
+			continue
+		}
+		m := sh.part.Shard(d, sh.N)
+		if m < 0 || m >= sh.N {
+			m = 0
+		}
+		sh.byDoc[d.ID] = m
+		sh.order = append(sh.order, m)
+	}
+}
+
 // Of returns a document's shard (0 for unknown ids, which scatter
 // treats as shard-0 residents so no document is ever dropped).
 func (sh *Sharding) Of(docID int) int {

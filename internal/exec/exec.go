@@ -23,6 +23,7 @@ import (
 	"unify/internal/ops"
 	"unify/internal/sched"
 	"unify/internal/values"
+	"unify/internal/views"
 	"unify/internal/vtime"
 )
 
@@ -65,6 +66,11 @@ type Executor struct {
 	// recorded calls carrying a batch key get their cost decomposition
 	// attached so the scheduler can coalesce them across queries.
 	Batching *vtime.BatchPolicy
+
+	// Views, when non-nil, is the materialized semantic view store:
+	// operators read per-document verdicts/labels/values from it instead
+	// of invoking the model, and backfill it with fresh results.
+	Views *views.Store
 
 	// Sharding is the corpus shard assignment for scatter execution on a
 	// simulated cluster (nil on a single machine). Operators the
@@ -113,6 +119,9 @@ type NodeResult struct {
 	// Retries counts failed attempts the resilience layer absorbed
 	// across the node's calls.
 	Retries int
+	// ViewHits counts per-document judgments served from materialized
+	// views instead of model work during this node's execution.
+	ViewHits int
 	// GrantWait is the node's share of the query's slot-grant delay on
 	// the shared pool (cost attribution for contention).
 	GrantWait time.Duration
@@ -172,6 +181,9 @@ type Result struct {
 	// SkippedDocs counts documents dropped across all nodes by error
 	// budgets: the answer is partial when this is non-zero.
 	SkippedDocs int
+	// ViewHits counts per-document judgments served from materialized
+	// views across all nodes (each hit is a model judgment avoided).
+	ViewHits int
 	// Replans counts dynamic replanning rounds during this execution.
 	Replans int
 	// ReplanDur is the simulated cost of replanning (already included
@@ -278,6 +290,7 @@ func (e *Executor) Run(ctx context.Context, plan *core.Plan) (*Result, error) {
 			res.Adjusted = true
 		}
 		res.SkippedDocs += nr.SkippedDocs
+		res.ViewHits += nr.ViewHits
 		res.LLMCalls += len(nr.Calls)
 		for _, c := range nr.Calls {
 			res.OutTokens += c.OutTokens
@@ -577,7 +590,7 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		// A fresh budget per candidate: a fallback implementation starts
 		// with full headroom, and skips from failed attempts don't leak.
 		fb := ops.NewFaultBudget(e.NodeErrorBudget)
-		env := &ops.Env{Store: e.Store, Client: cli, BatchSize: e.batch(), Budget: fb}
+		env := &ops.Env{Store: e.Store, Client: cli, BatchSize: e.batch(), Budget: fb, Views: e.Views}
 		v, err := phys.Run(ctx, env, n.Args, inputs)
 		if err != nil {
 			lastErr = err
@@ -597,11 +610,19 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 			Sequential:  sequentialPhys[phys.Name],
 			Adjusted:    i > 0,
 			SkippedDocs: fb.Skipped(),
+			ViewHits:    env.ViewHits(),
 			Span:        span,
 		}
 		work := inCard
 		if k, okk := n.Args.Int("_scanK"); okk && strings.HasPrefix(phys.Name, "IndexFilter") {
 			work = k
+		}
+		// View-served judgments never reached the model either: exclude
+		// them from the calibration work, like cache-served calls below.
+		if work > nr.ViewHits {
+			work -= nr.ViewHits
+		} else if nr.ViewHits > 0 {
+			work = 0
 		}
 		// Cache-served calls cost zero time and never reached a model:
 		// feeding them to the calibrator would drag its per-call mean
@@ -655,6 +676,9 @@ func (e *Executor) runNode(ctx context.Context, plan *core.Plan, n *core.Node, i
 		}
 		if nr.SkippedDocs > 0 {
 			span.SetInt("skipped_docs", nr.SkippedDocs)
+		}
+		if nr.ViewHits > 0 {
+			span.SetInt("view_hits", nr.ViewHits)
 		}
 		return nr, nil
 	}

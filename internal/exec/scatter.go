@@ -60,6 +60,7 @@ func (e *Executor) runScatter(ctx context.Context, n *core.Node, phys *ops.Physi
 	partials := make([]values.Value, m)
 	ran := make([]bool, m)
 	var all []llm.Call
+	viewHits := 0
 	for s, ids := range shards {
 		if len(ids) == 0 {
 			continue // empty shard: identity partial
@@ -69,7 +70,7 @@ func (e *Executor) runScatter(ctx context.Context, n *core.Node, phys *ops.Physi
 		if span != nil {
 			cli = llm.NewTraced(rec, span)
 		}
-		env := &ops.Env{Store: e.Store, Client: cli, BatchSize: e.batch(), Budget: fb}
+		env := &ops.Env{Store: e.Store, Client: cli, BatchSize: e.batch(), Budget: fb, Views: e.Views}
 		sin := make([]values.Value, len(inputs))
 		copy(sin, inputs)
 		sin[0] = values.NewDocs(ids)
@@ -77,6 +78,7 @@ func (e *Executor) runScatter(ctx context.Context, n *core.Node, phys *ops.Physi
 		if err != nil {
 			return nil, fmt.Errorf("exec: shard %d: %w", s, err)
 		}
+		viewHits += env.ViewHits()
 		partials[s] = v
 		ran[s] = true
 		shardCalls[s] = rec.Calls()
@@ -103,6 +105,7 @@ func (e *Executor) runScatter(ctx context.Context, n *core.Node, phys *ops.Physi
 		Calls:       all,
 		InCard:      inCard,
 		SkippedDocs: fb.Skipped(),
+		ViewHits:    viewHits,
 		ShardCalls:  shardCalls,
 		MergeCalls:  mergeCalls,
 		Span:        span,
@@ -113,10 +116,17 @@ func (e *Executor) runScatter(ctx context.Context, n *core.Node, phys *ops.Physi
 			live = append(live, c)
 		}
 	}
+	// View-served judgments shrink the calibration work like cache hits.
+	calWork := inCard
+	if calWork > viewHits {
+		calWork -= viewHits
+	} else if viewHits > 0 {
+		calWork = 0
+	}
 	if len(live) > 0 {
-		lw := inCard
+		lw := calWork
 		if len(live) < len(all) {
-			lw = inCard * len(live) / len(all)
+			lw = calWork * len(live) / len(all)
 		}
 		e.Calib.RecordLLM(phys.Name, lw, live)
 	}
@@ -145,6 +155,9 @@ func (e *Executor) runScatter(ctx context.Context, n *core.Node, phys *ops.Physi
 	}
 	if nr.SkippedDocs > 0 {
 		span.SetInt("skipped_docs", nr.SkippedDocs)
+	}
+	if nr.ViewHits > 0 {
+		span.SetInt("view_hits", nr.ViewHits)
 	}
 	return nr, nil
 }
@@ -242,7 +255,7 @@ func (e *Executor) mergeShards(ctx context.Context, n *core.Node, phys *ops.Phys
 		if span != nil {
 			cli = llm.NewTraced(rec, span)
 		}
-		env := &ops.Env{Store: e.Store, Client: cli, BatchSize: e.batch(), Budget: fb}
+		env := &ops.Env{Store: e.Store, Client: cli, BatchSize: e.batch(), Budget: fb, Views: e.Views}
 		v, err := phys.Run(ctx, env, n.Args, []values.Value{values.NewDocs(union)})
 		if err != nil {
 			return values.Value{}, nil, nil, 0, fmt.Errorf("exec: top-k combine: %w", err)

@@ -91,6 +91,18 @@ type Metrics struct {
 	TracesStored  Gauge   // traces currently retained
 	TracesEvicted Gauge   // traces evicted since start (monotonic)
 	SlowQueries   Counter // queries crossing the slow-query threshold
+
+	// Materialized-view and ingestion instruments, registered lazily by
+	// EnableViews: views-off systems never register them, keeping the
+	// /metrics exposition byte-identical to the views-less format.
+	ViewRows        Gauge   // materialized rows resident across columns
+	ViewColumns     Gauge   // distinct view columns
+	ViewHits        Gauge   // lifetime per-document view hits
+	ViewMisses      Gauge   // lifetime per-document view misses
+	ViewBackfills   Gauge   // lifetime rows written back after model work
+	ViewInvalidated Gauge   // lifetime rows dropped by document updates
+	IngestDocs      Counter // by kind: documents added / updated
+	CorpusGen       Gauge   // corpus generation (mutations since open)
 }
 
 // NewMetrics builds a fresh registry with the standard Unify instruments
@@ -415,6 +427,60 @@ func (m *Metrics) EnableBatching() {
 		"Mean calls per batchable invocation (batched_calls / batch_grants).")
 	m.BatchSavedSeconds = m.Reg.Gauge("unify_batch_saved_vtime_seconds",
 		"Slot busy vtime avoided by batching versus solo execution, lifetime.")
+}
+
+// EnableViews registers the materialized-view and ingestion instruments.
+// Systems with views on call it once at open time; until then RecordViews
+// and RecordIngest are no-ops and the exposition carries no view metrics.
+func (m *Metrics) EnableViews() {
+	if m == nil || m.Reg == nil || m.ViewRows.m != nil {
+		return
+	}
+	m.ViewRows = m.Reg.Gauge("unify_view_rows",
+		"Materialized semantic view rows resident across all columns.")
+	m.ViewColumns = m.Reg.Gauge("unify_view_columns",
+		"Distinct materialized view columns.")
+	m.ViewHits = m.Reg.Gauge("unify_view_hits_total",
+		"Per-document judgments served from materialized views, lifetime.")
+	m.ViewMisses = m.Reg.Gauge("unify_view_misses_total",
+		"Per-document view lookups that fell through to model work, lifetime.")
+	m.ViewBackfills = m.Reg.Gauge("unify_view_backfills_total",
+		"View rows written back after fresh model work, lifetime.")
+	m.ViewInvalidated = m.Reg.Gauge("unify_view_invalidated_total",
+		"View rows dropped because their document was updated, lifetime.")
+	m.IngestDocs = m.Reg.CounterVec("unify_ingest_docs_total",
+		"Documents ingested into the live corpus, by mutation kind.", "kind")
+	m.CorpusGen = m.Reg.Gauge("unify_corpus_generation",
+		"Corpus generation: mutations applied since the system opened.")
+}
+
+// RecordViews publishes the view store's lifetime counters (no-op unless
+// EnableViews ran).
+func (m *Metrics) RecordViews(columns, rows int, hits, misses, backfills, invalidated int64) {
+	if m == nil || m.ViewRows.m == nil {
+		return
+	}
+	m.ViewColumns.Set(float64(columns))
+	m.ViewRows.Set(float64(rows))
+	m.ViewHits.Set(float64(hits))
+	m.ViewMisses.Set(float64(misses))
+	m.ViewBackfills.Set(float64(backfills))
+	m.ViewInvalidated.Set(float64(invalidated))
+}
+
+// RecordIngest charges one corpus mutation to the ingestion counters
+// (no-op unless EnableViews ran).
+func (m *Metrics) RecordIngest(added, updated int, generation uint64) {
+	if m == nil || m.IngestDocs.m == nil {
+		return
+	}
+	if added > 0 {
+		m.IngestDocs.AddL("added", float64(added))
+	}
+	if updated > 0 {
+		m.IngestDocs.AddL("updated", float64(updated))
+	}
+	m.CorpusGen.Set(float64(generation))
 }
 
 // RecordBatching publishes the pool's continuous-batching state (no-op

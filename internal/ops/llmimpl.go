@@ -10,6 +10,7 @@ import (
 	"unify/internal/llm"
 	"unify/internal/nlcond"
 	"unify/internal/values"
+	"unify/internal/views"
 )
 
 // This file implements the LLM-based ("semantic") physical operators of
@@ -22,16 +23,62 @@ func complete(ctx context.Context, env *Env, task string, fields map[string]stri
 	return env.Client.Complete(ctx, llm.BuildPrompt(task, fields))
 }
 
-// batchJudge filters document ids by a condition using batched prompts.
-func batchJudge(ctx context.Context, env *Env, cond string, ids []int) ([]int, error) {
-	var out []int
-	bs := env.batch()
-	for start := 0; start < len(ids); start += bs {
-		end := start + bs
-		if end > len(ids) {
-			end = len(ids)
+// viewLookup partitions ids into materialized-view hits (id -> stored
+// value, served only under a matching live content hash) and misses
+// that still need model work. With views disabled every id is a miss.
+func viewLookup(env *Env, col string, ids []int) (map[int]string, []int) {
+	if env.Views == nil {
+		return nil, ids
+	}
+	hits := make(map[int]string)
+	misses := make([]int, 0, len(ids))
+	for _, id := range ids {
+		h, ok := env.Store.ContentHash(id)
+		if !ok {
+			misses = append(misses, id)
+			continue
 		}
-		chunk := ids[start:end]
+		if v, ok := env.Views.Get(col, id, h); ok {
+			hits[id] = v
+		} else {
+			misses = append(misses, id)
+		}
+	}
+	env.viewHits += len(hits)
+	return hits, misses
+}
+
+// viewPut backfills one computed per-document result into its column,
+// stamped with the document's live content hash.
+func viewPut(env *Env, col string, id int, val string) {
+	if env.Views == nil {
+		return
+	}
+	if h, ok := env.Store.ContentHash(id); ok {
+		env.Views.Put(col, id, h, val)
+	}
+}
+
+// batchJudge filters document ids by a condition using batched prompts.
+// The per-document verdicts are materialized in the condition's view
+// column: documents already judged by an earlier query (under the same
+// content) skip the model entirely, only the misses are prompted, and
+// fresh verdicts are backfilled. The sim's verdicts are per-document
+// deterministic (independent of batch composition), so a view hit is
+// answer-equivalent to recomputation.
+func batchJudge(ctx context.Context, env *Env, cond string, ids []int) ([]int, error) {
+	col := views.FilterColumn(cond)
+	verdicts, misses := viewLookup(env, col, ids)
+	if verdicts == nil {
+		verdicts = make(map[int]string, len(ids))
+	}
+	bs := env.batch()
+	for start := 0; start < len(misses); start += bs {
+		end := start + bs
+		if end > len(misses) {
+			end = len(misses)
+		}
+		chunk := misses[start:end]
 		texts := make([]string, len(chunk))
 		for i, id := range chunk {
 			t, err := docText(env, id)
@@ -50,18 +97,26 @@ func batchJudge(ctx context.Context, env *Env, cond string, ids []int) ([]int, e
 			}
 			return nil, err
 		}
-		verdicts := strings.Split(resp.Text, ",")
-		if len(verdicts) != len(chunk) {
-			err := fmt.Errorf("%w: filter_batch returned %d verdicts for %d documents", ErrBadOutput, len(verdicts), len(chunk))
+		got := strings.Split(resp.Text, ",")
+		if len(got) != len(chunk) {
+			err := fmt.Errorf("%w: filter_batch returned %d verdicts for %d documents", ErrBadOutput, len(got), len(chunk))
 			if ctx.Err() == nil && env.Budget.Absorb(len(chunk), err) {
 				continue
 			}
 			return nil, err
 		}
-		for i, v := range verdicts {
-			if strings.TrimSpace(v) == "yes" {
-				out = append(out, chunk[i])
-			}
+		for i, v := range got {
+			v = strings.TrimSpace(v)
+			verdicts[chunk[i]] = v
+			viewPut(env, col, chunk[i], v)
+		}
+	}
+	// Assemble in input order; ids from dropped (budget-absorbed)
+	// chunks have no verdict and are skipped, exactly as before.
+	var out []int
+	for _, id := range ids {
+		if verdicts[id] == "yes" {
+			out = append(out, id)
 		}
 	}
 	return out, nil
@@ -178,16 +233,21 @@ func physIndexFilter() *Physical {
 	}
 }
 
-// batchClassify labels documents with one prompt per batched chunk.
+// batchClassify labels documents with one prompt per batched chunk,
+// reading and backfilling the class word's materialized view column.
 func batchClassify(ctx context.Context, env *Env, classWord string, ids []int) (map[int]string, error) {
-	out := make(map[int]string, len(ids))
+	col := views.ClassifyColumn(classWord)
+	out, misses := viewLookup(env, col, ids)
+	if out == nil {
+		out = make(map[int]string, len(ids))
+	}
 	bs := env.batch()
-	for start := 0; start < len(ids); start += bs {
+	for start := 0; start < len(misses); start += bs {
 		end := start + bs
-		if end > len(ids) {
-			end = len(ids)
+		if end > len(misses) {
+			end = len(misses)
 		}
-		chunk := ids[start:end]
+		chunk := misses[start:end]
 		texts := make([]string, len(chunk))
 		for i, id := range chunk {
 			t, err := docText(env, id)
@@ -215,7 +275,9 @@ func batchClassify(ctx context.Context, env *Env, classWord string, ids []int) (
 			return nil, err
 		}
 		for i, l := range labels {
-			out[chunk[i]] = strings.TrimSpace(l)
+			l = strings.TrimSpace(l)
+			out[chunk[i]] = l
+			viewPut(env, col, chunk[i], l)
 		}
 	}
 	return out, nil
@@ -251,15 +313,26 @@ func physSemanticGroupBy() *Physical {
 
 // llmFieldValues extracts the aggregate field of each document via the
 // model (the LLM-based extraction path of the aggregate operators).
+// Per-document values are materialized in the field's view column when
+// the model's output aligns one value per document; unaligned responses
+// flow to the aggregate positionally (as before) and skip the view,
+// since their values cannot be attributed to a document.
 func llmFieldValues(ctx context.Context, env *Env, field string, ids []int) ([]float64, error) {
-	var out []float64
+	col := views.ExtractColumn(field)
+	vals, misses := viewLookup(env, col, ids)
+	if vals == nil {
+		vals = make(map[int]string, len(ids))
+	}
+	// loose holds the parsed values of unaligned chunks, keyed by the
+	// chunk's first id so assembly can splice them in input position.
+	var loose map[int][]float64
 	bs := env.batch()
-	for start := 0; start < len(ids); start += bs {
+	for start := 0; start < len(misses); start += bs {
 		end := start + bs
-		if end > len(ids) {
-			end = len(ids)
+		if end > len(misses) {
+			end = len(misses)
 		}
-		chunk := ids[start:end]
+		chunk := misses[start:end]
 		texts := make([]string, len(chunk))
 		for i, id := range chunk {
 			t, err := docText(env, id)
@@ -278,8 +351,37 @@ func llmFieldValues(ctx context.Context, env *Env, field string, ids []int) ([]f
 			}
 			return nil, err
 		}
-		for _, part := range strings.Split(resp.Text, ",") {
+		parts := strings.Split(resp.Text, ",")
+		if len(parts) == len(chunk) {
+			for i, p := range parts {
+				p = strings.TrimSpace(p)
+				vals[chunk[i]] = p
+				viewPut(env, col, chunk[i], p)
+			}
+			continue
+		}
+		var fs []float64
+		for _, part := range parts {
 			if v, err := strconv.ParseFloat(strings.TrimSpace(part), 64); err == nil {
+				fs = append(fs, v)
+			}
+		}
+		if loose == nil {
+			loose = make(map[int][]float64)
+		}
+		loose[chunk[0]] = fs
+	}
+	// Assemble in input order. Unparseable per-document values (e.g.
+	// "unknown") drop out here, exactly as they dropped out of the
+	// positional parse before.
+	var out []float64
+	for _, id := range ids {
+		if fs, ok := loose[id]; ok {
+			out = append(out, fs...)
+			continue
+		}
+		if s, ok := vals[id]; ok {
+			if v, err := strconv.ParseFloat(s, 64); err == nil {
 				out = append(out, v)
 			}
 		}

@@ -19,6 +19,7 @@ import (
 	"unify/internal/llm"
 	"unify/internal/logrep"
 	"unify/internal/values"
+	"unify/internal/views"
 )
 
 // Args carries the placeholder bindings extracted from the rewritten
@@ -51,6 +52,16 @@ type Env struct {
 	// Budget, when non-nil, lets per-batch LLM failures be absorbed by
 	// skipping the affected documents instead of failing the node.
 	Budget *FaultBudget
+	// Views, when non-nil, is the materialized semantic view store:
+	// per-document filter verdicts, classification labels, and extracted
+	// field values are read from (and backfilled into) named columns
+	// instead of being recomputed through the model.
+	Views *views.Store
+
+	// viewHits counts per-document judgments this Env served from
+	// materialized views instead of LLM work (read via ViewHits by the
+	// executor for stats and calibration).
+	viewHits int
 }
 
 func (e *Env) batch() int {
@@ -59,6 +70,10 @@ func (e *Env) batch() int {
 	}
 	return e.BatchSize
 }
+
+// ViewHits reports how many per-document results were served from
+// materialized views during this Env's node execution.
+func (e *Env) ViewHits() int { return e.viewHits }
 
 // Physical is one executable implementation of a logical operator.
 type Physical struct {

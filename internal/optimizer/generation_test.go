@@ -1,0 +1,77 @@
+package optimizer
+
+import (
+	"context"
+	"testing"
+
+	"unify/internal/cache"
+	"unify/internal/core"
+	"unify/internal/corpus"
+)
+
+// TestPlanCacheInvalidatedByCorpusMutation is the regression test for
+// the corpus-generation cache-key bug class: every optimizer cache —
+// plan signatures, parsed signatures, selectivity estimates — must be
+// keyed by the docstore generation, or a corpus mutation leaves cached
+// plans carrying stale cardinalities and cached selectivities computed
+// over documents that no longer define the corpus.
+func TestPlanCacheInvalidatedByCorpusMutation(t *testing.T) {
+	o, store := setup(t, 400)
+	c := cache.New(8 << 20)
+	o.AttachCache(c)
+	ctx := context.Background()
+
+	p1, s1, err := o.Optimize(ctx, []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, s2, err := o.Optimize(ctx, []*core.Plan{filterCountPlan()}); err != nil || !s2.PlanCacheHit {
+		t.Fatalf("precondition: repeat optimize should hit the plan cache (err %v)", err)
+	}
+	sigBefore := o.ParsedSignature("SELECT COUNT(*) FROM questions")
+	selMissesBefore := c.LayerStats()["selectivity"].Misses
+
+	// Ingest 200 new documents (ids 400..599 extend the 400-doc corpus).
+	ds, err := corpus.GenerateN("sports", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddDocs(ds.Documents()[400:]); err != nil {
+		t.Fatal(err)
+	}
+
+	p3, s3, err := o.Optimize(ctx, []*core.Plan{filterCountPlan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.PlanCacheHit {
+		t.Fatal("plan cache served a pre-mutation plan after the corpus changed")
+	}
+	if c.LayerStats()["selectivity"].Misses <= selMissesBefore {
+		t.Fatal("selectivity estimates were not recomputed for the mutated corpus")
+	}
+	if sig := o.ParsedSignature("SELECT COUNT(*) FROM questions"); sig == sigBefore {
+		t.Fatal("ParsedSignature unchanged across a corpus mutation")
+	}
+
+	// Cardinalities reflect the new corpus size: the structured filter
+	// samples the same views distribution over 1.5x the documents, so
+	// its estimate must grow (and stay within the new |docs| bound).
+	cardOf := func(p *core.Plan) int {
+		for _, n := range p.Nodes {
+			if n.Args["Condition"] != "" && n.EstCard > 0 {
+				return n.EstCard
+			}
+		}
+		t.Fatal("no filter node with an estimated cardinality")
+		return 0
+	}
+	before, after := cardOf(p1), cardOf(p3)
+	if after <= before {
+		t.Fatalf("filter EstCard %d after ingest, want > pre-ingest %d", after, before)
+	}
+	if after > store.Len() {
+		t.Fatalf("EstCard %d exceeds the mutated corpus size %d", after, store.Len())
+	}
+	_ = s1
+}

@@ -25,6 +25,7 @@ import (
 	"unify/internal/ops"
 	"unify/internal/sce"
 	"unify/internal/values"
+	"unify/internal/views"
 	"unify/internal/vtime"
 )
 
@@ -76,6 +77,13 @@ type Optimizer struct {
 	// merge overhead; at 1 (or 0) plans are exactly the single-machine
 	// plans.
 	Machines int
+	// Views, when non-nil, is the materialized semantic view store. A
+	// filter whose column fully covers the corpus (every row fresh) is
+	// costed like a cache hit: the executor will serve every verdict from
+	// the view, so the node's LLM work estimate drops to zero and the
+	// index-scan shortcut is suppressed (a full view read is both exact
+	// and free).
+	Views *views.Store
 	// SampleFrac is the SCE sampling budget as a fraction of the corpus.
 	SampleFrac float64
 	// Seed drives Rule-mode random selections.
@@ -259,7 +267,7 @@ func (o *Optimizer) optimize(ctx context.Context, key string, plans []*core.Plan
 // the query text (its pseudo-random picks depend on it).
 func (o *Optimizer) planSignature(plans []*core.Plan) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "m%d|o%d|s%d|c%d|f%g|n%d", o.Mode, o.Objective, o.Slots, o.machines(), o.SampleFrac, o.Store.Len())
+	fmt.Fprintf(h, "m%d|o%d|s%d|c%d|f%g|n%d|g%d", o.Mode, o.Objective, o.Slots, o.machines(), o.SampleFrac, o.Store.Len(), o.Store.Generation())
 	if o.Mode == Rule {
 		fmt.Fprintf(h, "|seed%d", o.Seed)
 		if len(plans) > 0 {
@@ -308,7 +316,7 @@ func (o *Optimizer) planSignature(plans []*core.Plan) string {
 // plan, and byte-equal parameterized queries always collide.
 func (o *Optimizer) ParsedSignature(canonical string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "usql|m%d|o%d|s%d|c%d|f%g|n%d", o.Mode, o.Objective, o.Slots, o.machines(), o.SampleFrac, o.Store.Len())
+	fmt.Fprintf(h, "usql|m%d|o%d|s%d|c%d|f%g|n%d|g%d", o.Mode, o.Objective, o.Slots, o.machines(), o.SampleFrac, o.Store.Len(), o.Store.Generation())
 	if o.Mode == Rule {
 		fmt.Fprintf(h, "|seed%d", o.Seed)
 	}
@@ -365,7 +373,17 @@ func (o *Optimizer) Reoptimize(ctx context.Context, plan *core.Plan, known map[s
 // queries share one estimate, and only the computing caller is charged
 // the estimation's LLM cost (cache hits are free).
 func (o *Optimizer) selectivity(ctx context.Context, condText string, stats *Stats) (float64, error) {
+	// The corpus generation is part of the key: after a mutation the
+	// fraction of matching documents may change, and a stale cached
+	// selectivity would silently miscost every candidate plan. (The
+	// shared LRU's generation bump also evicts these entries, but the
+	// optimizer may run on a private cache — see New — so correctness
+	// cannot rely on the bump alone.) Generation zero keeps the original
+	// key form so static corpora match the byte-pinned seed goldens.
 	key := fmt.Sprintf("m%d|f%g|%s", o.Mode, o.SampleFrac, condText)
+	if g := o.Store.Generation(); g != 0 {
+		key = fmt.Sprintf("m%d|f%g|g%d|%s", o.Mode, o.SampleFrac, g, condText)
+	}
 	sel, _, err := o.sel.GetOrCompute(key, func() (float64, error) {
 		return o.estimateSelectivity(ctx, condText, stats)
 	})
@@ -591,10 +609,27 @@ func (o *Optimizer) lowerNode(ctx context.Context, plan *core.Plan, n *core.Node
 	outSig, work := o.propagate(ctx, n, ins, stats)
 	n.EstCard = outSig.card
 
+	// Materialized-view coverage: when every corpus document has a fresh
+	// row in this condition's filter column, a full SemanticFilter pass
+	// reads entirely from the view — exact and model-free. Mark the node
+	// so costing treats it as zero LLM work, and skip the index-scan
+	// shortcut (a shortlist would only lose recall for nothing).
+	viewed := false
+	delete(n.Args, "_viewed")
+	if o.Views != nil && o.Mode != Rule && n.Op == "Filter" && len(n.Inputs) == 1 && n.Inputs[0] == "dataset" {
+		if c, okc := nlcond.Parse(n.Args.Get("Condition")); okc && !c.Structured() {
+			col := views.FilterColumn(n.Args.Get("Condition"))
+			if o.Views.Covers(col, o.Store.IDs(), o.Store.ContentHash) {
+				viewed = true
+				n.Args["_viewed"] = "1"
+			}
+		}
+	}
+
 	// IndexFilter opportunity: scanning the raw dataset with a semantic
 	// condition can shortlist ~3x the estimated output instead of
 	// scanning everything.
-	if o.Mode != Rule && n.Op == "Filter" && len(n.Inputs) == 1 && n.Inputs[0] == "dataset" {
+	if !viewed && o.Mode != Rule && n.Op == "Filter" && len(n.Inputs) == 1 && n.Inputs[0] == "dataset" {
 		if c, okc := nlcond.Parse(n.Args.Get("Condition")); okc && !c.Structured() {
 			scanK := outSig.card * 3
 			if scanK < 16 {
@@ -629,6 +664,9 @@ func (o *Optimizer) lowerNode(ctx context.Context, plan *core.Plan, n *core.Node
 						w = k
 					}
 				}
+				if viewed {
+					w = 0 // every judgment is served from the view
+				}
 				cc = o.Calib.EstimateLLM(c.Name, w)
 			} else {
 				cc = o.Calib.EstimatePre(c.Name, inCard)
@@ -641,6 +679,10 @@ func (o *Optimizer) lowerNode(ctx context.Context, plan *core.Plan, n *core.Node
 	}
 	if !strings.HasPrefix(n.Phys, "IndexFilter") && n.Phys != "IndexScan" {
 		delete(n.Args, "_scanK")
+	}
+	if viewed {
+		// A view-served node has no model work to fan out.
+		work = 0
 	}
 	o.markScatter(n, ins, work, outSig)
 	return outSig, nil
@@ -894,6 +936,9 @@ func (o *Optimizer) planTokenCost(plan *core.Plan) (time.Duration, error) {
 		if k, ok := n.Args.Int("_scanK"); ok && strings.HasPrefix(n.Phys, "IndexFilter") {
 			work = k
 		}
+		if n.Args.Get("_viewed") == "1" {
+			work = 0
+		}
 		spec, _ := ops.Get(n.Op)
 		if spec != nil {
 			for _, p := range spec.Phys {
@@ -931,6 +976,9 @@ func (o *Optimizer) PlanTasks(plan *core.Plan) ([]vtime.Task, error) {
 		work := inCard
 		if k, ok := n.Args.Int("_scanK"); ok && strings.HasPrefix(n.Phys, "IndexFilter") {
 			work = k
+		}
+		if n.Args.Get("_viewed") == "1" {
+			work = 0
 		}
 		var units []vtime.Unit
 		spec, _ := ops.Get(n.Op)

@@ -90,7 +90,14 @@ func (e *Estimator) Importance() []float64 {
 // attached (AttachCache), the sort runs once per distinct predicate; the
 // returned buckets are shared and must be treated as read-only.
 func (e *Estimator) bucketize(pred string) [][]int {
+	// Keyed by corpus generation as well as predicate: a bucketization
+	// enumerates every document id, so reusing one across an ingest
+	// would make SCE sample a corpus that no longer exists. Generation
+	// zero keeps the original key form (static corpora, seed goldens).
 	key := fmt.Sprintf("%d|%s", e.Buckets, pred)
+	if g := e.Store.Generation(); g != 0 {
+		key = fmt.Sprintf("%d|g%d|%s", e.Buckets, g, pred)
+	}
 	b, _, _ := e.buckets.GetOrCompute(key, func() ([][]int, error) {
 		return e.bucketizeScan(pred), nil
 	})

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"unify"
+	"unify/internal/corpus"
+	"unify/internal/llm"
+)
+
+// viewsServer opens a views-enabled system over the first n sports docs.
+func viewsServer(t *testing.T, n int) (*httptest.Server, *corpus.Dataset) {
+	t.Helper()
+	full, err := corpus.GenerateN("sports", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := corpus.GenerateN("sports", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := llm.SimConfig{Profile: llm.WorkerProfile(), Seed: 1}
+	sys, err := unify.New(
+		unify.WithCorpus(base),
+		unify.WithConfig(unify.Config{Dataset: "sports", Sim: &sim, Views: true}),
+		unify.WithSim(sim),
+		unify.WithViews(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return httptest.NewServer(New(sys)), full
+}
+
+func postIngest(t *testing.T, url string, req IngestRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	srv, full := viewsServer(t, 180)
+	defer srv.Close()
+
+	// Warm a view column, then grow the corpus by the remaining docs.
+	post(t, srv.URL+"/v1/query", "How many questions are about tennis?")
+	var add []IngestDoc
+	for _, d := range full.Documents()[180:] {
+		add = append(add, IngestDoc{ID: d.ID, Title: d.Title, Text: d.Text})
+	}
+	resp, raw := postIngest(t, srv.URL, IngestRequest{Add: add})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, raw)
+	}
+	var out IngestResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Added != 20 || out.Docs != 200 || out.Generation != 1 {
+		t.Errorf("unexpected ingest response: %+v", out)
+	}
+	if out.RequestID == "" {
+		t.Error("missing request id")
+	}
+
+	// Updating one of the freshly added docs invalidates nothing (its
+	// rows were never materialized) but bumps the generation again.
+	upd := add[0]
+	upd.Text = strings.ToUpper(upd.Text)
+	resp, raw = postIngest(t, srv.URL, IngestRequest{Update: []IngestDoc{upd}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Updated != 1 || out.Generation != 2 || out.Docs != 200 {
+		t.Errorf("unexpected update response: %+v", out)
+	}
+
+	// Queries still run against the mutated corpus.
+	qresp, qraw := post(t, srv.URL+"/v1/query", "How many questions are about tennis?")
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("post-ingest query status %d: %s", qresp.StatusCode, qraw)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	srv, full := viewsServer(t, 180)
+	defer srv.Close()
+	existing := full.Documents()[0]
+
+	cases := []struct {
+		name string
+		req  IngestRequest
+	}{
+		{"empty", IngestRequest{}},
+		{"duplicate add id", IngestRequest{Add: []IngestDoc{{ID: existing.ID, Title: "t", Text: "x"}}}},
+		{"unknown update id", IngestRequest{Update: []IngestDoc{{ID: 999999, Title: "t", Text: "x"}}}},
+	}
+	for _, tc := range cases {
+		resp, raw := postIngest(t, srv.URL, tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> %d (want 400): %s", tc.name, resp.StatusCode, raw)
+			continue
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(raw, &e); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if e.Error.Code != "bad_request" {
+			t.Errorf("%s: code %q, want bad_request", tc.name, e.Error.Code)
+		}
+	}
+
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET ingest -> %d", resp.StatusCode)
+	}
+}
+
+func TestStatsViewsBlock(t *testing.T) {
+	srv, _ := viewsServer(t, 180)
+	defer srv.Close()
+
+	// Two passes of the same query: the second is served from the view.
+	post(t, srv.URL+"/v1/query", "How many questions are about golf?")
+	post(t, srv.URL+"/v1/query", "How many questions are about golf?")
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Views map[string]interface{} `json:"views"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Views["enabled"] != true {
+		t.Fatalf("views block not enabled: %#v", out.Views)
+	}
+	stats, ok := out.Views["stats"].(map[string]interface{})
+	if !ok || stats["rows"] == 0.0 {
+		t.Errorf("views stats missing or empty: %#v", out.Views["stats"])
+	}
+	if hr, ok := out.Views["hit_rate"].(float64); !ok || hr <= 0 {
+		t.Errorf("hit_rate = %#v, want > 0", out.Views["hit_rate"])
+	}
+	if cols, ok := out.Views["columns"].([]interface{}); !ok || len(cols) == 0 {
+		t.Errorf("columns = %#v, want non-empty list", out.Views["columns"])
+	}
+	if out.Views["corpus_docs"] != 180.0 {
+		t.Errorf("corpus_docs = %#v, want 180", out.Views["corpus_docs"])
+	}
+
+	// A views-off server reports the block disabled.
+	plain := testServer(t)
+	defer plain.Close()
+	resp2, err := http.Get(plain.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 struct {
+		Views map[string]interface{} `json:"views"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Views["enabled"] != false {
+		t.Errorf("views-off server reports %#v", out2.Views)
+	}
+}

@@ -34,11 +34,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"unify"
 	"unify/internal/core"
+	"unify/internal/docstore"
 	"unify/internal/obs"
 	"unify/internal/ops"
 	"unify/internal/usql"
@@ -55,6 +57,11 @@ type Server struct {
 	reqID     atomic.Int64
 	mux       *http.ServeMux
 	started   time.Time
+
+	// corpusMu serializes corpus mutations against query execution:
+	// queries hold it shared for the duration of their run, /v1/ingest
+	// holds it exclusively, so a mutation never races an in-flight scan.
+	corpusMu sync.RWMutex
 }
 
 // New returns a server over the given system with default admission
@@ -69,6 +76,7 @@ func New(sys *unify.System) *Server {
 	}
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/v1/operators", s.handleOperators)
 	s.mux.HandleFunc("/v1/health", s.handleHealth)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -158,6 +166,7 @@ type QueryResponse struct {
 	SkippedDocs   int        `json:"skipped_docs,omitempty"`
 	Partial       bool       `json:"partial,omitempty"`
 	Replans       int        `json:"replans,omitempty"`
+	ViewHits      int        `json:"view_hits,omitempty"`
 	// Serving-layer accounting. Clock domains are deliberately distinct:
 	// QueueWaitSecs is MONOTONIC WALL time spent in the server's
 	// admission queue (the only wall-clock figure on this response);
@@ -194,6 +203,31 @@ type ErrorBody struct {
 // ErrorResponse is the error envelope: {"error":{...}}.
 type ErrorResponse struct {
 	Error ErrorBody `json:"error"`
+}
+
+// IngestDoc is one document in an ingestion request.
+type IngestDoc struct {
+	ID    int    `json:"id"`
+	Title string `json:"title"`
+	Text  string `json:"text"`
+}
+
+// IngestRequest is the POST /v1/ingest body: documents to add (ids must
+// be new) and documents to update in place (ids must exist). Applied
+// atomically — validation failures leave the corpus untouched.
+type IngestRequest struct {
+	Add    []IngestDoc `json:"add,omitempty"`
+	Update []IngestDoc `json:"update,omitempty"`
+}
+
+// IngestResponse reports one applied corpus mutation.
+type IngestResponse struct {
+	RequestID       string `json:"request_id"`
+	Added           int    `json:"added"`
+	Updated         int    `json:"updated"`
+	Generation      uint64 `json:"generation"`
+	InvalidatedRows int    `json:"invalidated_rows"`
+	Docs            int    `json:"docs"`
 }
 
 // OperatorInfo describes one registry entry for GET /v1/operators.
@@ -375,7 +409,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}()
 	m.RecordAdmission(queueWait)
 
+	s.corpusMu.RLock()
 	ans, err := s.Sys.Query(ctx, req.Query, unify.WithPriority(req.Priority), unify.WithLanguage(lang))
+	s.corpusMu.RUnlock()
 	if err != nil {
 		if ctx.Err() != nil {
 			writeError(w, http.StatusRequestTimeout, rid, "query deadline exceeded: %v", err)
@@ -404,6 +440,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SkippedDocs:   ans.SkippedDocs,
 		Partial:       ans.Partial,
 		Replans:       ans.Replans,
+		ViewHits:      ans.ViewHits,
 		QueueWaitSecs: queueWait.Seconds(),
 		GrantWaitSecs: ans.SlotGrantWait.Seconds(),
 		SoloExecSecs:  ans.SoloExecDur.Seconds(),
@@ -417,6 +454,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Profile = ans.Profile.JSON()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleIngest applies a corpus mutation: add new documents and update
+// existing ones. The mutation holds corpusMu exclusively, so it never
+// interleaves with a running query; queries admitted after it observe
+// the new corpus generation.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	rid := s.nextRequestID()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, rid, "POST required")
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, rid, "malformed body: %v", err)
+		return
+	}
+	if len(req.Add) == 0 && len(req.Update) == 0 {
+		writeError(w, http.StatusBadRequest, rid, "empty ingest: no add or update documents")
+		return
+	}
+	toDocs := func(in []IngestDoc) []docstore.Document {
+		out := make([]docstore.Document, len(in))
+		for i, d := range in {
+			out[i] = docstore.Document{ID: d.ID, Title: d.Title, Text: d.Text}
+		}
+		return out
+	}
+	s.corpusMu.Lock()
+	res, err := s.Sys.Ingest(toDocs(req.Add), toDocs(req.Update))
+	s.corpusMu.Unlock()
+	if err != nil {
+		// Every Ingest failure is input validation (duplicate add id,
+		// unknown update id); the corpus is untouched.
+		writeError(w, http.StatusBadRequest, rid, "ingest rejected: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{
+		RequestID:       rid,
+		Added:           res.Added,
+		Updated:         res.Updated,
+		Generation:      res.Generation,
+		InvalidatedRows: res.InvalidatedRows,
+		Docs:            res.Docs,
+	})
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -663,6 +745,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"docs_per_shard": sh.Counts(),
 		}
 	}
+	// Materialized-view state: counter snapshot plus per-column row
+	// coverage, and the corpus generation views key against.
+	viewsBlock := map[string]interface{}{"enabled": s.Sys.Views != nil}
+	if v := s.Sys.Views; v != nil {
+		st := v.Stats()
+		viewsBlock["stats"] = st
+		viewsBlock["hit_rate"] = st.HitRate()
+		viewsBlock["columns"] = v.Columns()
+		viewsBlock["corpus_generation"] = s.Sys.Store.Generation()
+		viewsBlock["corpus_docs"] = s.Sys.Store.Len()
+	}
 	// Clock domains: serving figures (admission queue waits, uptime) are
 	// monotonic wall time; everything derived from query execution (pool
 	// vtime, query duration histograms, trace and profile durations) is
@@ -710,6 +803,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"failures":    failures,
 		"serving":     serving,
 		"tracing":     tracing,
+		"views":       viewsBlock,
 	})
 }
 

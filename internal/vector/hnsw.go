@@ -68,6 +68,10 @@ func NewHNSW(cfg HNSWConfig) *HNSW {
 // Len implements Index.
 func (h *HNSW) Len() int { return len(h.nodes) }
 
+// Config returns the (normalized) construction parameters, so a caller
+// can rebuild an equivalent graph from scratch.
+func (h *HNSW) Config() HNSWConfig { return h.cfg }
+
 // nextFloat is a deterministic xorshift64* PRNG in (0,1).
 func (h *HNSW) nextFloat() float64 {
 	h.rng ^= h.rng >> 12

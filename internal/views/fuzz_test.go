@@ -1,0 +1,64 @@
+package views
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzViewKey pins the stability and soundness of the view keying
+// scheme: content hashes are deterministic and sensitive to the
+// title/text boundary, row keys are stable and injective over
+// (column, id), and a Put/Get round-trip serves exactly the stored
+// value under the matching hash and nothing under any other.
+func FuzzViewKey(f *testing.F) {
+	f.Add("about tennis", "t", "a doc about tennis", 7)
+	f.Add("", "", "", 0)
+	f.Add("views", "x\x1fy", "text with \x00 bytes", -3)
+	f.Add("score", "ab", "c", 1<<20)
+	f.Fuzz(func(t *testing.T, target, title, text string, id int) {
+		h := DocHash(title, text)
+		if h != DocHash(title, text) {
+			t.Fatal("DocHash not deterministic")
+		}
+		// Moving one byte across the title/text boundary must change
+		// the hash (the NUL separator guarantees it).
+		if len(title) > 0 {
+			if h == DocHash(title[:len(title)-1], title[len(title)-1:]+text) {
+				t.Fatalf("boundary shift collides: %q/%q", title, text)
+			}
+		}
+
+		col := FilterColumn(target)
+		key := Key(col, id)
+		if key != Key(col, id) {
+			t.Fatal("Key not deterministic")
+		}
+		if !strings.HasSuffix(key, strconv.Itoa(id)) {
+			t.Fatalf("key %q does not end in the id", key)
+		}
+		if key == Key(col, id+1) {
+			t.Fatal("keys for distinct ids collide")
+		}
+		op, tgt := SplitColumn(col)
+		if op != "filter" || tgt != target {
+			t.Fatalf("SplitColumn(%q) = (%q, %q)", col, op, tgt)
+		}
+
+		s := NewStore()
+		s.Put(col, id, h, "yes")
+		if v, ok := s.Get(col, id, h); !ok || v != "yes" {
+			t.Fatalf("round-trip failed: (%q, %v)", v, ok)
+		}
+		if _, ok := s.Get(col, id, h+1); ok {
+			t.Fatal("served under a mismatched hash")
+		}
+		other := ClassifyColumn(target)
+		if other == col {
+			t.Fatal("filter and classify columns collide")
+		}
+		if _, ok := s.Get(other, id, h); ok {
+			t.Fatal("served from the wrong column")
+		}
+	})
+}

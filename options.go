@@ -103,6 +103,15 @@ func WithMaxBatch(n int) Option {
 	return func(o *openOptions) { o.cfg.MaxBatch = n }
 }
 
+// WithViews enables materialized semantic views: per-document operator
+// results persist as content-hash-keyed columns and repeated semantic
+// work is served from the view instead of the model. Answers are
+// byte-identical with views on or off; view rows survive ingestion for
+// unchanged documents. Off by default.
+func WithViews() Option {
+	return func(o *openOptions) { o.cfg.Views = true }
+}
+
 // WithPartitioner overrides the corpus shard assignment policy (nil =
 // hash partitioning by document id). Only consulted when WithMachines
 // selects a multi-machine cluster.

@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"unify/internal/cache"
@@ -41,6 +42,7 @@ import (
 	"unify/internal/sched"
 	"unify/internal/usql"
 	"unify/internal/values"
+	"unify/internal/views"
 	"unify/internal/vtime"
 )
 
@@ -99,6 +101,15 @@ type Config struct {
 	// Mode selects the optimizer strategy (CostBased, Rule, GroundTruth
 	// via the optimizer package constants).
 	Mode optimizer.Mode
+
+	// Views enables materialized semantic views: per-document operator
+	// results (filter verdicts, classification labels, extracted field
+	// values) persist as named columns keyed by document content hash,
+	// and repeated semantic work is served from the view instead of the
+	// model. Rows survive corpus ingestion — only mutated documents
+	// recompute. Off by default; answers are byte-identical with views on
+	// or off (rows are only served while their content hash matches).
+	Views bool
 
 	// SCEBuckets sets the importance-function resolution.
 	SCEBuckets int
@@ -251,6 +262,14 @@ type System struct {
 	// (nil on single-machine systems).
 	Sharding *docstore.Sharding
 
+	// Views is the materialized semantic view store (nil unless
+	// Config.Views is on).
+	Views *views.Store
+	// ingestMu serializes corpus mutations: Ingest runs exclusively
+	// against queries' shared structures, mirroring the paper's offline
+	// preprocessing boundary.
+	ingestMu sync.Mutex
+
 	// Injector is the fault-injecting wrapper around the worker client
 	// (nil unless Config.FaultPlan was set).
 	Injector *faults.Client
@@ -323,6 +342,9 @@ type Answer struct {
 	// LLM failures; Partial is true when any were dropped.
 	SkippedDocs int
 	Partial     bool
+	// ViewHits counts per-document judgments served from materialized
+	// views instead of model work (0 unless Config.Views is on).
+	ViewHits int
 	// Replans counts dynamic replanning rounds during execution.
 	Replans int
 
@@ -451,6 +473,13 @@ func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, 
 		s.Executor.Sharding = s.Sharding
 		metrics.EnablePerMachine(cfg.Machines)
 	}
+	if cfg.Views {
+		s.Views = views.NewStore()
+		s.Views.SetAudit(cfg.StrictChecks)
+		s.Executor.Views = s.Views
+		opt.Views = s.Views
+		metrics.EnableViews()
+	}
 	s.Executor.NodeErrorBudget = cfg.NodeErrorBudget
 	s.Executor.StrictChecks = cfg.StrictChecks
 	s.Pool.StrictChecks = cfg.StrictChecks
@@ -496,6 +525,80 @@ func open(ds *corpus.Dataset, cfg Config, planner, worker llm.Client) (*System, 
 		}
 	}
 	return s, nil
+}
+
+// IngestResult summarizes one live corpus mutation.
+type IngestResult struct {
+	// Added and Updated count the documents ingested by kind.
+	Added   int `json:"added"`
+	Updated int `json:"updated"`
+	// Generation is the corpus generation after the mutation (every
+	// plan/selectivity/SCE cache key embeds it, so derived state from
+	// before the mutation can never serve after it).
+	Generation uint64 `json:"generation"`
+	// InvalidatedRows counts materialized view rows dropped because their
+	// document was updated (0 without views; added documents invalidate
+	// nothing — their rows simply do not exist yet).
+	InvalidatedRows int `json:"invalidated_rows"`
+	// Docs is the corpus size after the mutation.
+	Docs int `json:"docs"`
+}
+
+// Ingest mutates the live corpus: add appends new documents (their ids
+// must be unused) and update replaces existing documents in place. All
+// indexes — document and sentence embeddings, the exact and HNSW vector
+// indexes, per-document content hashes, and (on clusters) the shard
+// assignment — are maintained incrementally and deterministically: a
+// corpus grown by Ingest is byte-identical to one built statically over
+// the same collection, and a post-ingest query answers exactly as a cold
+// system over the mutated corpus would. Materialized view rows survive
+// for unchanged documents and are invalidated for updated ones.
+//
+// Ingests are serialized with each other; the caller is responsible for
+// not racing Ingest against in-flight queries (the HTTP layer serializes
+// /v1/ingest against /v1/query admissions).
+func (s *System) Ingest(add []docstore.Document, update []docstore.Document) (*IngestResult, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+
+	// Validate up front so the mutation is all-or-nothing: every update
+	// id must exist (AddDocs pre-checks its own ids for duplicates).
+	for _, d := range update {
+		if _, ok := s.Store.Doc(d.ID); !ok {
+			return nil, fmt.Errorf("unify: ingest: update of unknown document id %d", d.ID)
+		}
+	}
+	start := time.Now()
+	res := &IngestResult{Added: len(add), Updated: len(update)}
+	if len(add) > 0 {
+		if err := s.Store.AddDocs(add); err != nil {
+			return nil, fmt.Errorf("unify: ingest: %w", err)
+		}
+		if s.Sharding != nil {
+			// New documents get shard assignments; existing ones stay
+			// frozen so prior scatter placements remain valid.
+			s.Sharding.Extend(add)
+		}
+	}
+	for _, d := range update {
+		if s.Views != nil {
+			res.InvalidatedRows += s.Views.Invalidate(d.ID)
+		}
+		if err := s.Store.UpdateDoc(d); err != nil {
+			return nil, fmt.Errorf("unify: ingest: %w", err)
+		}
+	}
+	res.Generation = s.Store.Generation()
+	res.Docs = s.Store.Len()
+	s.PreprocessDur += time.Since(start)
+	if s.Metrics != nil {
+		s.Metrics.RecordIngest(res.Added, res.Updated, res.Generation)
+		if s.Views != nil {
+			vs := s.Views.Stats()
+			s.Metrics.RecordViews(vs.Columns, vs.Rows, vs.Hits, vs.Misses, vs.Backfills, vs.Invalidated)
+		}
+	}
+	return res, nil
 }
 
 // TrainSCE learns the importance function from historical predicates
@@ -819,6 +922,9 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 	if res.BatchedCalls > 0 {
 		espan.SetInt("batched_calls", res.BatchedCalls)
 	}
+	if res.ViewHits > 0 {
+		espan.SetInt("view_hits", res.ViewHits)
+	}
 	espan.End()
 
 	ans := &Answer{
@@ -834,6 +940,7 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 		Adjusted:      res.Adjusted,
 		SkippedDocs:   res.SkippedDocs,
 		Partial:       res.SkippedDocs > 0,
+		ViewHits:      res.ViewHits,
 		Replans:       res.Replans,
 	}
 	ans.PlanCacheHit = ostats.PlanCacheHit
@@ -939,6 +1046,16 @@ func (s *System) query(ctx context.Context, q string, qspan *obs.Span, o QueryOp
 			check.ProfileAttribution(ans.Profile, ans.TotalDur), qspan); err != nil {
 			return nil, err
 		}
+		if s.Views != nil {
+			// Replay every view row this query served against the live
+			// content hashes: a stale row reaching an answer is a
+			// views.column_fresh violation.
+			stale := s.Views.AuditServed(s.Store.ContentHash)
+			if err := check.Fail(fmt.Sprintf("unify: view rows served for %q", q),
+				check.ViewsFresh(stale), qspan); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return ans, nil
 }
@@ -1018,6 +1135,10 @@ func (s *System) recordQueryMetrics(ans *Answer) {
 		if s.Config.Batching {
 			m.RecordBatching(ps.BatchGrants, ps.BatchedUnits, ps.BatchOccupancy, ps.BatchSavedVTime)
 		}
+	}
+	if s.Views != nil {
+		vs := s.Views.Stats()
+		m.RecordViews(vs.Columns, vs.Rows, vs.Hits, vs.Misses, vs.Backfills, vs.Invalidated)
 	}
 	m.RecordCacheSize(s.Cache.Bytes(), s.Cache.Len())
 	for _, cli := range []llm.Client{s.PlannerClient, s.WorkerClient} {

@@ -1,0 +1,207 @@
+package unify
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"unify/internal/corpus"
+	"unify/internal/docstore"
+)
+
+// Views must be answer-invisible: a system with materialized views serves
+// byte-identical answer text to one without, on a cold first pass and on
+// a warm second pass where most judgments come from the view.
+func TestViewsAnswerParity(t *testing.T) {
+	ds := diffDataset(t)
+	off := diffSystem(t, ds, nil)
+	on := diffSystem(t, ds, func(c *Config) { c.Views = true })
+	queries := diffQueries(ds, 6)
+
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range queries {
+			a, err := off.Query(context.Background(), q)
+			if err != nil {
+				t.Fatalf("pass %d, views off, %q: %v", pass, q, err)
+			}
+			b, err := on.Query(context.Background(), q)
+			if err != nil {
+				t.Fatalf("pass %d, views on, %q: %v", pass, q, err)
+			}
+			if a.Text != b.Text {
+				t.Errorf("pass %d, %q: views changed the answer:\n  off: %s\n  on:  %s", pass, q, a.Text, b.Text)
+			}
+		}
+	}
+	st := on.Views.Stats()
+	if st.Rows == 0 || st.Backfills == 0 {
+		t.Fatalf("views system materialized nothing: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("warm pass served no view hits: %+v", st)
+	}
+}
+
+// Answer.ViewHits surfaces per-query view accounting: zero on the cold
+// run of a fresh filter, positive once its column is materialized.
+func TestViewsAnswerHitAccounting(t *testing.T) {
+	ds := diffDataset(t)
+	sys := diffSystem(t, ds, func(c *Config) { c.Views = true })
+	q := diffQueries(ds, 1)[0]
+
+	cold, err := sys.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sys.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Text != warm.Text {
+		t.Fatalf("warm answer diverged: %q vs %q", cold.Text, warm.Text)
+	}
+	if cold.ViewHits != 0 {
+		t.Errorf("cold run reported %d view hits, want 0", cold.ViewHits)
+	}
+	if warm.ViewHits == 0 {
+		t.Errorf("warm run reported 0 view hits, want > 0 (plan: %v)", warm.Plan.Nodes)
+	}
+}
+
+// View rows keyed by content hash survive ingestion of new documents:
+// after growing the corpus 10%, a warm re-run recomputes only the new
+// documents and still answers exactly like a views-less system over the
+// same mutated corpus.
+func TestViewsSurviveIngest(t *testing.T) {
+	full := diffDataset(t) // 150 docs
+	base, err := corpus.GenerateN("sports", 135)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := diffQueries(full, 5)
+
+	warm := diffSystem(t, base, func(c *Config) { c.Views = true })
+	plain := diffSystem(t, base, nil)
+	for _, q := range queries {
+		if _, err := warm.Query(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preHits := warm.Views.Stats().Hits
+
+	add := full.Documents()[135:]
+	for _, sys := range []*System{warm, plain} {
+		res, err := sys.Ingest(add, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Added != len(add) || res.Docs != 150 {
+			t.Fatalf("unexpected ingest result %+v", res)
+		}
+	}
+
+	before := warm.Views.Stats()
+	for _, q := range queries {
+		a, err := warm.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("warm post-ingest %q: %v", q, err)
+		}
+		b, err := plain.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("plain post-ingest %q: %v", q, err)
+		}
+		if a.Text != b.Text {
+			t.Errorf("post-ingest answers diverged for %q:\n  views: %s\n  plain: %s", q, a.Text, b.Text)
+		}
+	}
+	after := warm.Views.Stats()
+	hits, misses := after.Hits-before.Hits, after.Misses-before.Misses
+	if hits == 0 {
+		t.Fatalf("post-ingest warm run served no view hits (pre-ingest hits %d)", preHits)
+	}
+	// 90% of the corpus is unchanged: the bulk of the post-ingest reads
+	// must come from surviving rows, not recomputation.
+	if rate := float64(hits) / float64(hits+misses); rate < 0.5 {
+		t.Errorf("post-ingest view hit rate %.2f, want >= 0.5 (hits %d, misses %d)", rate, hits, misses)
+	}
+}
+
+// Updating a document invalidates its view rows (content hash changes),
+// and subsequent answers match a views-less system that applied the same
+// mutation. StrictChecks is on in diffSystem, so every served row is also
+// audited against live hashes (views.column_fresh).
+func TestViewsInvalidateOnUpdate(t *testing.T) {
+	ds := diffDataset(t)
+	queries := diffQueries(ds, 4)
+	warm := diffSystem(t, ds, func(c *Config) { c.Views = true })
+	plain := diffSystem(t, ds, nil)
+	for _, q := range queries {
+		if _, err := warm.Query(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	doc := ds.Documents()[3]
+	doc.Text = strings.ToUpper(doc.Text) + " Revised after an editorial pass."
+	for _, sys := range []*System{warm, plain} {
+		res, err := sys.Ingest(nil, []docstore.Document{doc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Updated != 1 {
+			t.Fatalf("unexpected ingest result %+v", res)
+		}
+		if sys == warm && res.InvalidatedRows == 0 {
+			t.Fatalf("update invalidated no view rows; expected the warmed filter columns to hold doc %d", doc.ID)
+		}
+	}
+
+	for _, q := range queries {
+		a, err := warm.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("views post-update %q: %v", q, err)
+		}
+		b, err := plain.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("plain post-update %q: %v", q, err)
+		}
+		if a.Text != b.Text {
+			t.Errorf("post-update answers diverged for %q:\n  views: %s\n  plain: %s", q, a.Text, b.Text)
+		}
+	}
+}
+
+// Ingest on a simulated cluster: new documents extend the shard
+// assignment (existing placements frozen), and an M=4 system grown
+// incrementally answers scatter queries byte-identically — text and
+// virtual latency — to an M=4 system opened over the full corpus.
+func TestClusterIngestMatchesStaticBuild(t *testing.T) {
+	full := diffDataset(t)
+	base, err := corpus.GenerateN("sports", 135)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := diffSystem(t, full, func(c *Config) { c.Machines = 4 })
+	incr := diffSystem(t, base, func(c *Config) { c.Machines = 4 })
+	if _, err := incr.Ingest(full.Documents()[135:], nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := incr.Sharding.Assignment(), static.Sharding.Assignment(); got != want {
+		t.Fatalf("extended shard assignment diverged from the static build:\n  incr:   %s\n  static: %s", got, want)
+	}
+
+	for _, q := range diffQueries(full, 5) {
+		a, err := static.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("static M=4 %q: %v", q, err)
+		}
+		b, err := incr.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("incremental M=4 %q: %v", q, err)
+		}
+		if a.Text != b.Text || a.TotalDur != b.TotalDur {
+			t.Errorf("cluster ingest diverged for %q:\n  static: %s @%s\n  incr:   %s @%s",
+				q, a.Text, a.TotalDur, b.Text, b.TotalDur)
+		}
+	}
+}
